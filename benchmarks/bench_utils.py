@@ -1,0 +1,37 @@
+"""Helpers shared by the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper's evaluation.
+Because ``pytest-benchmark`` captures stdout, each benchmark also writes its
+reproduced rows/series to ``benchmarks/results/<name>.txt`` so the numbers
+survive a plain ``pytest benchmarks/ --benchmark-only`` run; EXPERIMENTS.md
+summarizes them against the paper's reported values.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Iterable, List
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def full_mode() -> bool:
+    """Whether to run the slower, full-size parameter sweeps.
+
+    Enabled by setting ``NETCHAIN_BENCH_FULL=1``; the default keeps the whole
+    benchmark suite in the minutes range.
+    """
+    return os.environ.get("NETCHAIN_BENCH_FULL", "0") not in ("", "0")
+
+
+def record_result(name: str, title: str, lines: Iterable[str]) -> List[str]:
+    """Write a reproduced table/series to disk and echo it to stdout."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    rows = [title] + list(lines)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text("\n".join(rows) + "\n", encoding="utf-8")
+    print()
+    for row in rows:
+        print(row)
+    return rows

@@ -1,0 +1,10 @@
+"""Pytest configuration for the benchmark suite."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+# Make the sibling ``bench_utils`` module importable regardless of how pytest
+# sets up rootdir/importmode.
+sys.path.insert(0, str(Path(__file__).resolve().parent))

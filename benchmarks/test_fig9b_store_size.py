@@ -1,0 +1,48 @@
+"""Figure 9(b): throughput vs store size.
+
+Paper result: neither system's throughput depends on the number of stored
+items (NetChain(4) flat at 82 MQPS up to 100K items; ZooKeeper flat around
+140 KQPS); the store size is limited only by the allocated switch SRAM.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_utils import full_mode, record_result
+from repro.experiments import netchain_throughput, zookeeper_throughput
+
+STORE_SIZES = [1000, 5000, 20000] if not full_mode() else [1000, 20000, 40000, 100000]
+NETCHAIN_SCALE = 50000.0
+
+
+def run_sweep():
+    rows = []
+    for store_size in STORE_SIZES:
+        netchain = netchain_throughput(num_servers=4, store_size=store_size,
+                                       value_size=64, write_ratio=0.01,
+                                       scale=NETCHAIN_SCALE, duration=0.25, warmup=0.05)
+        zookeeper = zookeeper_throughput(num_clients=60, store_size=min(store_size, 5000),
+                                         value_size=64, write_ratio=0.01,
+                                         scale=1000.0, duration=1.5, warmup=0.5)
+        rows.append({"store_size": store_size, "netchain_4": netchain.mqps,
+                     "zookeeper": zookeeper.kqps})
+    return rows
+
+
+def test_fig9b_throughput_vs_store_size(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    lines = [f"{'store size':>10} | {'NetChain(4) MQPS':>16} | {'ZooKeeper KQPS':>14}"]
+    for row in rows:
+        lines.append(f"{row['store_size']:>10} | {row['netchain_4']:>16.1f} | "
+                     f"{row['zookeeper']:>14.1f}")
+    record_result("fig9b_store_size", "Figure 9(b): throughput vs store size", lines)
+
+    netchain = [row["netchain_4"] for row in rows]
+    zookeeper = [row["zookeeper"] for row in rows]
+    # Flat in store size for both systems.
+    assert max(netchain) < 1.2 * min(netchain)
+    assert max(zookeeper) < 1.5 * min(zookeeper)
+    # Absolute levels as in the paper.
+    assert netchain[-1] == pytest.approx(82.0, rel=0.25)
+    assert netchain[-1] * 1e3 > 50 * zookeeper[-1]

@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Distributed locking and 2PL transactions on NetChain vs ZooKeeper.
+
+This is the paper's motivating application (Sections 1 and 8.5): fast
+distributed transactions need a fast lock service.  The example runs the
+same two-phase-locking workload -- ten locks per transaction, one drawn from
+a small set of hot items -- against
+
+* NetChain locks (a compare-and-swap on a switch-resident key), and
+* ZooKeeper-style locks (ephemeral znodes through a ZAB ensemble),
+
+and prints the transaction throughput of each, together with the abort rate
+as contention increases.
+
+Run:  python examples/distributed_locking.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments import netchain_transactions, zookeeper_transactions
+
+
+def main() -> None:
+    print("== 2PL transactions over a lock service (Section 8.5) ==")
+    print(f"{'contention':>11} {'clients':>8} | {'NetChain txn/s':>15} {'abort rate':>11} "
+          f"| {'ZooKeeper txn/s':>16} {'abort rate':>11}")
+    for contention_index in (0.01, 0.1, 1.0):
+        netchain = netchain_transactions(contention_index=contention_index,
+                                         num_clients=20, cold_items=200,
+                                         duration=0.01, warmup=0.002)
+        zookeeper = zookeeper_transactions(contention_index=contention_index,
+                                           num_clients=5, cold_items=200,
+                                           duration=1.0, warmup=0.2)
+        print(f"{contention_index:>11} {netchain.num_clients:>8} | "
+              f"{netchain.txns_per_sec:>15.0f} {netchain.abort_rate():>11.3f} | "
+              f"{zookeeper.txns_per_sec:>16.1f} {zookeeper.abort_rate():>11.3f}")
+    print()
+    print("NetChain sustains orders of magnitude more transactions per client because")
+    print("each lock operation costs ~10 us (half an RTT) instead of a multi-millisecond")
+    print("quorum write; at contention index 1.0 every client fights for one hot lock and")
+    print("both systems lose throughput to aborts, as in Figure 11.")
+
+
+if __name__ == "__main__":
+    main()

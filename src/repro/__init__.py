@@ -1,0 +1,36 @@
+"""NetChain: Scale-Free Sub-RTT Coordination — a Python reproduction.
+
+This package reproduces the system described in "NetChain: Scale-Free
+Sub-RTT Coordination" (Jin et al., NSDI 2018): an in-network,
+strongly-consistent, fault-tolerant key-value store running in the data
+plane of programmable switches, replicated with a variant of chain
+replication and reconfigured by a network controller.
+
+Sub-packages:
+
+* :mod:`repro.netsim`      -- the simulated substrate (switches, hosts, links,
+  topologies, TCP) that replaces the paper's Tofino testbed.
+* :mod:`repro.core`        -- the NetChain protocol: data plane, control plane,
+  client agent, coordination primitives and correctness invariants.
+* :mod:`repro.baselines`   -- the server-based comparison systems (a
+  ZooKeeper-like ensemble, server chain replication, primary-backup).
+* :mod:`repro.workloads`   -- workload generators and load-driving clients.
+* :mod:`repro.apps`        -- applications (the 2PL transaction benchmark).
+* :mod:`repro.perfmodel`   -- device constants (Table 1) and analytic models.
+* :mod:`repro.experiments` -- drivers that regenerate every figure and table
+  of the paper's evaluation.
+
+Quickstart::
+
+    from repro.core import NetChainCluster, ClusterConfig
+
+    cluster = NetChainCluster(ClusterConfig(store_slots=1024))
+    agent = cluster.agent("H0")
+    agent.insert_sync("hello")
+    agent.write_sync("hello", b"world")
+    print(agent.read_sync("hello").value)   # b"world"
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

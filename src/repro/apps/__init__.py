@@ -1,0 +1,20 @@
+"""Applications built on the coordination services.
+
+* :mod:`repro.apps.transactions` -- the distributed-transaction benchmark of
+  Section 8.5: two-phase locking over a lock service (NetChain or the
+  ZooKeeper baseline), driven by a contention-index workload.
+"""
+
+from repro.apps.transactions import (
+    TransactionWorkloadConfig,
+    NetChainTransactionClient,
+    ZooKeeperTransactionClient,
+    TransactionStats,
+)
+
+__all__ = [
+    "TransactionWorkloadConfig",
+    "NetChainTransactionClient",
+    "ZooKeeperTransactionClient",
+    "TransactionStats",
+]

@@ -1,0 +1,38 @@
+"""Server-based baselines that NetChain is evaluated against.
+
+* :mod:`repro.baselines.zookeeper` / :mod:`repro.baselines.zk_client` --
+  a ZooKeeper-like coordination service: a ZAB-style leader-based ensemble
+  over TCP, with znodes, sessions, ephemeral/sequential nodes, watches and
+  the standard lock recipe.  This is the comparison system of Section 8.
+* :mod:`repro.baselines.chain_server` -- chain replication on servers
+  (FAWN-KV style), the design NetChain moves into the network (Section 2.2).
+* :mod:`repro.baselines.primary_backup` -- the classical primary-backup
+  protocol of Figure 1(a), used for the message-count comparison.
+"""
+
+from repro.baselines.data_tree import DataTree, Znode, ZnodeError
+from repro.baselines.zookeeper import (
+    ZooKeeperConfig,
+    ZooKeeperServer,
+    ZooKeeperEnsemble,
+    build_zookeeper_ensemble,
+)
+from repro.baselines.zk_client import ZooKeeperClient, ZkLock, ZkResult
+from repro.baselines.chain_server import ServerChainReplica, ServerChainCluster
+from repro.baselines.primary_backup import PrimaryBackupCluster
+
+__all__ = [
+    "DataTree",
+    "Znode",
+    "ZnodeError",
+    "ZooKeeperConfig",
+    "ZooKeeperServer",
+    "ZooKeeperEnsemble",
+    "build_zookeeper_ensemble",
+    "ZooKeeperClient",
+    "ZkLock",
+    "ZkResult",
+    "ServerChainReplica",
+    "ServerChainCluster",
+    "PrimaryBackupCluster",
+]

@@ -1,0 +1,189 @@
+"""Server-based chain replication (the design NetChain moves into switches).
+
+Section 2.2 motivates chain replication over classical primary-backup: in a
+chain of ``n`` nodes a write costs ``n+1`` messages and needs no per-query
+bookkeeping at the primary, which is what makes it implementable in a
+switch ASIC.  This module implements the original, server-hosted protocol
+(Van Renesse & Schneider, FAWN-KV style) on simulated hosts over the
+reliable transport, both as a functional baseline and for the
+message-count/latency ablation against NetChain and primary-backup.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.netsim.host import Host
+from repro.netsim.tcp import TcpConnection, TcpConfig, TcpEndpoint
+
+_request_ids = itertools.count(1)
+
+
+@dataclass
+class ChainResult:
+    """Outcome of a read or write against the server chain."""
+
+    ok: bool
+    op: str
+    key: str
+    value: bytes = b""
+    version: int = 0
+    latency: float = 0.0
+
+
+class ServerChainReplica:
+    """One server in the chain."""
+
+    def __init__(self, index: int, host: Host, message_bytes: int = 150) -> None:
+        self.index = index
+        self.host = host
+        self.sim = host.sim
+        self.message_bytes = message_bytes
+        self.store: Dict[str, Tuple[bytes, int]] = {}
+        self.next_endpoint: Optional[TcpEndpoint] = None
+        self.client_endpoints: Dict[str, TcpEndpoint] = {}
+        self.messages_processed = 0
+
+    def connect_next(self, endpoint: TcpEndpoint) -> None:
+        """Attach the transport to the chain successor."""
+        self.next_endpoint = endpoint
+
+    def accept_client(self, client_name: str, endpoint: TcpEndpoint) -> None:
+        """Attach a client connection."""
+        self.client_endpoints[client_name] = endpoint
+        endpoint.on_message = self.handle_message
+
+    def handle_message(self, message: Dict[str, Any]) -> None:
+        """Process a read, write or forwarded write."""
+        self.messages_processed += 1
+        op = message["op"]
+        if op == "read":
+            value, version = self.store.get(message["key"], (b"", 0))
+            self._reply(message, value=value, version=version)
+        elif op == "write":
+            version = self.store.get(message["key"], (b"", 0))[1] + 1
+            if "version" in message:
+                version = message["version"]
+            self.store[message["key"]] = (message["value"], version)
+            if self.next_endpoint is not None:
+                forwarded = dict(message)
+                forwarded["version"] = version
+                self.next_endpoint.send(forwarded, self.message_bytes)
+            else:
+                self._reply(message, value=message["value"], version=version)
+
+    def _reply(self, message: Dict[str, Any], **fields: Any) -> None:
+        endpoint = self.client_endpoints.get(message["client"])
+        if endpoint is None:
+            return
+        reply = {"kind": "reply", "request_id": message["request_id"], "ok": True,
+                 "op": message["op"], "key": message["key"]}
+        reply.update(fields)
+        endpoint.send(reply, self.message_bytes)
+
+
+class ServerChainClient:
+    """A client of the server chain: writes go to the head, reads to the tail."""
+
+    def __init__(self, host: Host, cluster: "ServerChainCluster") -> None:
+        self.host = host
+        self.sim = host.sim
+        self.cluster = cluster
+        self.name = f"chain-client-{host.name}"
+        self._pending: Dict[int, Dict[str, Any]] = {}
+        self.completed = 0
+        self.latencies: List[float] = []
+        # One connection to the head (writes) and one to the tail (replies
+        # and reads), as in the original protocol.
+        self._head_endpoint = self._connect(cluster.head())
+        self._tail_endpoint = self._connect(cluster.tail())
+
+    def _connect(self, replica: ServerChainReplica) -> TcpEndpoint:
+        conn = TcpConnection(self.host, replica.host, config=self.cluster.tcp_config)
+        replica.accept_client(self.name, conn.endpoint(replica.host))
+        endpoint = conn.endpoint(self.host)
+        endpoint.on_message = self._on_reply
+        return endpoint
+
+    def read_async(self, key: str, callback: Optional[Callable[[ChainResult], None]] = None) -> int:
+        return self._submit("read", key, b"", self._tail_endpoint, callback)
+
+    def write_async(self, key: str, value: bytes,
+                    callback: Optional[Callable[[ChainResult], None]] = None) -> int:
+        return self._submit("write", key, value, self._head_endpoint, callback)
+
+    def read(self, key: str, deadline: float = 5.0) -> ChainResult:
+        return self._sync(lambda cb: self.read_async(key, cb), deadline)
+
+    def write(self, key: str, value: bytes, deadline: float = 5.0) -> ChainResult:
+        return self._sync(lambda cb: self.write_async(key, value, cb), deadline)
+
+    def _submit(self, op: str, key: str, value: bytes, endpoint: TcpEndpoint,
+                callback: Optional[Callable[[ChainResult], None]]) -> int:
+        request_id = next(_request_ids)
+        message = {"kind": "request", "request_id": request_id, "op": op, "key": key,
+                   "value": value, "client": self.name}
+        self._pending[request_id] = {"callback": callback, "op": op, "key": key,
+                                     "sent_at": self.sim.now}
+        endpoint.send(message, self.cluster.message_bytes)
+        return request_id
+
+    def _sync(self, submit, deadline: float) -> ChainResult:
+        box: List[ChainResult] = []
+        submit(box.append)
+        limit = self.sim.now + deadline
+        while not box and self.sim.pending() and self.sim.now < limit:
+            self.sim.run(until=min(limit, self.sim.now + 0.05))
+        if not box:
+            raise TimeoutError("no reply from the server chain")
+        return box[0]
+
+    def _on_reply(self, message: Dict[str, Any]) -> None:
+        if message.get("kind") != "reply":
+            return
+        pending = self._pending.pop(message.get("request_id"), None)
+        if pending is None:
+            return
+        latency = self.sim.now - pending["sent_at"]
+        self.completed += 1
+        self.latencies.append(latency)
+        result = ChainResult(ok=message.get("ok", False), op=pending["op"],
+                             key=pending["key"], value=message.get("value", b""),
+                             version=message.get("version", 0), latency=latency)
+        if pending["callback"] is not None:
+            pending["callback"](result)
+
+
+class ServerChainCluster:
+    """A chain of replicas on servers, plus client factory."""
+
+    def __init__(self, hosts: List[Host], tcp_config: Optional[TcpConfig] = None,
+                 message_bytes: int = 150) -> None:
+        if not hosts:
+            raise ValueError("a chain needs at least one server")
+        self.tcp_config = tcp_config or TcpConfig()
+        self.message_bytes = message_bytes
+        self.replicas = [ServerChainReplica(i, host, message_bytes)
+                         for i, host in enumerate(hosts)]
+        for left, right in zip(self.replicas, self.replicas[1:]):
+            conn = TcpConnection(left.host, right.host, config=self.tcp_config)
+            left.connect_next(conn.endpoint(left.host))
+            right_endpoint = conn.endpoint(right.host)
+            right_endpoint.on_message = right.handle_message
+
+    def head(self) -> ServerChainReplica:
+        return self.replicas[0]
+
+    def tail(self) -> ServerChainReplica:
+        return self.replicas[-1]
+
+    def client(self, host: Host) -> ServerChainClient:
+        """Create a client attached to this chain."""
+        return ServerChainClient(host, self)
+
+    def messages_per_write(self) -> int:
+        """Messages a write costs end to end: n forwards + 1 reply
+        (Section 2.2: n+1 for chain replication)."""
+        return len(self.replicas) + 1

@@ -1,0 +1,194 @@
+"""The ZooKeeper data model: a tree of znodes.
+
+This is the storage half of the ZooKeeper baseline (Section 8's comparison
+system): hierarchical paths, per-node data and version, ephemeral nodes
+owned by a session, sequential nodes, and one-shot watches.  It is a plain
+in-memory structure; the replication and ordering of updates is provided by
+the ZAB layer in :mod:`repro.baselines.zookeeper`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+
+class ZnodeError(Exception):
+    """Raised for invalid znode operations (missing node, bad version, ...)."""
+
+
+@dataclass
+class Znode:
+    """One node in the tree."""
+
+    path: str
+    data: bytes = b""
+    version: int = 0
+    ephemeral_owner: Optional[int] = None
+    sequential_counter: int = 0
+    children: Set[str] = field(default_factory=set)
+
+    def is_ephemeral(self) -> bool:
+        return self.ephemeral_owner is not None
+
+
+def parent_path(path: str) -> str:
+    """Parent of a path; the parent of "/a" is "/"."""
+    if path == "/":
+        return "/"
+    parent = path.rsplit("/", 1)[0]
+    return parent or "/"
+
+
+def validate_path(path: str) -> None:
+    """Reject malformed paths."""
+    if not path.startswith("/"):
+        raise ZnodeError(f"path must be absolute: {path!r}")
+    if path != "/" and path.endswith("/"):
+        raise ZnodeError(f"path must not end with '/': {path!r}")
+    if "//" in path:
+        raise ZnodeError(f"path must not contain empty components: {path!r}")
+
+
+class DataTree:
+    """The znode tree plus watch bookkeeping."""
+
+    def __init__(self) -> None:
+        self.nodes: Dict[str, Znode] = {"/": Znode(path="/")}
+        #: path -> callbacks fired once when the node's data changes/deletes.
+        self._data_watches: Dict[str, List[Callable[[str, str], None]]] = {}
+        #: path -> callbacks fired once when the node's children change.
+        self._child_watches: Dict[str, List[Callable[[str, str], None]]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Reads.
+    # ------------------------------------------------------------------ #
+
+    def exists(self, path: str) -> bool:
+        return path in self.nodes
+
+    def get(self, path: str) -> Znode:
+        validate_path(path)
+        node = self.nodes.get(path)
+        if node is None:
+            raise ZnodeError(f"no such znode: {path}")
+        return node
+
+    def get_children(self, path: str) -> List[str]:
+        return sorted(self.get(path).children)
+
+    def ephemerals_of(self, session_id: int) -> List[str]:
+        """Paths of the ephemeral nodes owned by a session."""
+        return sorted(p for p, n in self.nodes.items() if n.ephemeral_owner == session_id)
+
+    # ------------------------------------------------------------------ #
+    # Writes (applied by the replication layer in committed order).
+    # ------------------------------------------------------------------ #
+
+    def create(self, path: str, data: bytes = b"", ephemeral_owner: Optional[int] = None,
+               sequential: bool = False) -> str:
+        """Create a znode; returns the actual path (sequential nodes get a
+        zero-padded counter suffix, as in ZooKeeper)."""
+        validate_path(path)
+        parent = parent_path(path)
+        parent_node = self.nodes.get(parent)
+        if parent_node is None:
+            raise ZnodeError(f"parent does not exist: {parent}")
+        if parent_node.is_ephemeral():
+            raise ZnodeError(f"ephemeral node {parent} cannot have children")
+        actual_path = path
+        if sequential:
+            actual_path = f"{path}{parent_node.sequential_counter:010d}"
+            parent_node.sequential_counter += 1
+        if actual_path in self.nodes:
+            raise ZnodeError(f"znode already exists: {actual_path}")
+        self.nodes[actual_path] = Znode(path=actual_path, data=data,
+                                        ephemeral_owner=ephemeral_owner)
+        parent_node.children.add(actual_path.rsplit("/", 1)[1])
+        self._fire_child_watches(parent)
+        self._fire_data_watches(actual_path, "created")
+        return actual_path
+
+    def set_data(self, path: str, data: bytes, expected_version: int = -1) -> int:
+        """Update a node's data; ``expected_version`` of -1 skips the check."""
+        node = self.get(path)
+        if expected_version not in (-1, node.version):
+            raise ZnodeError(f"version mismatch on {path}: "
+                             f"expected {expected_version}, have {node.version}")
+        node.data = data
+        node.version += 1
+        self._fire_data_watches(path, "changed")
+        return node.version
+
+    def delete(self, path: str, expected_version: int = -1) -> None:
+        """Delete a leaf node."""
+        node = self.get(path)
+        if path == "/":
+            raise ZnodeError("cannot delete the root")
+        if node.children:
+            raise ZnodeError(f"znode {path} has children")
+        if expected_version not in (-1, node.version):
+            raise ZnodeError(f"version mismatch on {path}")
+        del self.nodes[path]
+        parent = parent_path(path)
+        if parent in self.nodes:
+            self.nodes[parent].children.discard(path.rsplit("/", 1)[1])
+            self._fire_child_watches(parent)
+        self._fire_data_watches(path, "deleted")
+
+    def remove_session(self, session_id: int) -> List[str]:
+        """Delete every ephemeral node of a closed/expired session."""
+        removed = []
+        for path in self.ephemerals_of(session_id):
+            try:
+                self.delete(path)
+                removed.append(path)
+            except ZnodeError:
+                continue
+        return removed
+
+    # ------------------------------------------------------------------ #
+    # Watches (one-shot, as in ZooKeeper).
+    # ------------------------------------------------------------------ #
+
+    def add_data_watch(self, path: str, callback: Callable[[str, str], None]) -> None:
+        """Register a one-shot watch on a node's data/existence."""
+        self._data_watches.setdefault(path, []).append(callback)
+
+    def add_child_watch(self, path: str, callback: Callable[[str, str], None]) -> None:
+        """Register a one-shot watch on a node's children."""
+        self._child_watches.setdefault(path, []).append(callback)
+
+    def _fire_data_watches(self, path: str, event: str) -> None:
+        for callback in self._data_watches.pop(path, []):
+            callback(path, event)
+
+    def _fire_child_watches(self, path: str, event: str = "children") -> None:
+        for callback in self._child_watches.pop(path, []):
+            callback(path, event)
+
+    # ------------------------------------------------------------------ #
+    # Snapshot / restore (used when a follower re-syncs from the leader).
+    # ------------------------------------------------------------------ #
+
+    def snapshot(self) -> Dict[str, Tuple[bytes, int, Optional[int], int, List[str]]]:
+        """A deep copy of the tree contents."""
+        return {
+            path: (node.data, node.version, node.ephemeral_owner,
+                   node.sequential_counter, sorted(node.children))
+            for path, node in self.nodes.items()
+        }
+
+    def restore(self, snapshot) -> None:
+        """Replace the tree contents from a snapshot."""
+        self.nodes = {}
+        for path, (data, version, owner, counter, children) in snapshot.items():
+            node = Znode(path=path, data=data, version=version, ephemeral_owner=owner,
+                         sequential_counter=counter, children=set(children))
+            self.nodes[path] = node
+        if "/" not in self.nodes:
+            self.nodes["/"] = Znode(path="/")
+
+    def node_count(self) -> int:
+        """Number of znodes including the root."""
+        return len(self.nodes)

@@ -1,0 +1,208 @@
+"""Classical primary-backup replication (Figure 1(a)).
+
+Included as the contrast case of Section 2.2: every query goes to the
+primary, which must track each write at each backup and confirm with all of
+them before replying.  A write therefore costs ``2n`` messages (versus
+``n+1`` for chain replication) and requires per-query state at the primary
+-- the two reasons the paper rules it out for a switch implementation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.netsim.host import Host
+from repro.netsim.tcp import TcpConnection, TcpConfig, TcpEndpoint
+
+_request_ids = itertools.count(1)
+
+
+@dataclass
+class PBResult:
+    """Outcome of a primary-backup read or write."""
+
+    ok: bool
+    op: str
+    key: str
+    value: bytes = b""
+    version: int = 0
+    latency: float = 0.0
+
+
+class _Backup:
+    """A backup replica: applies updates and acknowledges them."""
+
+    def __init__(self, index: int, host: Host, message_bytes: int) -> None:
+        self.index = index
+        self.host = host
+        self.message_bytes = message_bytes
+        self.store: Dict[str, Tuple[bytes, int]] = {}
+        self.primary_endpoint: Optional[TcpEndpoint] = None
+        self.updates_applied = 0
+
+    def handle_message(self, message: Dict[str, Any]) -> None:
+        if message.get("op") != "update":
+            return
+        self.store[message["key"]] = (message["value"], message["version"])
+        self.updates_applied += 1
+        if self.primary_endpoint is not None:
+            self.primary_endpoint.send({"op": "ack", "request_id": message["request_id"],
+                                        "backup": self.index}, self.message_bytes)
+
+
+class _Primary:
+    """The primary: serves reads, coordinates writes with all backups."""
+
+    def __init__(self, host: Host, message_bytes: int) -> None:
+        self.host = host
+        self.message_bytes = message_bytes
+        self.store: Dict[str, Tuple[bytes, int]] = {}
+        self.backup_endpoints: List[TcpEndpoint] = []
+        self.client_endpoints: Dict[str, TcpEndpoint] = {}
+        #: Per-query state the primary must keep: outstanding acks per write.
+        self.pending_writes: Dict[int, Dict[str, Any]] = {}
+        self.messages_sent = 0
+
+    def accept_client(self, client_name: str, endpoint: TcpEndpoint) -> None:
+        self.client_endpoints[client_name] = endpoint
+        endpoint.on_message = self.handle_message
+
+    def handle_message(self, message: Dict[str, Any]) -> None:
+        op = message.get("op")
+        if op == "read":
+            value, version = self.store.get(message["key"], (b"", 0))
+            self._reply(message["client"], message["request_id"], "read", message["key"],
+                        value, version)
+        elif op == "write":
+            version = self.store.get(message["key"], (b"", 0))[1] + 1
+            self.store[message["key"]] = (message["value"], version)
+            self.pending_writes[message["request_id"]] = {
+                "message": message, "version": version,
+                "awaiting": set(range(len(self.backup_endpoints))),
+            }
+            update = {"op": "update", "request_id": message["request_id"],
+                      "key": message["key"], "value": message["value"], "version": version}
+            for endpoint in self.backup_endpoints:
+                endpoint.send(update, self.message_bytes)
+                self.messages_sent += 1
+            if not self.backup_endpoints:
+                self._complete_write(message["request_id"])
+        elif op == "ack":
+            pending = self.pending_writes.get(message["request_id"])
+            if pending is None:
+                return
+            pending["awaiting"].discard(message["backup"])
+            if not pending["awaiting"]:
+                self._complete_write(message["request_id"])
+
+    def _complete_write(self, request_id: int) -> None:
+        pending = self.pending_writes.pop(request_id, None)
+        if pending is None:
+            return
+        message = pending["message"]
+        self._reply(message["client"], request_id, "write", message["key"],
+                    message["value"], pending["version"])
+
+    def _reply(self, client: str, request_id: int, op: str, key: str,
+               value: bytes, version: int) -> None:
+        endpoint = self.client_endpoints.get(client)
+        if endpoint is None:
+            return
+        endpoint.send({"kind": "reply", "request_id": request_id, "ok": True, "op": op,
+                       "key": key, "value": value, "version": version}, self.message_bytes)
+        self.messages_sent += 1
+
+
+class PrimaryBackupCluster:
+    """A primary plus ``n-1`` backups, with a client factory."""
+
+    def __init__(self, hosts: List[Host], tcp_config: Optional[TcpConfig] = None,
+                 message_bytes: int = 150) -> None:
+        if not hosts:
+            raise ValueError("primary-backup needs at least one server")
+        self.tcp_config = tcp_config or TcpConfig()
+        self.message_bytes = message_bytes
+        self.primary = _Primary(hosts[0], message_bytes)
+        self.backups = [_Backup(i, host, message_bytes) for i, host in enumerate(hosts[1:])]
+        for backup in self.backups:
+            conn = TcpConnection(self.primary.host, backup.host, config=self.tcp_config)
+            primary_side = conn.endpoint(self.primary.host)
+            backup_side = conn.endpoint(backup.host)
+            backup.primary_endpoint = backup_side
+            backup_side.on_message = backup.handle_message
+            primary_side.on_message = self.primary.handle_message
+            self.primary.backup_endpoints.append(primary_side)
+
+    def messages_per_write(self) -> int:
+        """Messages a write costs: request + n-1 updates + n-1 acks + reply
+        (Section 2.2: 2n for primary-backup with n replicas)."""
+        return 2 * (len(self.backups) + 1)
+
+    def client(self, host: Host) -> "PrimaryBackupClient":
+        return PrimaryBackupClient(host, self)
+
+
+class PrimaryBackupClient:
+    """A client that talks to the primary for both reads and writes."""
+
+    def __init__(self, host: Host, cluster: PrimaryBackupCluster) -> None:
+        self.host = host
+        self.sim = host.sim
+        self.cluster = cluster
+        self.name = f"pb-client-{host.name}"
+        conn = TcpConnection(host, cluster.primary.host, config=cluster.tcp_config)
+        cluster.primary.accept_client(self.name, conn.endpoint(cluster.primary.host))
+        self._endpoint = conn.endpoint(host)
+        self._endpoint.on_message = self._on_reply
+        self._pending: Dict[int, Dict[str, Any]] = {}
+        self.completed = 0
+        self.latencies: List[float] = []
+
+    def read_async(self, key: str, callback: Optional[Callable[[PBResult], None]] = None) -> int:
+        return self._submit("read", key, b"", callback)
+
+    def write_async(self, key: str, value: bytes,
+                    callback: Optional[Callable[[PBResult], None]] = None) -> int:
+        return self._submit("write", key, value, callback)
+
+    def read(self, key: str, deadline: float = 5.0) -> PBResult:
+        return self._sync(lambda cb: self.read_async(key, cb), deadline)
+
+    def write(self, key: str, value: bytes, deadline: float = 5.0) -> PBResult:
+        return self._sync(lambda cb: self.write_async(key, value, cb), deadline)
+
+    def _submit(self, op: str, key: str, value: bytes,
+                callback: Optional[Callable[[PBResult], None]]) -> int:
+        request_id = next(_request_ids)
+        self._pending[request_id] = {"callback": callback, "op": op, "key": key,
+                                     "sent_at": self.sim.now}
+        self._endpoint.send({"op": op, "request_id": request_id, "key": key, "value": value,
+                             "client": self.name}, self.cluster.message_bytes)
+        return request_id
+
+    def _sync(self, submit, deadline: float) -> PBResult:
+        box: List[PBResult] = []
+        submit(box.append)
+        limit = self.sim.now + deadline
+        while not box and self.sim.pending() and self.sim.now < limit:
+            self.sim.run(until=min(limit, self.sim.now + 0.05))
+        if not box:
+            raise TimeoutError("no reply from the primary")
+        return box[0]
+
+    def _on_reply(self, message: Dict[str, Any]) -> None:
+        if message.get("kind") != "reply":
+            return
+        pending = self._pending.pop(message.get("request_id"), None)
+        if pending is None:
+            return
+        latency = self.sim.now - pending["sent_at"]
+        self.completed += 1
+        self.latencies.append(latency)
+        result = PBResult(ok=message.get("ok", False), op=pending["op"], key=pending["key"],
+                          value=message.get("value", b""), version=message.get("version", 0),
+                          latency=latency)
+        if pending["callback"] is not None:
+            pending["callback"](result)

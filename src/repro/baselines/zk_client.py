@@ -1,0 +1,233 @@
+"""ZooKeeper client library and recipes (the role Apache Curator plays in
+the paper's evaluation, Section 8).
+
+A client opens one TCP connection to an ensemble server, issues requests
+identified by an ``xid``, and receives responses and watch events.  The
+module also provides the standard exclusive-lock recipe used by the
+transaction benchmark: an ephemeral sequential znode under the lock's
+directory; the holder is the lowest sequence number (Section 8.5 notes that
+ZooKeeper locks are "implemented by ephemeral znodes and ... directly
+provided by Apache Curator").
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.baselines.zookeeper import ZooKeeperEnsemble, ZooKeeperServer
+from repro.netsim.host import Host
+from repro.netsim.tcp import TcpConnection
+
+
+@dataclass
+class ZkResult:
+    """Outcome of one client operation."""
+
+    ok: bool
+    op: str
+    path: Optional[str] = None
+    data: bytes = b""
+    version: int = 0
+    children: List[str] = field(default_factory=list)
+    exists: bool = False
+    error: Optional[str] = None
+    latency: float = 0.0
+
+
+class ZooKeeperClient:
+    """One client session connected to one ensemble server."""
+
+    def __init__(self, host: Host, ensemble: ZooKeeperEnsemble,
+                 server_id: Optional[int] = None) -> None:
+        self.host = host
+        self.sim = host.sim
+        self.ensemble = ensemble
+        if server_id is None:
+            live = ensemble.live_servers()
+            server_id = live[hash(host.name) % len(live)].server_id
+        self.server: ZooKeeperServer = ensemble.servers[server_id]
+        self.session_id = ensemble.allocate_session()
+        self._conn = TcpConnection(host, self.server.host, config=ensemble.config.tcp)
+        self._endpoint = self._conn.endpoint(host)
+        self._endpoint.on_message = self._on_message
+        self.server.accept_client(self.session_id, self._conn.endpoint(self.server.host))
+        self._xids = itertools.count(1)
+        self._pending: Dict[int, Dict[str, Any]] = {}
+        self.watch_events: List[Dict[str, Any]] = []
+        self.on_watch: Optional[Callable[[Dict[str, Any]], None]] = None
+        self.completed = 0
+        self.latencies: List[float] = []
+
+    # ------------------------------------------------------------------ #
+    # Asynchronous API.
+    # ------------------------------------------------------------------ #
+
+    def submit(self, op: str, callback: Optional[Callable[[ZkResult], None]] = None,
+               **fields: Any) -> int:
+        """Send a request; ``callback`` receives the :class:`ZkResult`."""
+        xid = next(self._xids)
+        request = {"kind": "request", "xid": xid, "op": op}
+        request.update(fields)
+        self._pending[xid] = {"callback": callback, "op": op, "sent_at": self.sim.now}
+        self._endpoint.send(request, self.ensemble.config.message_bytes)
+        return xid
+
+    def get_async(self, path: str, callback=None, watch: bool = False) -> int:
+        return self.submit("get", callback, path=path, watch=watch)
+
+    def set_async(self, path: str, data, callback=None, version: int = -1) -> int:
+        return self.submit("set", callback, path=path, data=_to_bytes(data), version=version)
+
+    def create_async(self, path: str, data=b"", callback=None, ephemeral: bool = False,
+                     sequential: bool = False) -> int:
+        return self.submit("create", callback, path=path, data=_to_bytes(data),
+                           ephemeral=ephemeral, sequential=sequential)
+
+    def delete_async(self, path: str, callback=None, version: int = -1) -> int:
+        return self.submit("delete", callback, path=path, version=version)
+
+    def children_async(self, path: str, callback=None, watch: bool = False) -> int:
+        return self.submit("children", callback, path=path, watch=watch)
+
+    def exists_async(self, path: str, callback=None, watch: bool = False) -> int:
+        return self.submit("exists", callback, path=path, watch=watch)
+
+    # ------------------------------------------------------------------ #
+    # Synchronous API (drives the simulator).
+    # ------------------------------------------------------------------ #
+
+    def _sync(self, submit: Callable[[Callable[[ZkResult], None]], int],
+              deadline: float = 10.0) -> ZkResult:
+        box: List[ZkResult] = []
+        submit(box.append)
+        limit = self.sim.now + deadline
+        while not box and self.sim.pending() and self.sim.now < limit:
+            self.sim.run(until=min(limit, self.sim.now + 0.05))
+        if not box:
+            raise TimeoutError("no response from the ZooKeeper ensemble")
+        return box[0]
+
+    def get(self, path: str, watch: bool = False, deadline: float = 10.0) -> ZkResult:
+        return self._sync(lambda cb: self.get_async(path, cb, watch=watch), deadline)
+
+    def set(self, path: str, data, version: int = -1, deadline: float = 10.0) -> ZkResult:
+        return self._sync(lambda cb: self.set_async(path, data, cb, version=version), deadline)
+
+    def create(self, path: str, data=b"", ephemeral: bool = False, sequential: bool = False,
+               deadline: float = 10.0) -> ZkResult:
+        return self._sync(lambda cb: self.create_async(path, data, cb, ephemeral=ephemeral,
+                                                       sequential=sequential), deadline)
+
+    def delete(self, path: str, version: int = -1, deadline: float = 10.0) -> ZkResult:
+        return self._sync(lambda cb: self.delete_async(path, cb, version=version), deadline)
+
+    def children(self, path: str, watch: bool = False, deadline: float = 10.0) -> ZkResult:
+        return self._sync(lambda cb: self.children_async(path, cb, watch=watch), deadline)
+
+    def exists(self, path: str, watch: bool = False, deadline: float = 10.0) -> ZkResult:
+        return self._sync(lambda cb: self.exists_async(path, cb, watch=watch), deadline)
+
+    def ensure_path(self, path: str, deadline: float = 10.0) -> None:
+        """Create ``path`` and any missing ancestors (Curator's creatingParentsIfNeeded)."""
+        parts = [p for p in path.split("/") if p]
+        current = ""
+        for part in parts:
+            current = f"{current}/{part}"
+            if not self.exists(current, deadline=deadline).exists:
+                self.create(current, deadline=deadline)
+
+    def close(self) -> None:
+        """Close the session: the ensemble removes its ephemeral nodes."""
+        self.submit("close")
+        self.server.drop_client(self.session_id)
+
+    # ------------------------------------------------------------------ #
+    # Message handling.
+    # ------------------------------------------------------------------ #
+
+    def _on_message(self, message: Dict[str, Any]) -> None:
+        kind = message.get("kind")
+        if kind == "watch_event":
+            self.watch_events.append(message)
+            if self.on_watch is not None:
+                self.on_watch(message)
+            return
+        if kind != "response":
+            return
+        pending = self._pending.pop(message.get("xid"), None)
+        if pending is None:
+            return
+        latency = self.sim.now - pending["sent_at"]
+        self.completed += 1
+        self.latencies.append(latency)
+        result = ZkResult(ok=message.get("ok", False), op=pending["op"],
+                          path=message.get("path"), data=message.get("data", b""),
+                          version=message.get("version", 0),
+                          children=message.get("children", []),
+                          exists=message.get("exists", False),
+                          error=message.get("error"), latency=latency)
+        callback = pending["callback"]
+        if callback is not None:
+            callback(result)
+
+
+class ZkLock:
+    """The standard ZooKeeper exclusive-lock recipe."""
+
+    def __init__(self, client: ZooKeeperClient, lock_path: str) -> None:
+        self.client = client
+        self.lock_path = lock_path
+        self.my_node: Optional[str] = None
+
+    def _ensure_parent(self) -> None:
+        if not self.client.exists(self.lock_path).exists:
+            self.client.ensure_path(self.lock_path)
+
+    def acquire(self, max_attempts: int = 200) -> bool:
+        """Block (in simulated time) until the lock is held."""
+        self._ensure_parent()
+        result = self.client.create(f"{self.lock_path}/lock-", ephemeral=True,
+                                    sequential=True)
+        if not result.ok:
+            return False
+        self.my_node = result.path
+        my_name = self.my_node.rsplit("/", 1)[1]
+        for _ in range(max_attempts):
+            children = sorted(self.client.children(self.lock_path).children)
+            if not children or children[0] == my_name:
+                return True
+            # Wait politely for the predecessor to go away, then re-check.
+            index = children.index(my_name) if my_name in children else 0
+            predecessor = children[max(0, index - 1)]
+            self.client.exists(f"{self.lock_path}/{predecessor}", watch=True)
+            self.client.sim.run(until=self.client.sim.now + 1e-3)
+        return False
+
+    def try_acquire(self) -> bool:
+        """Single attempt: acquire only if no other contender is queued."""
+        self._ensure_parent()
+        result = self.client.create(f"{self.lock_path}/lock-", ephemeral=True,
+                                    sequential=True)
+        if not result.ok:
+            return False
+        self.my_node = result.path
+        my_name = self.my_node.rsplit("/", 1)[1]
+        children = sorted(self.client.children(self.lock_path).children)
+        if children and children[0] == my_name:
+            return True
+        self.release()
+        return False
+
+    def release(self) -> None:
+        """Delete this contender's node."""
+        if self.my_node is not None:
+            self.client.delete(self.my_node)
+            self.my_node = None
+
+
+def _to_bytes(value) -> bytes:
+    if isinstance(value, bytes):
+        return value
+    return str(value).encode("utf-8")

@@ -1,0 +1,71 @@
+"""NetChain core: the paper's primary contribution.
+
+An in-network, strongly-consistent, fault-tolerant key-value store built
+from:
+
+* :mod:`repro.core.protocol` -- the UDP-based query format (Figure 2(b)).
+* :mod:`repro.core.kvstore` -- the on-chip key/value storage layout
+  (match table + register arrays, Figure 3).
+* :mod:`repro.core.switch_program` -- the data-plane program
+  (Algorithm 1 plus chain routing and failure-handling rules).
+* :mod:`repro.core.ring` -- consistent hashing with virtual nodes.
+* :mod:`repro.core.agent` -- the client-side agent exposing the key-value API.
+* :mod:`repro.core.controller` -- the control plane: chain assignment,
+  fast failover (Algorithm 2) and failure recovery (Algorithm 3).
+* :mod:`repro.core.coordination` -- locks, barriers, configuration and
+  group membership built on the key-value API.
+* :mod:`repro.core.invariants` -- executable versions of the paper's
+  correctness invariants (the TLA+ appendix).
+"""
+
+from repro.core.protocol import OpCode, QueryStatus, NetChainHeader
+from repro.core.kvstore import SwitchKVStore, KVStoreConfig, StoreFullError
+from repro.core.ring import ConsistentHashRing, VirtualNode
+from repro.core.switch_program import NetChainSwitchProgram
+from repro.core.agent import NetChainAgent, AgentConfig, QueryResult, QueryTimeout
+from repro.core.controller import NetChainController, ControllerConfig, ChainInfo
+from repro.core.coordination import (
+    DistributedLock,
+    LockManager,
+    Barrier,
+    ConfigurationStore,
+    GroupMembership,
+)
+from repro.core.invariants import (
+    check_chain_invariant,
+    check_value_agreement,
+    ClientObservationChecker,
+)
+from repro.core.cluster import NetChainCluster, ClusterConfig
+from repro.core.hybrid import HybridStore, HybridPolicy
+
+__all__ = [
+    "OpCode",
+    "QueryStatus",
+    "NetChainHeader",
+    "SwitchKVStore",
+    "KVStoreConfig",
+    "StoreFullError",
+    "ConsistentHashRing",
+    "VirtualNode",
+    "NetChainSwitchProgram",
+    "NetChainAgent",
+    "AgentConfig",
+    "QueryResult",
+    "QueryTimeout",
+    "NetChainController",
+    "ControllerConfig",
+    "ChainInfo",
+    "DistributedLock",
+    "LockManager",
+    "Barrier",
+    "ConfigurationStore",
+    "GroupMembership",
+    "check_chain_invariant",
+    "check_value_agreement",
+    "ClientObservationChecker",
+    "NetChainCluster",
+    "ClusterConfig",
+    "HybridStore",
+    "HybridPolicy",
+]

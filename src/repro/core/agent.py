@@ -1,0 +1,276 @@
+"""The NetChain client agent (Section 3, "NetChain client").
+
+An agent runs on every host, translates key-value API calls into NetChain
+query packets (the custom UDP format), addresses them to the right chain
+switch (head for writes, tail for reads) using the consistent-hash
+directory, gathers replies, and retries on timeout -- the paper's answer to
+packet loss between the client and the chain (Section 4.3: "relies on
+client-side retries ... because writes are idempotent, retrying is benign").
+
+The agent is callback-based because it lives inside a discrete-event
+simulation; ``*_sync`` convenience wrappers run the simulator until the
+reply arrives and are what the examples and most tests use.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.core.protocol import (
+    NETCHAIN_UDP_PORT,
+    NetChainHeader,
+    OpCode,
+    QueryStatus,
+    build_query_packet,
+    make_cas,
+    make_delete,
+    make_read,
+    make_write,
+)
+from repro.netsim.host import Host
+from repro.netsim.packet import Packet
+from repro.netsim.stats import LatencyRecorder
+
+_agent_ports = itertools.count(9000)
+
+
+class QueryTimeout(Exception):
+    """Raised by the synchronous API when a query exhausts its retries."""
+
+
+@dataclass
+class QueryResult:
+    """Outcome of one key-value query."""
+
+    ok: bool
+    op: OpCode
+    key: bytes
+    status: Optional[QueryStatus] = None
+    value: bytes = b""
+    seq: int = 0
+    session: int = 0
+    latency: float = 0.0
+    retries: int = 0
+    timed_out: bool = False
+
+    def version(self):
+        """(session, seq) version tuple of the observed item."""
+        return (self.session, self.seq)
+
+
+@dataclass
+class AgentConfig:
+    """Client-side knobs."""
+
+    #: How long to wait for a reply before retrying (seconds).
+    retry_timeout: float = 500e-6
+    #: Retries before giving up.
+    max_retries: int = 20
+    #: UDP source port; allocated automatically when left as ``None``.
+    udp_port: Optional[int] = None
+
+
+@dataclass
+class _Pending:
+    header: NetChainHeader
+    dst_ip: str
+    callback: Optional[Callable[[QueryResult], None]]
+    created_at: float
+    retries: int = 0
+    timer: object = None
+    done: bool = False
+
+
+class NetChainAgent:
+    """Key-value client API backed by the in-network store."""
+
+    def __init__(self, host: Host, directory, config: Optional[AgentConfig] = None,
+                 name: Optional[str] = None) -> None:
+        """Args:
+            host: the simulated machine this agent runs on.
+            directory: an object with ``chain_ips_for_key(key) -> (ips, vgroup)``
+                and ``controller`` access for insert/delete -- normally the
+                :class:`repro.core.controller.NetChainController` itself.
+            config: client configuration.
+            name: label used in statistics.
+        """
+        self.host = host
+        self.sim = host.sim
+        self.directory = directory
+        self.config = config or AgentConfig()
+        self.name = name or f"agent-{host.name}"
+        self.udp_port = self.config.udp_port or next(_agent_ports)
+        self.host.bind(self.udp_port, self._on_packet)
+        self._pending: Dict[int, _Pending] = {}
+        # Statistics.
+        self.latency = LatencyRecorder()
+        self.read_latency = LatencyRecorder()
+        self.write_latency = LatencyRecorder()
+        self.completed = 0
+        self.failed = 0
+        self.timeouts = 0
+        self.retransmissions = 0
+        self.results_log: List[QueryResult] = []
+        self.log_results = False
+
+    # ------------------------------------------------------------------ #
+    # Public API (asynchronous).
+    # ------------------------------------------------------------------ #
+
+    def read(self, key, callback: Optional[Callable[[QueryResult], None]] = None) -> int:
+        """Read the value of ``key``; the reply comes from the chain tail."""
+        chain_ips, vgroup = self.directory.chain_ips_for_key(key)
+        header = make_read(key, chain_ips, vgroup=vgroup)
+        return self._submit(header, dst_ip=chain_ips[-1], callback=callback)
+
+    def write(self, key, value, callback: Optional[Callable[[QueryResult], None]] = None) -> int:
+        """Write ``value`` under ``key``; the query enters at the chain head."""
+        chain_ips, vgroup = self.directory.chain_ips_for_key(key)
+        header = make_write(key, value, chain_ips, vgroup=vgroup)
+        return self._submit(header, dst_ip=chain_ips[0], callback=callback)
+
+    def cas(self, key, expected, new_value,
+            callback: Optional[Callable[[QueryResult], None]] = None) -> int:
+        """Compare-and-swap, the primitive behind exclusive locks (Section 8.5)."""
+        chain_ips, vgroup = self.directory.chain_ips_for_key(key)
+        header = make_cas(key, expected, new_value, chain_ips, vgroup=vgroup)
+        return self._submit(header, dst_ip=chain_ips[0], callback=callback)
+
+    def delete(self, key, callback: Optional[Callable[[QueryResult], None]] = None) -> int:
+        """Invalidate ``key`` in the data plane (control plane GC happens later)."""
+        chain_ips, vgroup = self.directory.chain_ips_for_key(key)
+        header = make_delete(key, chain_ips, vgroup=vgroup)
+        return self._submit(header, dst_ip=chain_ips[0], callback=callback)
+
+    def insert(self, key, value=b"",
+               callback: Optional[Callable[[QueryResult], None]] = None) -> None:
+        """Insert a new key.
+
+        Inserts are control-plane operations (Section 4.1): the controller
+        installs index entries on the chain switches, which is much slower
+        than a data-plane query.  The callback fires after the control-plane
+        latency plus an initial write of the value.
+        """
+        def after_insert() -> None:
+            result = QueryResult(ok=True, op=OpCode.INSERT, key=key if isinstance(key, bytes)
+                                 else str(key).encode(), status=QueryStatus.OK)
+            if value:
+                self.write(key, value, callback=callback)
+            elif callback is not None:
+                callback(result)
+
+        self.directory.insert_key(key, on_done=after_insert)
+
+    # ------------------------------------------------------------------ #
+    # Synchronous wrappers (they drive the simulator).
+    # ------------------------------------------------------------------ #
+
+    def read_sync(self, key, deadline: float = 5.0) -> QueryResult:
+        """Blocking read: runs the simulation until the reply arrives."""
+        return self._run_sync(lambda cb: self.read(key, cb), deadline)
+
+    def write_sync(self, key, value, deadline: float = 5.0) -> QueryResult:
+        """Blocking write."""
+        return self._run_sync(lambda cb: self.write(key, value, cb), deadline)
+
+    def cas_sync(self, key, expected, new_value, deadline: float = 5.0) -> QueryResult:
+        """Blocking compare-and-swap."""
+        return self._run_sync(lambda cb: self.cas(key, expected, new_value, cb), deadline)
+
+    def delete_sync(self, key, deadline: float = 5.0) -> QueryResult:
+        """Blocking delete."""
+        return self._run_sync(lambda cb: self.delete(key, cb), deadline)
+
+    def insert_sync(self, key, value=b"", deadline: float = 5.0) -> QueryResult:
+        """Blocking insert."""
+        return self._run_sync(lambda cb: self.insert(key, value, cb), deadline)
+
+    def _run_sync(self, submit: Callable[[Callable[[QueryResult], None]], object],
+                  deadline: float) -> QueryResult:
+        box: List[QueryResult] = []
+        submit(box.append)
+        limit = self.sim.now + deadline
+        while not box and self.sim.pending() and self.sim.now < limit:
+            self.sim.run(until=min(limit, self.sim.now + 0.05))
+        if not box:
+            raise QueryTimeout(f"{self.name}: no reply within {deadline}s of simulated time")
+        result = box[0]
+        if result.timed_out:
+            raise QueryTimeout(f"{self.name}: query for {result.key!r} exhausted retries")
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Internals.
+    # ------------------------------------------------------------------ #
+
+    def outstanding(self) -> int:
+        """Number of queries awaiting a reply."""
+        return len(self._pending)
+
+    def _submit(self, header: NetChainHeader, dst_ip: str,
+                callback: Optional[Callable[[QueryResult], None]]) -> int:
+        pending = _Pending(header=header, dst_ip=dst_ip, callback=callback,
+                           created_at=self.sim.now)
+        self._pending[header.query_id] = pending
+        self._transmit(pending)
+        return header.query_id
+
+    def _transmit(self, pending: _Pending) -> None:
+        header = pending.header.copy()
+        packet = build_query_packet(self.host.ip, self.udp_port, pending.dst_ip, header,
+                                    created_at=pending.created_at)
+        self.host.send(packet)
+        timeout = self.config.retry_timeout
+        pending.timer = self.sim.schedule(
+            timeout, lambda: self._on_timeout(pending.header.query_id))
+
+    def _on_timeout(self, query_id: int) -> None:
+        pending = self._pending.get(query_id)
+        if pending is None or pending.done:
+            return
+        if pending.retries >= self.config.max_retries:
+            self._pending.pop(query_id, None)
+            pending.done = True
+            self.timeouts += 1
+            self.failed += 1
+            result = QueryResult(ok=False, op=pending.header.op, key=pending.header.key,
+                                 timed_out=True, retries=pending.retries,
+                                 latency=self.sim.now - pending.created_at)
+            self._finish(pending, result)
+            return
+        pending.retries += 1
+        self.retransmissions += 1
+        self._transmit(pending)
+
+    def _on_packet(self, packet: Packet) -> None:
+        header = packet.payload
+        if not isinstance(header, NetChainHeader) or not header.is_reply():
+            return
+        pending = self._pending.pop(header.query_id, None)
+        if pending is None or pending.done:
+            return  # duplicate or late reply from a retried query
+        pending.done = True
+        if pending.timer is not None:
+            pending.timer.cancel()
+        latency = self.sim.now - pending.created_at
+        ok = header.status == QueryStatus.OK
+        result = QueryResult(ok=ok, op=header.op, key=header.key, status=header.status,
+                             value=header.value, seq=header.seq, session=header.session,
+                             latency=latency, retries=pending.retries)
+        self.completed += 1
+        if not ok:
+            self.failed += 1
+        self.latency.record(latency)
+        if header.op == OpCode.READ_REPLY:
+            self.read_latency.record(latency)
+        elif header.op in (OpCode.WRITE_REPLY, OpCode.CAS_REPLY, OpCode.DELETE_REPLY):
+            self.write_latency.record(latency)
+        self._finish(pending, result)
+
+    def _finish(self, pending: _Pending, result: QueryResult) -> None:
+        if self.log_results:
+            self.results_log.append(result)
+        if pending.callback is not None:
+            pending.callback(result)

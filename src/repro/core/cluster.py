@@ -1,0 +1,136 @@
+"""One-call assembly of a NetChain deployment on the simulated testbed.
+
+Most examples, tests and experiments need the same setup: build the
+Figure 8 testbed, install the NetChain program on the switches, start the
+controller, and attach one client agent per host.  :class:`NetChainCluster`
+bundles that, with the scale model applied to all device capacities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.agent import AgentConfig, NetChainAgent
+from repro.core.controller import ControllerConfig, NetChainController
+from repro.netsim.engine import Simulator
+from repro.netsim.link import LinkConfig
+from repro.netsim.topology import Topology, build_testbed
+from repro.perfmodel.devices import scaled_dpdk_host_config, scaled_switch_config
+
+
+@dataclass
+class ClusterConfig:
+    """Deployment parameters for a simulated NetChain cluster."""
+
+    #: Scale factor applied to all device capacities (see DESIGN.md).
+    scale: float = 1000.0
+    #: Number of client/server machines attached to the testbed.
+    num_hosts: int = 4
+    #: Chain length (f+1).
+    replication: int = 3
+    #: Virtual nodes (groups) per switch.
+    vnodes_per_switch: int = 10
+    #: Key slots per switch.
+    store_slots: int = 65536
+    #: Client retry timeout.
+    retry_timeout: float = 500e-6
+    #: Client retry budget.
+    max_retries: int = 20
+    #: Random seed.
+    seed: int = 0
+
+
+class NetChainCluster:
+    """A ready-to-use NetChain deployment on the 4-switch testbed."""
+
+    def __init__(self, config: Optional[ClusterConfig] = None,
+                 topology: Optional[Topology] = None,
+                 member_switches: Optional[List[str]] = None,
+                 controller_config: Optional[ControllerConfig] = None) -> None:
+        self.config = config or ClusterConfig()
+        cfg = self.config
+        if topology is None:
+            topology = build_testbed(
+                switch_config=scaled_switch_config(cfg.scale),
+                host_config=scaled_dpdk_host_config(cfg.scale),
+                link_config=LinkConfig(),
+                num_hosts=cfg.num_hosts,
+                seed=cfg.seed,
+            )
+        self.topology = topology
+        if controller_config is None:
+            controller_config = ControllerConfig(
+                replication=cfg.replication,
+                vnodes_per_switch=cfg.vnodes_per_switch,
+                store_slots=cfg.store_slots,
+                seed=cfg.seed,
+            )
+        self.controller = NetChainController(topology, member_switches=member_switches,
+                                             config=controller_config)
+        agent_config = AgentConfig(retry_timeout=cfg.retry_timeout,
+                                   max_retries=cfg.max_retries)
+        self.agents: Dict[str, NetChainAgent] = {}
+        for name, host in topology.hosts.items():
+            self.agents[name] = NetChainAgent(
+                host, self.controller,
+                config=AgentConfig(retry_timeout=agent_config.retry_timeout,
+                                   max_retries=agent_config.max_retries))
+
+    # ------------------------------------------------------------------ #
+    # Convenience accessors.
+    # ------------------------------------------------------------------ #
+
+    @property
+    def sim(self) -> Simulator:
+        """The underlying simulator."""
+        return self.topology.sim
+
+    def agent(self, host_name: str = "H0") -> NetChainAgent:
+        """The agent on a given host (defaults to H0)."""
+        return self.agents[host_name]
+
+    def agent_list(self) -> List[NetChainAgent]:
+        """All agents, in host-name order."""
+        return [self.agents[name] for name in sorted(self.agents)]
+
+    def populate(self, num_keys: int, value_size: int = 64,
+                 key_prefix: str = "k") -> List[str]:
+        """Pre-install ``num_keys`` keys with ``value_size``-byte values.
+
+        Mirrors the evaluation's "store size" parameter (Section 8.1).
+        Returns the key names.
+        """
+        keys = [f"{key_prefix}{i:08d}" for i in range(num_keys)]
+        value = bytes(value_size)
+        self.controller.populate(keys, default_value=value)
+        return keys
+
+    def run(self, until: float) -> None:
+        """Advance the simulation to absolute time ``until``."""
+        self.sim.run(until=until)
+
+    def total_completed(self) -> int:
+        """Queries completed across all agents."""
+        return sum(agent.completed for agent in self.agents.values())
+
+    def fail_switch(self, name: str, at: float, new_switch: Optional[str] = None,
+                    recover: bool = True, detection_delay: float = 1.0,
+                    recovery_start_delay: float = 20.0) -> None:
+        """Schedule a fail-stop switch failure and the controller's reaction.
+
+        The defaults mirror the Figure 10 methodology: a one-second delay is
+        injected before failover to make the throughput drop visible, and
+        recovery starts 20 seconds later to separate the two phases.
+        """
+        controller = self.controller
+
+        def inject() -> None:
+            self.topology.switches[name].fail()
+            original = controller.config.failure_detection_delay
+            controller.config.failure_detection_delay = detection_delay
+            controller.handle_switch_failure(name, new_switch=new_switch, recover=recover,
+                                             recovery_start_delay=recovery_start_delay)
+            controller.config.failure_detection_delay = original
+
+        self.sim.schedule_at(at, inject)

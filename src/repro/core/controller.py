@@ -1,0 +1,445 @@
+"""The NetChain control plane (Section 5).
+
+The controller is the auxiliary master of Vertical Paxos: it owns the
+reconfiguration protocol while the switches' data plane runs the steady
+state protocol.  Concretely it
+
+* assigns keys to chains of ``f+1`` switches with consistent hashing and
+  virtual nodes (Section 4.1),
+* installs the NetChain program, index-table entries and register state on
+  switches (insert/delete are control-plane operations),
+* performs **fast failover** (Algorithm 2): when a switch fails it installs
+  destination-IP rewrite rules on the failed switch's neighbours so every
+  affected chain immediately continues with ``f`` nodes, and
+* performs **failure recovery** (Algorithm 3): it copies state to a
+  replacement switch and splices it into the chain with a two-phase atomic
+  switching protocol, one virtual group at a time so that only a small
+  fraction of keys lose write availability at any moment (Section 5.2).
+
+All controller actions take simulated time (rule installation latency,
+state-synchronization throughput), which is what produces the throughput
+time series of Figure 10.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.kvstore import KVStoreConfig, SwitchKVStore
+from repro.core.protocol import normalize_key, normalize_value
+from repro.core.ring import ConsistentHashRing
+from repro.core.switch_program import NetChainSwitchProgram, RedirectRule
+from repro.netsim.routing import install_shortest_path_routes, reroute_around_failures
+from repro.netsim.switch import Switch
+from repro.netsim.topology import Topology
+
+
+@dataclass
+class ControllerConfig:
+    """Control-plane parameters.
+
+    The state-synchronization rate is expressed in items per second because
+    the prototype controller copies key-value items over per-item RPCs
+    through the switch OS agent (Section 7); ~140 items/s reproduces the
+    ~150 s recovery of a 20K-item store observed in Figure 10(a).
+    """
+
+    #: Chain length, f+1.  The paper's deployments use 3.
+    replication: int = 3
+    #: Virtual nodes (= virtual groups) per switch.
+    vnodes_per_switch: int = 10
+    #: Key slots per switch store.
+    store_slots: int = 65536
+    #: Latency of installing one rule on one switch (control channel RPC).
+    rule_install_latency: float = 1e-3
+    #: Extra delay before the controller reacts to a failure (detection time).
+    failure_detection_delay: float = 0.0
+    #: Items per second the controller can copy during state synchronization.
+    sync_items_per_sec: float = 140.0
+    #: Fraction of the state copy that happens in the pre-synchronization
+    #: step (Step 1 of Algorithm 3), during which availability is unaffected.
+    #: The measured prototype behaviour (Figure 10) corresponds to 0.0.
+    presync_fraction: float = 0.0
+    #: Fixed per-virtual-group overhead added to each group's recovery.
+    per_group_overhead: float = 50e-3
+    #: Control-plane latency of an insert/delete operation.
+    insert_latency: float = 2e-3
+    #: Whether values larger than one pipeline pass are accepted.
+    allow_recirculation: bool = False
+    #: Seed for randomized choices (replacement switch selection).
+    seed: int = 0
+
+
+@dataclass
+class ChainInfo:
+    """The chain currently serving one virtual group."""
+
+    vgroup: int
+    switches: List[str]
+
+    def head(self) -> str:
+        return self.switches[0]
+
+    def tail(self) -> str:
+        return self.switches[-1]
+
+
+@dataclass
+class RecoveryReport:
+    """Summary of one completed failure recovery, for tests and experiments."""
+
+    failed_switch: str
+    groups_recovered: int = 0
+    items_copied: int = 0
+    started_at: float = 0.0
+    finished_at: float = 0.0
+    replacements: Dict[int, str] = field(default_factory=dict)
+
+
+class NetChainController:
+    """The logically centralized NetChain controller."""
+
+    def __init__(self, topology: Topology, member_switches: Optional[Sequence[str]] = None,
+                 config: Optional[ControllerConfig] = None) -> None:
+        """Args:
+            topology: the simulated network.
+            member_switches: names of the switches that store NetChain data.
+                Defaults to every switch in the topology.
+            config: control-plane parameters.
+        """
+        self.topology = topology
+        self.sim = topology.sim
+        self.config = config or ControllerConfig()
+        self.rng = random.Random(self.config.seed)
+        self.members: List[str] = list(member_switches or topology.switches.keys())
+        if len(self.members) < self.config.replication:
+            raise ValueError("not enough member switches for the requested replication")
+        self.ring = ConsistentHashRing(self.members,
+                                       vnodes_per_switch=self.config.vnodes_per_switch,
+                                       replication=self.config.replication,
+                                       seed=self.config.seed)
+        self.programs: Dict[str, NetChainSwitchProgram] = {}
+        self.stores: Dict[str, SwitchKVStore] = {}
+        self._install_programs()
+        #: vgroup -> chain (switch names, head first).  Agents read through
+        #: :meth:`chain_ips_for_key`, which consults this table; the table is
+        #: only touched by reconfigurations, never by queries.
+        self.chain_table: Dict[int, ChainInfo] = {
+            vgroup: ChainInfo(vgroup, self.ring.chain_for_vgroup(vgroup))
+            for vgroup in self.ring.vnodes
+        }
+        #: Head session number per virtual group (Section 5.2).
+        self.sessions: Dict[int, int] = {vgroup: 0 for vgroup in self.ring.vnodes}
+        #: Keys registered per virtual group (used to scope state sync).
+        self.keys_by_vgroup: Dict[int, Set[bytes]] = {}
+        self.failed_switches: Set[str] = set()
+        self.events: List[Tuple[float, str]] = []
+        self.recovery_reports: List[RecoveryReport] = []
+        install_shortest_path_routes(topology)
+
+    # ------------------------------------------------------------------ #
+    # Setup.
+    # ------------------------------------------------------------------ #
+
+    def _install_programs(self) -> None:
+        store_config = KVStoreConfig(slots=self.config.store_slots,
+                                     allow_recirculation=self.config.allow_recirculation)
+        for name, switch in self.topology.switches.items():
+            if name in self.members:
+                store = SwitchKVStore(switch, config=store_config)
+                program = NetChainSwitchProgram(switch, kvstore=store)
+                self.stores[name] = store
+            else:
+                # Non-member switches still run the program so they can host
+                # failover rules when they neighbour a failed member.
+                program = NetChainSwitchProgram(switch, kvstore=None, create_store=False)
+            self.programs[name] = program
+            switch.install_program(program)
+
+    def _log(self, message: str) -> None:
+        self.events.append((self.sim.now, message))
+
+    # ------------------------------------------------------------------ #
+    # Directory API used by agents.
+    # ------------------------------------------------------------------ #
+
+    def switch_ip(self, name: str) -> str:
+        """IP address of a member switch."""
+        return self.topology.switches[name].ip
+
+    def chain_for_key(self, key) -> ChainInfo:
+        """The chain currently assigned to ``key``'s virtual group."""
+        vgroup = self.ring.vgroup_for_key(key)
+        return self.chain_table[vgroup]
+
+    def chain_ips_for_key(self, key) -> Tuple[List[str], int]:
+        """(chain IPs head-to-tail, virtual group) for a key — what agents
+        embed into query headers (Section 4.2)."""
+        info = self.chain_for_key(key)
+        return [self.switch_ip(name) for name in info.switches], info.vgroup
+
+    # ------------------------------------------------------------------ #
+    # Key management (control-plane insert / delete, Section 4.1).
+    # ------------------------------------------------------------------ #
+
+    def insert_key(self, key, value=b"", on_done: Optional[Callable[[], None]] = None) -> None:
+        """Insert a key: install index entries on the chain switches.
+
+        Takes control-plane latency; ``on_done`` fires when the key is
+        queryable.
+        """
+        def do_insert() -> None:
+            self._insert_now(key, value)
+            if on_done is not None:
+                on_done()
+
+        self.sim.schedule(self.config.insert_latency, do_insert)
+
+    def _insert_now(self, key, value=b"") -> None:
+        info = self.chain_for_key(key)
+        raw_key = normalize_key(key)
+        raw_value = normalize_value(value)
+        for name in info.switches:
+            store = self.stores[name]
+            loc = store.insert_key(raw_key)
+            if raw_value:
+                store.write_loc(loc, raw_value, seq=0, session=0)
+        self.keys_by_vgroup.setdefault(info.vgroup, set()).add(raw_key)
+
+    def populate(self, items: Dict, default_value=b"") -> None:
+        """Bulk-load keys without simulating per-key control latency.
+
+        ``items`` may be a dict of ``key -> value`` or an iterable of keys.
+        """
+        if isinstance(items, dict):
+            pairs = items.items()
+        else:
+            pairs = ((key, default_value) for key in items)
+        for key, value in pairs:
+            self._insert_now(key, value)
+
+    def garbage_collect(self, key) -> None:
+        """Reclaim the slots of a deleted key on all its chain switches."""
+        info = self.chain_for_key(key)
+        raw_key = normalize_key(key)
+        for name in info.switches:
+            self.stores[name].remove_key(raw_key)
+        self.keys_by_vgroup.get(info.vgroup, set()).discard(raw_key)
+
+    def total_items(self) -> int:
+        """Number of keys registered across all groups."""
+        return sum(len(keys) for keys in self.keys_by_vgroup.values())
+
+    # ------------------------------------------------------------------ #
+    # Fast failover (Algorithm 2).
+    # ------------------------------------------------------------------ #
+
+    def neighbor_switches(self, name: str) -> List[Switch]:
+        """Physical switch neighbours of a switch (hosts cannot hold rules)."""
+        node = self.topology.switches[name]
+        return [n for n in node.neighbors() if isinstance(n, Switch)]
+
+    def handle_switch_failure(self, failed: str,
+                              new_switch: Optional[str] = None,
+                              recover: bool = True,
+                              recovery_start_delay: float = 0.0) -> None:
+        """Full failure handling: detection delay, fast failover, then
+        (optionally) failure recovery after ``recovery_start_delay``."""
+        def react() -> None:
+            self.fast_failover(failed)
+            if recover:
+                self.sim.schedule(recovery_start_delay,
+                                  lambda: self.failure_recovery(failed, new_switch))
+
+        self.sim.schedule(self.config.failure_detection_delay, react)
+
+    def fast_failover(self, failed: str) -> None:
+        """Remove ``failed`` from all its chains by updating only its
+        neighbour switches (Algorithm 2)."""
+        if failed in self.failed_switches:
+            return
+        self.failed_switches.add(failed)
+        failed_ip = self.switch_ip(failed)
+        self._log(f"fast failover: {failed} ({failed_ip})")
+        # The underlay's fast rerouting steers traffic around the failed
+        # device; NetChain relies on it for reachability (Section 4.2).
+        reroute_around_failures(self.topology, self.failed_switches)
+        delay = self.config.rule_install_latency
+        for neighbor in self.neighbor_switches(failed):
+            program = self.programs.get(neighbor.name)
+            if program is None:
+                continue
+            rule = RedirectRule(match_dst_ip=failed_ip, kind="failover", priority=10)
+            self.sim.schedule(delay, lambda p=program, r=rule: p.add_rule(r))
+        # Promote the next chain node to head for every group the failed
+        # switch headed: bump the session number it will use (Section 5.2).
+        for vgroup, info in self.chain_table.items():
+            if failed in info.switches and info.switches[0] == failed and len(info.switches) > 1:
+                new_head = info.switches[1]
+                if new_head in self.failed_switches:
+                    continue
+                self.sessions[vgroup] += 1
+                session = self.sessions[vgroup]
+                program = self.programs[new_head]
+                self.sim.schedule(delay, lambda p=program, g=vgroup, s=session:
+                                  p.set_head_session(g, s))
+
+    # ------------------------------------------------------------------ #
+    # Failure recovery (Algorithm 3).
+    # ------------------------------------------------------------------ #
+
+    def affected_vgroups(self, failed: str) -> List[int]:
+        """Virtual groups whose chain contains the failed switch."""
+        return sorted(vgroup for vgroup, info in self.chain_table.items()
+                      if failed in info.switches)
+
+    def failure_recovery(self, failed: str, new_switch: Optional[str] = None) -> RecoveryReport:
+        """Restore every chain that lost ``failed`` back to ``f+1`` switches.
+
+        Groups are recovered strictly one at a time; while a group is being
+        recovered its write queries (and, for a failed tail, also its read
+        queries) are dropped by the neighbours' stop rules.  The returned
+        report is filled in as the (simulated-time) recovery progresses.
+        """
+        report = RecoveryReport(failed_switch=failed, started_at=self.sim.now)
+        self.recovery_reports.append(report)
+        groups = self.affected_vgroups(failed)
+        self._log(f"failure recovery of {failed}: {len(groups)} virtual groups")
+        live = [s for s in self.members if s not in self.failed_switches and s != failed]
+        if not live:
+            raise RuntimeError("no live switches available for recovery")
+
+        def recover_next(index: int) -> None:
+            if index >= len(groups):
+                report.finished_at = self.sim.now
+                self._log(f"failure recovery of {failed} complete")
+                return
+            vgroup = groups[index]
+            self._recover_group(failed, vgroup, new_switch, live, report,
+                                on_done=lambda: recover_next(index + 1))
+
+        recover_next(0)
+        return report
+
+    def _choose_replacement(self, chain: List[str], preferred: Optional[str],
+                            live: List[str]) -> str:
+        if preferred is not None and preferred not in chain:
+            return preferred
+        candidates = [s for s in live if s not in chain]
+        if not candidates:
+            # Fewer switches than needed for a disjoint replacement: reuse a
+            # live chain member (degenerate but keeps small testbeds working).
+            candidates = [s for s in live]
+        return self.rng.choice(candidates)
+
+    def _recover_group(self, failed: str, vgroup: int, preferred: Optional[str],
+                       live: List[str], report: RecoveryReport,
+                       on_done: Callable[[], None]) -> None:
+        info = self.chain_table[vgroup]
+        if failed not in info.switches:
+            on_done()
+            return
+        chain = list(info.switches)
+        idx = chain.index(failed)
+        is_tail = idx == len(chain) - 1
+        is_head = idx == 0
+        new_name = self._choose_replacement(chain, preferred, live)
+        failed_ip = self.switch_ip(failed)
+        new_ip = self.switch_ip(new_name)
+        # Reference switch: the failed switch's successor, or its predecessor
+        # when the tail failed (Section 5.2, "Handling special cases").
+        live_chain = [s for s in chain if s != failed and s not in self.failed_switches]
+        if not live_chain:
+            on_done()
+            return
+        if not is_tail:
+            following = [s for s in chain[idx + 1:] if s in live_chain]
+            ref_name = following[0] if following else live_chain[-1]
+        else:
+            ref_name = live_chain[-1]
+        keys = sorted(self.keys_by_vgroup.get(vgroup, set()))
+        total_items = len(keys)
+        sync_time = total_items / self.config.sync_items_per_sec + self.config.per_group_overhead
+        presync_time = sync_time * self.config.presync_fraction
+        stop_time = sync_time - presync_time
+        neighbors = [self.programs[s.name] for s in self.neighbor_switches(failed)
+                     if s.name in self.programs]
+        rule_delay = self.config.rule_install_latency
+        stop_rules: List[Tuple[NetChainSwitchProgram, RedirectRule]] = []
+
+        def step1_presync() -> None:
+            # Step 1: pre-synchronization; availability unaffected.
+            self.sim.schedule(presync_time, step2_phase1)
+
+        def step2_phase1() -> None:
+            # Phase 1: stop queries for this group at the failed switch's
+            # neighbours, then finish synchronizing.  Write queries stop for
+            # head/middle recovery; reads stop too when the tail failed.
+            for program in neighbors:
+                rule = RedirectRule(match_dst_ip=failed_ip, kind="drop", priority=30,
+                                    vgroups={vgroup}, write_only=not is_tail)
+                stop_rules.append((program, rule))
+                self.sim.schedule(rule_delay, lambda p=program, r=rule: p.add_rule(r))
+            self.sim.schedule(rule_delay + stop_time, do_state_copy)
+
+        def do_state_copy() -> None:
+            # Copy the group's items from the reference switch to the new one.
+            ref_store = self.stores[ref_name]
+            new_store = self.stores[new_name]
+            items = ref_store.export_items(keys)
+            new_store.import_items(items)
+            report.items_copied += len(items)
+            step2_phase2()
+
+        def step2_phase2() -> None:
+            # Phase 2: activation.  The new switch starts processing and the
+            # neighbours forward this group's queries to it, with a higher
+            # priority than the fast-failover rule.
+            if is_head:
+                self.sessions[vgroup] += 1
+                self.programs[new_name].set_head_session(vgroup, self.sessions[vgroup])
+            for program in neighbors:
+                rule = RedirectRule(match_dst_ip=failed_ip, kind="forward", priority=20,
+                                    new_dst_ip=new_ip, vgroups={vgroup})
+                self.sim.schedule(rule_delay, lambda p=program, r=rule: p.add_rule(r))
+            # Remove the stop rules once the forward rules are in.
+            def finish() -> None:
+                for program, rule in stop_rules:
+                    program.remove_rule(rule)
+                new_chain = list(chain)
+                new_chain[idx] = new_name
+                self.chain_table[vgroup] = ChainInfo(vgroup, new_chain)
+                vnode = self.ring.vnodes.get(vgroup)
+                if vnode is not None and vnode.switch == failed:
+                    self.ring.reassign_vnode(vgroup, new_name)
+                report.groups_recovered += 1
+                report.replacements[vgroup] = new_name
+                self._log(f"recovered vgroup {vgroup}: {failed} -> {new_name}")
+                on_done()
+
+            self.sim.schedule(2 * rule_delay, finish)
+
+        step1_presync()
+
+    # ------------------------------------------------------------------ #
+    # Planned reconfigurations (Section 5, last paragraph).
+    # ------------------------------------------------------------------ #
+
+    def remove_switch(self, name: str) -> None:
+        """Planned removal (e.g. firmware upgrade): handled like failover."""
+        self.fast_failover(name)
+
+    def reintroduce_switch(self, name: str) -> None:
+        """Bring a previously failed/removed switch back as an empty member.
+
+        Its old chains keep their recovered membership; the switch becomes a
+        candidate replacement for future recoveries.
+        """
+        self.failed_switches.discard(name)
+        self.topology.switches[name].recover_device()
+        program = self.programs.get(name)
+        if program is not None:
+            program.active = True
+        reroute_around_failures(self.topology, self.failed_switches)

@@ -1,0 +1,269 @@
+"""Coordination primitives built on the NetChain key-value API.
+
+The paper motivates NetChain with the classic coordination-service use
+cases: distributed locking, configuration management, group membership and
+barriers (Section 1).  This module implements them on top of the
+:class:`repro.core.agent.NetChainAgent` key-value API:
+
+* **Locks** use the switch compare-and-swap primitive exactly as the
+  evaluation's transaction benchmark does (Section 8.5): a lock is a key
+  whose value is the owner's id; it can only be released by the owner.
+* **Barriers**, **configuration store** and **group membership** are thin
+  recipes over read / write / CAS, mirroring what ZooKeeper recipes provide.
+
+Each primitive offers both an asynchronous (callback) interface usable from
+inside the discrete-event simulation, and a synchronous interface that
+drives the simulator (convenient in examples and tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.core.agent import NetChainAgent, QueryResult
+from repro.core.protocol import QueryStatus
+
+#: Value representing "unlocked" / "absent" for CAS-based recipes.
+EMPTY = b""
+
+
+class CoordinationError(RuntimeError):
+    """Raised when a coordination operation cannot be completed."""
+
+
+@dataclass
+class LockResult:
+    """Outcome of a lock acquire/release attempt."""
+
+    acquired: bool
+    owner: Optional[bytes] = None
+    latency: float = 0.0
+    retries: int = 0
+
+
+class DistributedLock:
+    """An exclusive lock stored as one NetChain key.
+
+    The lock is free when the key holds the empty value; acquiring writes
+    the owner id with a compare-and-swap against the empty value; releasing
+    swaps the owner id back to empty, so only the owner can release
+    (Section 8.5).
+    """
+
+    def __init__(self, agent: NetChainAgent, key, owner) -> None:
+        self.agent = agent
+        self.key = key
+        self.owner = owner if isinstance(owner, bytes) else str(owner).encode()
+        self.held = False
+
+    # -- asynchronous interface ---------------------------------------- #
+
+    def try_acquire_async(self, callback: Callable[[LockResult], None]) -> None:
+        """Attempt to take the lock once; report the outcome via callback."""
+        def on_reply(result: QueryResult) -> None:
+            acquired = result.ok and result.status == QueryStatus.OK
+            if acquired:
+                self.held = True
+            callback(LockResult(acquired=acquired, owner=result.value or None,
+                                latency=result.latency, retries=result.retries))
+
+        self.agent.cas(self.key, EMPTY, self.owner, callback=on_reply)
+
+    def release_async(self, callback: Optional[Callable[[LockResult], None]] = None) -> None:
+        """Release the lock (only succeeds for the current owner)."""
+        def on_reply(result: QueryResult) -> None:
+            released = result.ok and result.status == QueryStatus.OK
+            if released:
+                self.held = False
+            if callback is not None:
+                callback(LockResult(acquired=not released, owner=self.owner,
+                                    latency=result.latency, retries=result.retries))
+
+        self.agent.cas(self.key, self.owner, EMPTY, callback=on_reply)
+
+    # -- synchronous interface ------------------------------------------ #
+
+    def try_acquire(self, deadline: float = 5.0) -> bool:
+        """One acquisition attempt, driving the simulator until it resolves."""
+        result = self.agent.cas_sync(self.key, EMPTY, self.owner, deadline=deadline)
+        self.held = result.ok and result.status == QueryStatus.OK
+        return self.held
+
+    def acquire(self, max_attempts: int = 100, deadline: float = 5.0) -> bool:
+        """Spin until acquired or the attempt budget is exhausted."""
+        for _ in range(max_attempts):
+            if self.try_acquire(deadline=deadline):
+                return True
+        return False
+
+    def release(self, deadline: float = 5.0) -> bool:
+        """Release the lock; returns whether the release took effect."""
+        result = self.agent.cas_sync(self.key, self.owner, EMPTY, deadline=deadline)
+        released = result.ok and result.status == QueryStatus.OK
+        if released:
+            self.held = False
+        return released
+
+    def holder(self, deadline: float = 5.0) -> bytes:
+        """Current lock holder (empty bytes when free)."""
+        return self.agent.read_sync(self.key, deadline=deadline).value
+
+
+class LockManager:
+    """Creates and tracks locks for one client."""
+
+    def __init__(self, agent: NetChainAgent, client_id) -> None:
+        self.agent = agent
+        self.client_id = client_id if isinstance(client_id, bytes) else str(client_id).encode()
+        self._locks: Dict[bytes, DistributedLock] = {}
+
+    def lock(self, key) -> DistributedLock:
+        """Get (or create) the lock object for ``key``."""
+        raw = key if isinstance(key, bytes) else str(key).encode()
+        if raw not in self._locks:
+            self._locks[raw] = DistributedLock(self.agent, key, self.client_id)
+        return self._locks[raw]
+
+    def held_locks(self) -> List[DistributedLock]:
+        """Locks this manager currently believes it holds."""
+        return [lock for lock in self._locks.values() if lock.held]
+
+    def release_all(self) -> None:
+        """Release every held lock (best effort)."""
+        for lock in self.held_locks():
+            lock.release()
+
+
+class Barrier:
+    """A double-anything barrier: N participants wait for each other.
+
+    The barrier key holds the arrival count; participants increment it with
+    a CAS loop and poll until it reaches the expected count.
+    """
+
+    def __init__(self, agent: NetChainAgent, key, parties: int) -> None:
+        if parties < 1:
+            raise ValueError("a barrier needs at least one party")
+        self.agent = agent
+        self.key = key
+        self.parties = parties
+
+    def _count(self) -> int:
+        value = self.agent.read_sync(self.key).value
+        return int(value) if value else 0
+
+    def arrive(self, max_attempts: int = 1000) -> int:
+        """Register arrival; returns this participant's arrival index (1-based)."""
+        for _ in range(max_attempts):
+            current = self._count()
+            result = self.agent.cas_sync(self.key, str(current) if current else EMPTY,
+                                         str(current + 1))
+            if result.ok and result.status == QueryStatus.OK:
+                return current + 1
+        raise CoordinationError(f"could not register arrival at barrier {self.key!r}")
+
+    def is_complete(self) -> bool:
+        """Whether every party has arrived."""
+        return self._count() >= self.parties
+
+    def wait(self, poll_interval: float = 1e-3, max_polls: int = 10000) -> None:
+        """Poll until the barrier trips."""
+        for _ in range(max_polls):
+            if self.is_complete():
+                return
+            self.agent.sim.run(until=self.agent.sim.now + poll_interval)
+        raise CoordinationError(f"barrier {self.key!r} did not complete")
+
+
+class ConfigurationStore:
+    """Configuration management: named parameters with atomic updates."""
+
+    def __init__(self, agent: NetChainAgent, prefix: str = "cfg") -> None:
+        self.agent = agent
+        self.prefix = prefix
+
+    def _key(self, name: str) -> str:
+        key = f"{self.prefix}:{name}"
+        if len(key.encode()) > 16:
+            raise ValueError(f"configuration key {key!r} exceeds the 16-byte key limit")
+        return key
+
+    def set(self, name: str, value) -> None:
+        """Set a configuration parameter, creating it on first use.
+
+        Creation is a control-plane insert (Section 4.1) and therefore slower
+        than subsequent updates, which are plain data-plane writes.
+        """
+        result = self.agent.write_sync(self._key(name), value)
+        if result.ok:
+            return
+        if result.status == QueryStatus.KEY_NOT_FOUND:
+            result = self.agent.insert_sync(self._key(name), value)
+            if result.ok:
+                return
+        raise CoordinationError(f"failed to set configuration {name!r}")
+
+    def get(self, name: str, default: Optional[bytes] = None) -> Optional[bytes]:
+        """Read a configuration parameter."""
+        result = self.agent.read_sync(self._key(name))
+        if result.status == QueryStatus.KEY_NOT_FOUND:
+            return default
+        return result.value
+
+    def compare_and_set(self, name: str, expected, new_value) -> bool:
+        """Atomically update a parameter only if it still holds ``expected``."""
+        result = self.agent.cas_sync(self._key(name), expected, new_value)
+        return result.ok and result.status == QueryStatus.OK
+
+
+class GroupMembership:
+    """A small membership roster kept in a single value.
+
+    Values are limited to 128 bytes in the prototype (Section 8.1), so the
+    roster suits small groups such as a set of shard leaders; larger groups
+    would be split across keys.
+    """
+
+    SEPARATOR = b","
+
+    def __init__(self, agent: NetChainAgent, group_key) -> None:
+        self.agent = agent
+        self.group_key = group_key
+
+    def members(self) -> List[bytes]:
+        """Current members."""
+        value = self.agent.read_sync(self.group_key).value
+        if not value:
+            return []
+        return [m for m in value.split(self.SEPARATOR) if m]
+
+    def _store(self, expected: bytes, members: List[bytes]) -> bool:
+        new_value = self.SEPARATOR.join(sorted(set(members)))
+        result = self.agent.cas_sync(self.group_key, expected, new_value)
+        return result.ok and result.status == QueryStatus.OK
+
+    def join(self, member, max_attempts: int = 100) -> bool:
+        """Add a member to the roster (CAS loop)."""
+        raw = member if isinstance(member, bytes) else str(member).encode()
+        for _ in range(max_attempts):
+            current = self.agent.read_sync(self.group_key).value or EMPTY
+            members = [m for m in current.split(self.SEPARATOR) if m]
+            if raw in members:
+                return True
+            if self._store(current, members + [raw]):
+                return True
+        return False
+
+    def leave(self, member, max_attempts: int = 100) -> bool:
+        """Remove a member from the roster (CAS loop)."""
+        raw = member if isinstance(member, bytes) else str(member).encode()
+        for _ in range(max_attempts):
+            current = self.agent.read_sync(self.group_key).value or EMPTY
+            members = [m for m in current.split(self.SEPARATOR) if m]
+            if raw not in members:
+                return True
+            members.remove(raw)
+            if self._store(current, members):
+                return True
+        return False

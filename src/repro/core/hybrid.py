@@ -1,0 +1,240 @@
+"""NetChain as an accelerator in front of a server-based store (Section 6).
+
+The paper suggests a hybrid deployment: "The key space is partitioned to
+store data in the network and the servers separately.  NetChain can be used
+to store hot data with small value size, and servers store big and less
+popular data."  This module implements that tiering:
+
+* :class:`HybridPolicy` decides, per key, whether it belongs in the network
+  tier (small values, hot keys, explicitly pinned keys) or in the server
+  tier (everything else, and any value above the switch pipeline limit).
+* :class:`HybridStore` exposes one key-value API and routes each operation
+  to the NetChain agent or to the backing server store accordingly,
+  promoting keys between tiers when their size or popularity changes.
+
+The server tier is pluggable; any object with ``read(key) / write(key,
+value)`` methods works.  :class:`ZooKeeperBackend` adapts the ZooKeeper
+baseline client so the hybrid can be evaluated against the same systems the
+paper uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+from repro.core.agent import NetChainAgent, QueryResult
+from repro.core.protocol import MAX_PROTOTYPE_VALUE_BYTES, QueryStatus, normalize_value
+
+
+@dataclass
+class HybridPolicy:
+    """Tiering policy: which keys live in the network.
+
+    Attributes:
+        max_network_value_bytes: values larger than this always live on the
+            servers (the switch pipeline cannot carry them at line rate).
+        promote_after_reads: a server-tier key read at least this many times
+            is promoted into the network tier (if its value fits).
+        pinned: keys that must always be served from the network
+            (configuration parameters, locks, barriers).
+    """
+
+    max_network_value_bytes: int = MAX_PROTOTYPE_VALUE_BYTES
+    promote_after_reads: int = 16
+    pinned: Set[bytes] = field(default_factory=set)
+
+    def pin(self, key) -> None:
+        """Force a key into the network tier."""
+        self.pinned.add(_raw(key))
+
+    def is_pinned(self, key) -> bool:
+        return _raw(key) in self.pinned
+
+    def fits_in_network(self, value: bytes) -> bool:
+        return len(value) <= self.max_network_value_bytes
+
+
+def _raw(key) -> bytes:
+    return key if isinstance(key, bytes) else str(key).encode("utf-8")
+
+
+class ZooKeeperBackend:
+    """Adapter exposing the ZooKeeper baseline as a hybrid server tier."""
+
+    def __init__(self, client, prefix: str = "/hybrid") -> None:
+        self.client = client
+        self.prefix = prefix
+        self.client.ensure_path(prefix)
+
+    def _path(self, key) -> str:
+        return f"{self.prefix}/{_raw(key).decode('utf-8', errors='replace')}"
+
+    def read(self, key) -> Optional[bytes]:
+        result = self.client.get(self._path(key))
+        return result.data if result.ok else None
+
+    def write(self, key, value: bytes) -> bool:
+        path = self._path(key)
+        if self.client.exists(path).exists:
+            return self.client.set(path, value).ok
+        return self.client.create(path, value).ok
+
+    def delete(self, key) -> bool:
+        return self.client.delete(self._path(key)).ok
+
+
+class DictBackend:
+    """A trivial in-process server tier, useful in tests and examples."""
+
+    def __init__(self) -> None:
+        self.data: Dict[bytes, bytes] = {}
+
+    def read(self, key) -> Optional[bytes]:
+        return self.data.get(_raw(key))
+
+    def write(self, key, value: bytes) -> bool:
+        self.data[_raw(key)] = value
+        return True
+
+    def delete(self, key) -> bool:
+        return self.data.pop(_raw(key), None) is not None
+
+
+@dataclass
+class HybridStats:
+    """Counters describing where operations were served."""
+
+    network_reads: int = 0
+    network_writes: int = 0
+    server_reads: int = 0
+    server_writes: int = 0
+    promotions: int = 0
+    demotions: int = 0
+
+    def network_fraction(self) -> float:
+        total = (self.network_reads + self.network_writes
+                 + self.server_reads + self.server_writes)
+        if total == 0:
+            return 0.0
+        return (self.network_reads + self.network_writes) / total
+
+
+class HybridStore:
+    """One key-value API over the network tier plus a server tier."""
+
+    def __init__(self, agent: NetChainAgent, backend,
+                 policy: Optional[HybridPolicy] = None) -> None:
+        self.agent = agent
+        self.backend = backend
+        self.policy = policy or HybridPolicy()
+        self.stats = HybridStats()
+        self._network_keys: Set[bytes] = set()
+        self._read_counts: Dict[bytes, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # Placement bookkeeping.
+    # ------------------------------------------------------------------ #
+
+    def in_network(self, key) -> bool:
+        """Whether the key is currently served from the network tier."""
+        return _raw(key) in self._network_keys or self.policy.is_pinned(key)
+
+    def network_keys(self) -> Set[bytes]:
+        """Keys currently placed in switches."""
+        return set(self._network_keys)
+
+    def _promote(self, key, value: bytes) -> None:
+        raw = _raw(key)
+        self.agent.insert_sync(key, value)
+        self._network_keys.add(raw)
+        self.stats.promotions += 1
+
+    def _demote(self, key, value: bytes) -> None:
+        raw = _raw(key)
+        self.backend.write(key, value)
+        self.agent.delete_sync(key)
+        self.agent.directory.garbage_collect(key)
+        self._network_keys.discard(raw)
+        self.stats.demotions += 1
+
+    # ------------------------------------------------------------------ #
+    # Key-value API.
+    # ------------------------------------------------------------------ #
+
+    def write(self, key, value) -> bool:
+        """Write a value, placing (or re-placing) the key per the policy."""
+        value = normalize_value(value)
+        fits = self.policy.fits_in_network(value)
+        if self.policy.is_pinned(key) and not fits:
+            raise ValueError(f"pinned key {key!r} has a value larger than the "
+                             f"network tier supports ({len(value)} bytes)")
+        if self.in_network(key):
+            if fits:
+                result = self._network_write(key, value)
+                return result.ok
+            # The value outgrew the pipeline limit: demote to the servers.
+            self._demote(key, value)
+            self.stats.server_writes += 1
+            return True
+        if self.policy.is_pinned(key) and fits:
+            self._promote(key, value)
+            self.stats.network_writes += 1
+            return True
+        self.stats.server_writes += 1
+        return self.backend.write(key, value)
+
+    def _network_write(self, key, value: bytes) -> QueryResult:
+        result = self.agent.write_sync(key, value)
+        if result.status == QueryStatus.KEY_NOT_FOUND:
+            result = self.agent.insert_sync(key, value)
+        if result.ok:
+            self._network_keys.add(_raw(key))
+            self.stats.network_writes += 1
+        return result
+
+    def read(self, key) -> Optional[bytes]:
+        """Read a value from whichever tier currently holds it."""
+        raw = _raw(key)
+        if self.in_network(key):
+            result = self.agent.read_sync(key)
+            if result.ok:
+                self.stats.network_reads += 1
+                return result.value
+            # Not actually resident (e.g. pinned but never written).
+            self._network_keys.discard(raw)
+        value = self.backend.read(key)
+        self.stats.server_reads += 1
+        if value is None:
+            return None
+        # Popularity-based promotion of small values (the "hot data" case).
+        count = self._read_counts.get(raw, 0) + 1
+        self._read_counts[raw] = count
+        if (count >= self.policy.promote_after_reads
+                and self.policy.fits_in_network(value)):
+            self._promote(key, value)
+            self._read_counts.pop(raw, None)
+        return value
+
+    def delete(self, key) -> bool:
+        """Delete a key from both tiers."""
+        raw = _raw(key)
+        deleted = False
+        if raw in self._network_keys:
+            self.agent.delete_sync(key)
+            self.agent.directory.garbage_collect(key)
+            self._network_keys.discard(raw)
+            deleted = True
+        if self.backend.delete(key):
+            deleted = True
+        self._read_counts.pop(raw, None)
+        return deleted
+
+    def cas(self, key, expected, new_value) -> bool:
+        """Compare-and-swap; only supported for network-resident keys
+        (locks and configuration parameters are pinned there)."""
+        if not self.in_network(key):
+            raise ValueError(f"CAS requires a network-resident key: {key!r}")
+        result = self.agent.cas_sync(key, expected, new_value)
+        self.stats.network_writes += 1
+        return result.ok and result.status == QueryStatus.OK

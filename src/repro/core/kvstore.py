@@ -1,0 +1,256 @@
+"""On-chip key-value storage for one switch (Figure 3, Section 4.1).
+
+NetChain separates key and value storage in the switch ASIC:
+
+* each **key** is an entry in an exact-match table whose action returns the
+  key's *index* (the slot number), and
+* each **value** is stored at that index in register arrays, striped across
+  pipeline stages 16 bytes at a time (NetCache's layout, Section 7: 8 stages
+  of 64K 16-byte slots = 8 MB of value storage),
+* a dedicated register array holds the per-key **sequence number** used by
+  the ordering protocol (Algorithm 1), and another the head **session
+  number** used across head changes (Section 5.2).
+
+The class below owns those structures on a simulated switch and performs
+the resource accounting the paper discusses (SRAM budget, per-stage value
+width, recirculation passes for oversized values).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.protocol import normalize_key
+from repro.netsim.switch import Switch
+from repro.netsim.tables import MatchTable, TableFullError
+
+
+class StoreFullError(RuntimeError):
+    """Raised when the key-value store has no free slots left."""
+
+
+class ValueTooLargeError(ValueError):
+    """Raised when a value exceeds what the pipeline can store even with
+    recirculation disabled."""
+
+
+@dataclass
+class KVStoreConfig:
+    """Sizing of the per-switch store.
+
+    The defaults mirror the prototype in Section 7: 64K slots per stage,
+    8 stages, 16 bytes per stage (8 MB of value storage per switch).
+    """
+
+    #: Number of key slots (entries in the index table / register array length).
+    slots: int = 65536
+    #: Whether values larger than one pipeline pass are allowed (they cost
+    #: extra recirculation passes, Section 6).
+    allow_recirculation: bool = False
+
+
+@dataclass
+class StoredItem:
+    """A decoded item as read from the register arrays."""
+
+    value: bytes
+    seq: int
+    session: int
+    valid: bool
+
+    def version(self) -> Tuple[int, int]:
+        """(session, seq) — the lexicographic version used for ordering."""
+        return (self.session, self.seq)
+
+
+class SwitchKVStore:
+    """The NetChain storage structures on one switch."""
+
+    def __init__(self, switch: Switch, config: Optional[KVStoreConfig] = None) -> None:
+        self.switch = switch
+        self.config = config or KVStoreConfig()
+        slots = self.config.slots
+        self.index: MatchTable = switch.create_table("netchain_index", max_entries=slots)
+        self.stage_bytes = switch.config.stage_value_bytes
+        self.num_stages = switch.config.value_stages
+        self._stages = [
+            switch.registers.allocate(f"netchain_value_stage{i}", slots, self.stage_bytes,
+                                      initial=b"")
+            for i in range(self.num_stages)
+        ]
+        self._vlen = switch.registers.allocate("netchain_value_len", slots, 2, initial=0)
+        self._seq = switch.registers.allocate("netchain_seq", slots, 4, initial=0)
+        self._session = switch.registers.allocate("netchain_session", slots, 2, initial=0)
+        self._valid = switch.registers.allocate("netchain_valid", slots, 1, initial=False)
+        self._free_slots: List[int] = list(range(slots - 1, -1, -1))
+        self._key_of_slot: Dict[int, bytes] = {}
+
+    # ------------------------------------------------------------------ #
+    # Capacity / resource accounting.
+    # ------------------------------------------------------------------ #
+
+    @property
+    def capacity(self) -> int:
+        """Total number of key slots."""
+        return self.config.slots
+
+    def used_slots(self) -> int:
+        """Number of slots currently holding a key."""
+        return len(self._key_of_slot)
+
+    def free_slots(self) -> int:
+        return self.capacity - self.used_slots()
+
+    def max_value_bytes(self) -> int:
+        """Largest value storable: one pass worth, or all stages' worth if
+        recirculation is enabled (the storage itself is still bounded by the
+        stage arrays)."""
+        return self.num_stages * self.stage_bytes
+
+    def passes_required(self, value_len: int) -> int:
+        """Pipeline passes needed to read/write a value of this size
+        (Section 6: values beyond ``k*n`` bytes need recirculation)."""
+        per_pass = self.switch.max_value_bytes_per_pass()
+        if value_len <= per_pass:
+            return 1
+        return -(-value_len // per_pass)
+
+    def sram_bytes_used(self) -> int:
+        """SRAM consumed by all NetChain structures on this switch."""
+        return self.switch.registers.allocated_bytes()
+
+    # ------------------------------------------------------------------ #
+    # Control-plane operations (insert / delete / garbage collection).
+    # ------------------------------------------------------------------ #
+
+    def insert_key(self, key) -> int:
+        """Allocate a slot and install the index entry for ``key``.
+
+        Insert is a control-plane operation in NetChain (Section 4.1): the
+        controller calls this on every switch of the key's chain.
+        """
+        key = normalize_key(key)
+        existing = self.lookup(key)
+        if existing is not None:
+            return existing
+        if not self._free_slots:
+            raise StoreFullError(f"{self.switch.name}: no free key slots "
+                                 f"({self.capacity} in use)")
+        loc = self._free_slots.pop()
+        try:
+            self.index.insert(key, lambda: loc, loc=loc)
+        except TableFullError as exc:
+            self._free_slots.append(loc)
+            raise StoreFullError(str(exc)) from exc
+        self._key_of_slot[loc] = key
+        self._valid.write(loc, True)
+        self._vlen.write(loc, 0)
+        self._seq.write(loc, 0)
+        self._session.write(loc, 0)
+        for stage in self._stages:
+            stage.write(loc, b"")
+        return loc
+
+    def remove_key(self, key) -> bool:
+        """Garbage-collect a deleted key: free its slot and index entry."""
+        key = normalize_key(key)
+        loc = self.lookup(key)
+        if loc is None:
+            return False
+        self.index.remove_match(key)
+        self._key_of_slot.pop(loc, None)
+        self._valid.write(loc, False)
+        self._free_slots.append(loc)
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Data-plane operations.
+    # ------------------------------------------------------------------ #
+
+    def lookup(self, key) -> Optional[int]:
+        """Index-table lookup: slot for ``key`` or ``None`` on a miss."""
+        entry = self.index.lookup(normalize_key(key))
+        if entry is None:
+            return None
+        return entry.metadata["loc"]
+
+    def read_loc(self, loc: int) -> StoredItem:
+        """Read the value, sequence and session stored at ``loc``."""
+        length = self._vlen.read(loc)
+        chunks = []
+        remaining = length
+        for stage in self._stages:
+            if remaining <= 0:
+                break
+            chunk = stage.read(loc)
+            chunks.append(chunk[:remaining])
+            remaining -= len(chunk[:remaining])
+        return StoredItem(value=b"".join(chunks), seq=self._seq.read(loc),
+                          session=self._session.read(loc), valid=self._valid.read(loc))
+
+    def write_loc(self, loc: int, value: bytes, seq: int, session: int = 0,
+                  valid: bool = True) -> None:
+        """Store a value and its version at ``loc``, striping across stages."""
+        limit = self.max_value_bytes()
+        if len(value) > limit:
+            raise ValueTooLargeError(
+                f"value of {len(value)} bytes exceeds the {limit}-byte pipeline limit")
+        if (not self.config.allow_recirculation
+                and len(value) > self.switch.max_value_bytes_per_pass()):
+            raise ValueTooLargeError(
+                f"value of {len(value)} bytes needs recirculation, which is disabled")
+        for i, stage in enumerate(self._stages):
+            start = i * self.stage_bytes
+            stage.write(loc, value[start:start + self.stage_bytes])
+        self._vlen.write(loc, len(value))
+        self._seq.write(loc, seq)
+        self._session.write(loc, session)
+        self._valid.write(loc, valid)
+
+    def read(self, key) -> Optional[StoredItem]:
+        """Convenience: lookup + read."""
+        loc = self.lookup(key)
+        if loc is None:
+            return None
+        return self.read_loc(loc)
+
+    def invalidate(self, key) -> bool:
+        """Data-plane delete: mark the item invalid (slot reclaimed later by
+        the control plane, Section 4.1)."""
+        loc = self.lookup(key)
+        if loc is None:
+            return False
+        self._valid.write(loc, False)
+        return True
+
+    def keys(self) -> Iterable[bytes]:
+        """All keys currently installed on this switch."""
+        return list(self._key_of_slot.values())
+
+    # ------------------------------------------------------------------ #
+    # State synchronization (used by the controller's failure recovery).
+    # ------------------------------------------------------------------ #
+
+    def export_items(self, keys: Optional[Iterable[bytes]] = None) -> Dict[bytes, StoredItem]:
+        """Snapshot items (optionally restricted to ``keys``) for state copy."""
+        selected = list(keys) if keys is not None else list(self._key_of_slot.values())
+        result: Dict[bytes, StoredItem] = {}
+        for key in selected:
+            loc = self.lookup(key)
+            if loc is not None:
+                result[normalize_key(key)] = self.read_loc(loc)
+        return result
+
+    def import_items(self, items: Dict[bytes, StoredItem]) -> int:
+        """Install keys and state copied from another switch.
+
+        Returns the number of bytes of state written, which the controller
+        uses to model synchronization time.
+        """
+        copied_bytes = 0
+        for key, item in items.items():
+            loc = self.insert_key(key)
+            self.write_loc(loc, item.value, item.seq, item.session, valid=item.valid)
+            copied_bytes += len(item.value) + 8
+        return copied_bytes

@@ -1,0 +1,243 @@
+"""The NetChain packet format and query/reply helpers.
+
+Figure 2(b) of the paper defines the custom header stack carried in a UDP
+payload::
+
+    OP | KEY | VALUE | SC | S0 S1 ... Sk | SEQ
+
+plus the reserved UDP port that invokes the NetChain processing logic on a
+switch.  This module defines that header as a dataclass with a byte-level
+wire encoding (so tests can check that queries fit in a jumbo frame and
+that value-size limits are enforced), the operation codes, and constructors
+for the query and reply packets exchanged between agents and switches.
+
+Extra fields beyond the figure:
+
+* ``session`` -- the head session number used to order writes across head
+  changes (Section 5.2, "Handling special cases"), compared
+  lexicographically with the sequence number as in NOPaxos.
+* ``vgroup`` -- the virtual group of the key, which the controller uses to
+  scope recovery rules to one group at a time (Section 5.2, "Minimizing
+  disruptions with virtual groups").
+* ``query_id`` -- a client-chosen identifier used to match replies and make
+  retries idempotent from the client's point of view.
+* ``cas_expected`` -- the comparison operand for the compare-and-swap
+  operation used to build exclusive locks (Section 8.5).
+"""
+
+from __future__ import annotations
+
+import itertools
+import struct
+from dataclasses import dataclass, field, replace
+from enum import IntEnum
+from typing import List, Optional
+
+from repro.netsim.packet import (
+    NETCHAIN_UDP_PORT,
+    Packet,
+    UDPHeader,
+    ip_to_int,
+    int_to_ip,
+)
+
+#: Fixed key width used by the prototype (Section 7: 16-byte keys).
+KEY_BYTES = 16
+
+#: Value size supported by the prototype at line rate (Section 8.1: up to
+#: 128 bytes with 8 stages x 16 bytes).
+MAX_PROTOTYPE_VALUE_BYTES = 128
+
+_query_ids = itertools.count(1)
+
+
+class OpCode(IntEnum):
+    """NetChain operations (Section 4.1 plus the CAS used for locks)."""
+
+    READ = 1
+    WRITE = 2
+    INSERT = 3
+    DELETE = 4
+    CAS = 5
+    READ_REPLY = 17
+    WRITE_REPLY = 18
+    INSERT_REPLY = 19
+    DELETE_REPLY = 20
+    CAS_REPLY = 21
+
+
+#: Reply op corresponding to each request op.
+REPLY_FOR = {
+    OpCode.READ: OpCode.READ_REPLY,
+    OpCode.WRITE: OpCode.WRITE_REPLY,
+    OpCode.INSERT: OpCode.INSERT_REPLY,
+    OpCode.DELETE: OpCode.DELETE_REPLY,
+    OpCode.CAS: OpCode.CAS_REPLY,
+}
+
+REQUEST_OPS = frozenset(REPLY_FOR)
+REPLY_OPS = frozenset(REPLY_FOR.values())
+
+
+class QueryStatus(IntEnum):
+    """Outcome reported in a reply."""
+
+    OK = 0
+    KEY_NOT_FOUND = 1
+    CAS_FAILED = 2
+    REJECTED = 3
+
+
+def normalize_key(key) -> bytes:
+    """Encode a key as the fixed-width 16-byte field used on the wire."""
+    if isinstance(key, bytes):
+        raw = key
+    else:
+        raw = str(key).encode("utf-8")
+    if len(raw) > KEY_BYTES:
+        raise ValueError(f"key longer than {KEY_BYTES} bytes: {raw!r}")
+    return raw.ljust(KEY_BYTES, b"\x00")
+
+
+def normalize_value(value) -> bytes:
+    """Encode a value as bytes."""
+    if value is None:
+        return b""
+    if isinstance(value, bytes):
+        return value
+    return str(value).encode("utf-8")
+
+
+@dataclass
+class NetChainHeader:
+    """The NetChain header carried in the UDP payload."""
+
+    op: OpCode
+    key: bytes
+    value: bytes = b""
+    seq: int = 0
+    session: int = 0
+    chain: List[str] = field(default_factory=list)
+    vgroup: int = 0
+    query_id: int = field(default_factory=lambda: next(_query_ids))
+    status: QueryStatus = QueryStatus.OK
+    cas_expected: Optional[bytes] = None
+
+    # Wire layout: op(1) status(1) key(16) session(2) seq(4) vgroup(2)
+    # query_id(8) sc(1) chain(4*sc) value_len(2) value cas_len(2) cas.
+    _FIXED = struct.Struct("!BB16sHIHQB")
+
+    @property
+    def sc(self) -> int:
+        """Switch count: number of remaining chain hops stored in the header."""
+        return len(self.chain)
+
+    def wire_size(self) -> int:
+        """Size of the encoded header in bytes."""
+        size = self._FIXED.size + 4 * len(self.chain) + 2 + len(self.value) + 2
+        if self.cas_expected is not None:
+            size += len(self.cas_expected)
+        return size
+
+    def to_bytes(self) -> bytes:
+        """Serialize to the wire format."""
+        out = bytearray(self._FIXED.pack(
+            int(self.op), int(self.status), self.key, self.session, self.seq,
+            self.vgroup, self.query_id, len(self.chain)))
+        for hop in self.chain:
+            out += struct.pack("!I", ip_to_int(hop))
+        out += struct.pack("!H", len(self.value))
+        out += self.value
+        cas = self.cas_expected if self.cas_expected is not None else b""
+        out += struct.pack("!H", len(cas) if self.cas_expected is not None else 0xFFFF)
+        out += cas
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "NetChainHeader":
+        """Parse the wire format."""
+        op, status, key, session, seq, vgroup, query_id, sc = cls._FIXED.unpack_from(data, 0)
+        offset = cls._FIXED.size
+        chain = []
+        for _ in range(sc):
+            (addr,) = struct.unpack_from("!I", data, offset)
+            chain.append(int_to_ip(addr))
+            offset += 4
+        (value_len,) = struct.unpack_from("!H", data, offset)
+        offset += 2
+        value = data[offset:offset + value_len]
+        offset += value_len
+        (cas_len,) = struct.unpack_from("!H", data, offset)
+        offset += 2
+        if cas_len == 0xFFFF:
+            cas_expected: Optional[bytes] = None
+        else:
+            cas_expected = data[offset:offset + cas_len]
+        return cls(op=OpCode(op), key=key, value=value, seq=seq, session=session,
+                   chain=chain, vgroup=vgroup, query_id=query_id,
+                   status=QueryStatus(status), cas_expected=cas_expected)
+
+    def copy(self) -> "NetChainHeader":
+        """Deep-enough copy for retransmissions and forwarding."""
+        clone = replace(self)
+        clone.chain = list(self.chain)
+        return clone
+
+    def is_request(self) -> bool:
+        return self.op in REQUEST_OPS
+
+    def is_reply(self) -> bool:
+        return self.op in REPLY_OPS
+
+
+def build_query_packet(client_ip: str, client_port: int, dst_ip: str,
+                       header: NetChainHeader, created_at: float = 0.0) -> Packet:
+    """Wrap a NetChain header into a UDP packet addressed to ``dst_ip``."""
+    packet = Packet(payload=header, payload_bytes=header.wire_size())
+    packet.ip.src_ip = client_ip
+    packet.ip.dst_ip = dst_ip
+    packet.udp = UDPHeader(src_port=client_port, dst_port=NETCHAIN_UDP_PORT)
+    packet.created_at = created_at
+    return packet
+
+
+def make_read(key, chain_ips: List[str], vgroup: int = 0) -> NetChainHeader:
+    """Build a read query header.
+
+    Read queries are addressed to the tail; the header carries the rest of
+    the chain in *reverse* order so that failover rules on the tail's
+    neighbours know where to redirect (Section 4.2).
+    The caller addresses the packet to ``chain_ips[-1]`` (the tail); the
+    header's chain list holds the remaining switches from the tail backwards.
+    """
+    remaining = list(reversed(chain_ips[:-1]))
+    return NetChainHeader(op=OpCode.READ, key=normalize_key(key), chain=remaining,
+                          vgroup=vgroup)
+
+
+def make_write(key, value, chain_ips: List[str], vgroup: int = 0) -> NetChainHeader:
+    """Build a write query header.
+
+    Write queries are addressed to the head; the header carries the rest of
+    the chain in traversal order (head to tail).
+    """
+    remaining = list(chain_ips[1:])
+    return NetChainHeader(op=OpCode.WRITE, key=normalize_key(key),
+                          value=normalize_value(value), chain=remaining, vgroup=vgroup)
+
+
+def make_cas(key, expected, new_value, chain_ips: List[str], vgroup: int = 0) -> NetChainHeader:
+    """Build a compare-and-swap query (write path, conditional on ``expected``)."""
+    remaining = list(chain_ips[1:])
+    return NetChainHeader(op=OpCode.CAS, key=normalize_key(key),
+                          value=normalize_value(new_value),
+                          cas_expected=normalize_value(expected),
+                          chain=remaining, vgroup=vgroup)
+
+
+def make_delete(key, chain_ips: List[str], vgroup: int = 0) -> NetChainHeader:
+    """Build a delete query header (data-plane invalidation; the control
+    plane garbage-collects the slot, Section 4.1)."""
+    remaining = list(chain_ips[1:])
+    return NetChainHeader(op=OpCode.DELETE, key=normalize_key(key), chain=remaining,
+                          vgroup=vgroup)

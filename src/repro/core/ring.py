@@ -1,0 +1,190 @@
+"""Consistent hashing with virtual nodes (Section 4.1, "Data partitioning").
+
+NetChain partitions the key space over switches with consistent hashing:
+keys and virtual nodes are hashed onto a ring; each switch owns ``m/n``
+virtual nodes; the keys of a ring segment are served by the chain formed by
+the ``f+1`` subsequent virtual nodes that belong to *distinct* switches.
+
+Virtual nodes double as the paper's **virtual groups** (Section 5.2): the
+controller recovers one group at a time to keep the write-unavailability
+window small, so each virtual node id is also the ``vgroup`` tag carried in
+query headers.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+
+def _hash64(data: bytes) -> int:
+    """Stable 64-bit hash used for ring placement."""
+    return int.from_bytes(hashlib.sha1(data).digest()[:8], "big")
+
+
+@dataclass
+class VirtualNode:
+    """One virtual node on the ring."""
+
+    vnode_id: int
+    switch: str
+    position: int
+
+
+class ConsistentHashRing:
+    """The key -> chain mapping shared by agents and the controller."""
+
+    def __init__(self, switches: Sequence[str], vnodes_per_switch: int = 100,
+                 replication: int = 3, seed: int = 0) -> None:
+        """Args:
+            switches: the NetChain switch names.
+            vnodes_per_switch: ``m/n`` in the paper's notation.
+            replication: chain length ``f+1``.
+            seed: randomness for failure-recovery reassignment.
+        """
+        if replication < 1:
+            raise ValueError("replication factor must be at least 1")
+        if len(switches) < replication:
+            raise ValueError(
+                f"need at least {replication} switches for chains of length {replication}")
+        self.switch_names: List[str] = list(switches)
+        self.vnodes_per_switch = vnodes_per_switch
+        self.replication = replication
+        self.rng = random.Random(seed)
+        self.vnodes: Dict[int, VirtualNode] = {}
+        next_id = 0
+        for switch in self.switch_names:
+            for i in range(vnodes_per_switch):
+                position = _hash64(f"{switch}#vnode{i}".encode())
+                self.vnodes[next_id] = VirtualNode(next_id, switch, position)
+                next_id += 1
+        self._rebuild_index()
+
+    def _rebuild_index(self) -> None:
+        ordered = sorted(self.vnodes.values(), key=lambda v: (v.position, v.vnode_id))
+        self._positions = [v.position for v in ordered]
+        self._ordered = ordered
+
+    # ------------------------------------------------------------------ #
+    # Lookups.
+    # ------------------------------------------------------------------ #
+
+    def key_position(self, key) -> int:
+        """Ring position of a key."""
+        if isinstance(key, bytes):
+            raw = key
+        else:
+            raw = str(key).encode("utf-8")
+        return _hash64(raw)
+
+    def successor_vnodes(self, position: int) -> List[VirtualNode]:
+        """Virtual nodes starting at the first one at/after ``position``,
+        walking the whole ring once."""
+        start = bisect.bisect_left(self._positions, position)
+        count = len(self._ordered)
+        return [self._ordered[(start + i) % count] for i in range(count)]
+
+    def primary_vnode_for_key(self, key) -> VirtualNode:
+        """The virtual node owning the key's segment (also its virtual group)."""
+        return self.successor_vnodes(self.key_position(key))[0]
+
+    def chain_vnodes_for_key(self, key, replication: Optional[int] = None) -> List[VirtualNode]:
+        """The ``f+1`` virtual nodes (on distinct switches) forming the key's chain.
+
+        Walks the ring past virtual nodes whose switch already appears in the
+        chain, exactly as Section 4.1 prescribes.
+        """
+        replication = replication or self.replication
+        chain: List[VirtualNode] = []
+        seen_switches = set()
+        for vnode in self.successor_vnodes(self.key_position(key)):
+            if vnode.switch in seen_switches:
+                continue
+            chain.append(vnode)
+            seen_switches.add(vnode.switch)
+            if len(chain) == replication:
+                break
+        if len(chain) < replication:
+            raise ValueError(
+                f"only {len(chain)} distinct switches available for a chain of {replication}")
+        return chain
+
+    def chain_for_key(self, key, replication: Optional[int] = None) -> List[str]:
+        """Switch names of the key's chain, head first."""
+        return [v.switch for v in self.chain_vnodes_for_key(key, replication)]
+
+    def vgroup_for_key(self, key) -> int:
+        """The virtual group (= primary virtual node id) of a key."""
+        return self.primary_vnode_for_key(key).vnode_id
+
+    def chain_for_vgroup(self, vgroup: int, replication: Optional[int] = None) -> List[str]:
+        """The chain serving a virtual group."""
+        replication = replication or self.replication
+        vnode = self.vnodes[vgroup]
+        chain: List[str] = []
+        seen = set()
+        for candidate in self.successor_vnodes(vnode.position):
+            if candidate.switch in seen:
+                continue
+            chain.append(candidate.switch)
+            seen.add(candidate.switch)
+            if len(chain) == replication:
+                break
+        return chain
+
+    def virtual_nodes_of(self, switch: str) -> List[VirtualNode]:
+        """All virtual nodes mapped to a switch."""
+        return [v for v in self.vnodes.values() if v.switch == switch]
+
+    def vgroups_involving(self, switch: str, replication: Optional[int] = None) -> List[int]:
+        """Virtual groups whose chain contains ``switch``.
+
+        A switch appears in ``m(f+1)/n`` chains on average (Section 5.1);
+        this enumerates them exactly.
+        """
+        replication = replication or self.replication
+        result = []
+        for vgroup in self.vnodes:
+            if switch in self.chain_for_vgroup(vgroup, replication):
+                result.append(vgroup)
+        return sorted(result)
+
+    # ------------------------------------------------------------------ #
+    # Reconfiguration (used by the controller during failure recovery).
+    # ------------------------------------------------------------------ #
+
+    def reassign_vnode(self, vnode_id: int, new_switch: str) -> None:
+        """Move one virtual node to a different switch (same ring position)."""
+        vnode = self.vnodes[vnode_id]
+        self.vnodes[vnode_id] = VirtualNode(vnode_id, new_switch, vnode.position)
+        self._rebuild_index()
+
+    def reassign_switch(self, failed_switch: str,
+                        live_switches: Optional[Sequence[str]] = None) -> Dict[int, str]:
+        """Randomly spread a failed switch's virtual nodes over live switches
+        (Section 5.2: "randomly assign them to k live switches").
+
+        Returns the mapping ``vnode_id -> new switch``.
+        """
+        if live_switches is None:
+            live_switches = [s for s in self.switch_names if s != failed_switch]
+        live_switches = list(live_switches)
+        if not live_switches:
+            raise ValueError("no live switches to reassign virtual nodes to")
+        mapping: Dict[int, str] = {}
+        for vnode in self.virtual_nodes_of(failed_switch):
+            target = self.rng.choice(live_switches)
+            mapping[vnode.vnode_id] = target
+            self.vnodes[vnode.vnode_id] = VirtualNode(vnode.vnode_id, target, vnode.position)
+        self._rebuild_index()
+        return mapping
+
+    def load_distribution(self) -> Dict[str, int]:
+        """Number of virtual nodes per switch (used to test load spreading)."""
+        counts: Dict[str, int] = {name: 0 for name in self.switch_names}
+        for vnode in self.vnodes.values():
+            counts[vnode.switch] = counts.get(vnode.switch, 0) + 1
+        return counts

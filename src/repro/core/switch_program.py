@@ -1,0 +1,315 @@
+"""The NetChain data-plane program (Algorithm 1 + routing + failure rules).
+
+This is the Python equivalent of the paper's P4 program.  It is installed on
+every NetChain switch and does three things:
+
+1. **Key-value query processing** (Algorithm 1): reads are answered from the
+   local store; writes are sequenced by the head and applied by replicas only
+   if they carry a newer ``(session, seq)`` version, which serializes
+   out-of-order UDP delivery (Section 4.3).
+2. **Chain routing** (Section 4.2): after processing, the switch rewrites
+   the destination IP to the next chain hop stored in the header (or back to
+   the client when it is the last hop) and lets the underlay L3 routing carry
+   the packet there.
+3. **Failure-handling rules** (Algorithms 2 and 3): destination-IP rewrite
+   rules installed by the controller on the failed switch's neighbours.
+   Failover rules skip the failed switch; recovery rules first *stop*
+   queries of a virtual group and later *redirect* them to the replacement
+   switch, with higher priority than the failover rules.
+
+Differences from the paper's encoding, documented for reviewers: the chain
+IP list in our header holds only the hops *after* the current destination
+(the paper keeps the current destination as the first list element), so the
+failover action pops one address where Algorithm 2 pops two.  The semantics
+are identical.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.core.kvstore import SwitchKVStore
+from repro.core.protocol import (
+    NETCHAIN_UDP_PORT,
+    NetChainHeader,
+    OpCode,
+    QueryStatus,
+    REPLY_FOR,
+)
+from repro.netsim.node import Port
+from repro.netsim.packet import Packet
+from repro.netsim.switch import PipelineAction, PipelineProgram, Switch
+
+_rule_ids = itertools.count(1)
+
+
+@dataclass
+class RedirectRule:
+    """A controller-installed destination-IP rule on a neighbour switch.
+
+    ``kind`` is one of:
+
+    * ``"failover"`` -- Algorithm 2: skip the failed switch by popping the
+      next hop from the chain list (or reply to the client when the failed
+      switch was the last hop).
+    * ``"drop"``     -- Algorithm 3 phase 1: stop forwarding queries of the
+      given virtual groups while state is synchronized.
+    * ``"forward"``  -- Algorithm 3 phase 2: send queries to the replacement
+      switch ``new_dst_ip`` instead (installed with a higher priority so it
+      overrides the failover rule).
+    """
+
+    match_dst_ip: str
+    kind: str
+    priority: int = 0
+    new_dst_ip: Optional[str] = None
+    vgroups: Optional[Set[int]] = None
+    write_only: bool = False
+    rule_id: int = field(default_factory=lambda: next(_rule_ids))
+
+    def matches(self, packet: Packet, header: NetChainHeader) -> bool:
+        if packet.ip.dst_ip != self.match_dst_ip:
+            return False
+        if self.vgroups is not None and header.vgroup not in self.vgroups:
+            return False
+        if self.write_only and header.op == OpCode.READ:
+            return False
+        return True
+
+
+@dataclass
+class ProgramStats:
+    """Data-plane counters, useful in tests and experiments."""
+
+    reads: int = 0
+    writes_applied: int = 0
+    writes_stale_dropped: int = 0
+    cas_failures: int = 0
+    replies_sent: int = 0
+    misses: int = 0
+    redirects: int = 0
+    dropped_by_rule: int = 0
+    recirculations: int = 0
+
+
+class NetChainSwitchProgram(PipelineProgram):
+    """Algorithm 1 and friends, installed as a pipeline program on a switch."""
+
+    def __init__(self, switch: Switch, kvstore: Optional[SwitchKVStore] = None,
+                 reply_on_miss: bool = True, create_store: bool = True) -> None:
+        self.switch = switch
+        if kvstore is None and create_store:
+            kvstore = SwitchKVStore(switch)
+        self.kvstore = kvstore
+        self.reply_on_miss = reply_on_miss
+        #: Session number this switch uses when acting as the head of a
+        #: virtual group's chain (bumped by the controller when it promotes
+        #: a new head, Section 5.2).
+        self.head_sessions: Dict[int, int] = {}
+        self.rules: List[RedirectRule] = []
+        self.stats = ProgramStats()
+        #: When False the switch ignores NetChain queries entirely (used by
+        #: the controller before a replacement switch is activated).
+        self.active = True
+
+    # ------------------------------------------------------------------ #
+    # Controller-facing API (rule and session management).
+    # ------------------------------------------------------------------ #
+
+    def add_rule(self, rule: RedirectRule) -> RedirectRule:
+        """Install a redirect/drop rule; higher priority rules win."""
+        self.rules.append(rule)
+        self.rules.sort(key=lambda r: -r.priority)
+        return rule
+
+    def remove_rule(self, rule: RedirectRule) -> None:
+        """Remove a previously installed rule (no error if already gone)."""
+        if rule in self.rules:
+            self.rules.remove(rule)
+
+    def remove_rules_matching(self, dst_ip: Optional[str] = None,
+                              kind: Optional[str] = None) -> int:
+        """Bulk-remove the rules matching every provided criterion."""
+        def is_target(rule: RedirectRule) -> bool:
+            if dst_ip is not None and rule.match_dst_ip != dst_ip:
+                return False
+            if kind is not None and rule.kind != kind:
+                return False
+            return True
+
+        before = len(self.rules)
+        self.rules = [r for r in self.rules if not is_target(r)]
+        return before - len(self.rules)
+
+    def set_head_session(self, vgroup: int, session: int) -> None:
+        """Set the session number used when this switch heads ``vgroup``."""
+        self.head_sessions[vgroup] = session
+
+    # ------------------------------------------------------------------ #
+    # Pipeline entry point.
+    # ------------------------------------------------------------------ #
+
+    def process(self, switch: Switch, packet: Packet, in_port: Port) -> PipelineAction:
+        if packet.udp is None or packet.udp.dst_port != NETCHAIN_UDP_PORT:
+            return PipelineAction.CONTINUE
+        header = packet.payload
+        if not isinstance(header, NetChainHeader):
+            return PipelineAction.CONTINUE
+        # One pipeline pass may combine local chain processing with one or
+        # more failure-handling rewrites: a redirect rule can point the
+        # packet at *this* switch ("N overlaps with S2": apply the rule
+        # before processing), and processing can point it at a failed switch
+        # ("N overlaps with S0": apply the rule after processing).  The loop
+        # below alternates the two until the packet leaves the switch; it is
+        # bounded because every local processing step consumes chain hops
+        # and every rule application either changes the destination or ends
+        # the query.
+        if packet.ip.dst_ip == switch.ip and header.is_reply():
+            # A reply addressed to a switch is a protocol error; drop it
+            # rather than forward it in a loop.
+            return PipelineAction.DROP
+        limit = len(self.rules) + len(header.chain) + 3
+        for _ in range(limit):
+            if packet.ip.dst_ip == switch.ip and header.is_request():
+                if not self.active:
+                    return PipelineAction.DROP
+                action = self._process_query(switch, packet, header)
+                if action is not PipelineAction.FORWARD:
+                    return action
+                continue
+            rule = self._first_match(packet, header)
+            if rule is None:
+                return PipelineAction.FORWARD
+            if rule.kind == "drop":
+                self.stats.dropped_by_rule += 1
+                return PipelineAction.DROP
+            self.stats.redirects += 1
+            if rule.kind == "forward":
+                packet.ip.dst_ip = rule.new_dst_ip
+                continue
+            if rule.kind == "failover":
+                if header.chain:
+                    packet.ip.dst_ip = header.chain.pop(0)
+                    continue
+                # The failed switch was the last hop: reply on its behalf.
+                self._make_reply(switch, packet, header, QueryStatus.OK)
+                return PipelineAction.FORWARD
+            raise ValueError(f"unknown rule kind {rule.kind!r}")
+        return PipelineAction.FORWARD
+
+    def _first_match(self, packet: Packet, header: NetChainHeader) -> Optional[RedirectRule]:
+        for rule in self.rules:
+            if rule.matches(packet, header):
+                return rule
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Algorithm 1: query processing.
+    # ------------------------------------------------------------------ #
+
+    def _process_query(self, switch: Switch, packet: Packet,
+                       header: NetChainHeader) -> PipelineAction:
+        if not header.is_request():
+            # A reply addressed to the switch itself is a protocol error;
+            # drop it rather than loop.
+            return PipelineAction.DROP
+        if self.kvstore is None:
+            # A transit-only switch (no storage role) addressed directly:
+            # treat as a miss.
+            self.stats.misses += 1
+            if self.reply_on_miss:
+                self._make_reply(switch, packet, header, QueryStatus.KEY_NOT_FOUND)
+                return PipelineAction.FORWARD
+            return PipelineAction.DROP
+        loc = self.kvstore.lookup(header.key)
+        if loc is None:
+            self.stats.misses += 1
+            if self.reply_on_miss:
+                self._make_reply(switch, packet, header, QueryStatus.KEY_NOT_FOUND)
+                return PipelineAction.FORWARD
+            return PipelineAction.DROP
+        self._charge_recirculation(switch, header)
+        if header.op == OpCode.READ:
+            return self._process_read(switch, packet, header, loc)
+        return self._process_write(switch, packet, header, loc)
+
+    def _process_read(self, switch: Switch, packet: Packet, header: NetChainHeader,
+                      loc: int) -> PipelineAction:
+        item = self.kvstore.read_loc(loc)
+        self.stats.reads += 1
+        if not item.valid:
+            self._make_reply(switch, packet, header, QueryStatus.KEY_NOT_FOUND)
+            return PipelineAction.FORWARD
+        header.value = item.value
+        header.seq = item.seq
+        header.session = item.session
+        self._make_reply(switch, packet, header, QueryStatus.OK)
+        return PipelineAction.FORWARD
+
+    def _process_write(self, switch: Switch, packet: Packet, header: NetChainHeader,
+                       loc: int) -> PipelineAction:
+        stored = self.kvstore.read_loc(loc)
+        is_head = header.seq == 0 and header.session == 0
+        if is_head:
+            # Head: assign a monotonically increasing version.  A new head
+            # promoted after a failure uses a larger session number so its
+            # versions order after everything the failed head issued.
+            session = max(self.head_sessions.get(header.vgroup, 0), stored.session)
+            header.session = session
+            header.seq = stored.seq + 1
+            if header.op == OpCode.CAS and stored.value != (header.cas_expected or b""):
+                self.stats.cas_failures += 1
+                header.value = stored.value
+                self._make_reply(switch, packet, header, QueryStatus.CAS_FAILED)
+                return PipelineAction.FORWARD
+            self._apply_write(loc, header)
+        else:
+            if (header.session, header.seq) > (stored.session, stored.seq):
+                self._apply_write(loc, header)
+            else:
+                # Stale write: Algorithm 1 line 13, Drop().  The client's
+                # retry (writes are idempotent) will carry a newer version.
+                self.stats.writes_stale_dropped += 1
+                return PipelineAction.DROP
+        if header.chain:
+            packet.ip.dst_ip = header.chain.pop(0)
+            packet.payload_bytes = header.wire_size()
+            return PipelineAction.FORWARD
+        self._make_reply(switch, packet, header, QueryStatus.OK)
+        return PipelineAction.FORWARD
+
+    def _apply_write(self, loc: int, header: NetChainHeader) -> None:
+        valid = header.op != OpCode.DELETE
+        value = b"" if header.op == OpCode.DELETE else header.value
+        self.kvstore.write_loc(loc, value, header.seq, header.session, valid=valid)
+        self.stats.writes_applied += 1
+
+    # ------------------------------------------------------------------ #
+    # Helpers.
+    # ------------------------------------------------------------------ #
+
+    def _charge_recirculation(self, switch: Switch, header: NetChainHeader) -> None:
+        """Account for extra pipeline passes needed by oversized values."""
+        passes = self.kvstore.passes_required(len(header.value))
+        if passes > 1:
+            extra = passes - 1
+            self.stats.recirculations += extra
+            switch.charge_extra_passes(extra)
+
+    def _make_reply(self, switch: Switch, packet: Packet, header: NetChainHeader,
+                    status: QueryStatus) -> None:
+        """Turn the query packet into a reply addressed back to the client."""
+        header.op = REPLY_FOR.get(header.op, header.op)
+        header.status = status
+        header.chain = []
+        client_ip = packet.ip.src_ip
+        client_port = packet.udp.src_port
+        packet.ip.src_ip = switch.ip
+        packet.ip.dst_ip = client_ip
+        packet.udp.src_port = NETCHAIN_UDP_PORT
+        packet.udp.dst_port = client_port
+        packet.ip.ttl = 64
+        packet.payload_bytes = header.wire_size()
+        self.stats.replies_sent += 1

@@ -1,0 +1,55 @@
+"""Experiment drivers: one module per figure/table of the evaluation.
+
+Every public function here regenerates the data series behind one paper
+figure or table (Section 8), using the simulated testbed and the scale
+model described in DESIGN.md.  The benchmark suite under ``benchmarks/``
+calls these drivers and prints the same rows/series the paper reports;
+EXPERIMENTS.md records the paper-vs-measured comparison.
+"""
+
+from repro.experiments.setup import (
+    NetChainDeployment,
+    ZooKeeperDeployment,
+    build_netchain_deployment,
+    build_zookeeper_deployment,
+)
+from repro.experiments.throughput import (
+    ThroughputResult,
+    netchain_throughput,
+    zookeeper_throughput,
+    netchain_max_throughput_qps,
+)
+from repro.experiments.latency import (
+    LatencyPoint,
+    netchain_latency_curve,
+    zookeeper_latency_curve,
+)
+from repro.experiments.failures import FailureTimeline, failure_experiment
+from repro.experiments.transactions import (
+    TransactionResult,
+    netchain_transactions,
+    zookeeper_transactions,
+)
+from repro.experiments.scalability import scalability_experiment
+from repro.experiments.tables import table1
+
+__all__ = [
+    "NetChainDeployment",
+    "ZooKeeperDeployment",
+    "build_netchain_deployment",
+    "build_zookeeper_deployment",
+    "ThroughputResult",
+    "netchain_throughput",
+    "zookeeper_throughput",
+    "netchain_max_throughput_qps",
+    "LatencyPoint",
+    "netchain_latency_curve",
+    "zookeeper_latency_curve",
+    "FailureTimeline",
+    "failure_experiment",
+    "TransactionResult",
+    "netchain_transactions",
+    "zookeeper_transactions",
+    "scalability_experiment",
+    "table1",
+]

@@ -1,0 +1,136 @@
+"""Failure handling experiment: Figure 10.
+
+The paper fails the middle switch S1 of the chain ``[S0, S1, S2]`` on the
+4-switch testbed, with a 50% write workload, and plots one client server's
+throughput over time:
+
+* a one-second dip when the failure is injected (a one-second delay is
+  deliberately added before the controller's failover routine so the dip is
+  visible), after which **fast failover** restores full throughput with the
+  two-switch chain ``[S0, S2]``;
+* a longer **failure recovery** phase in which S3 is synchronized and
+  spliced into the chain; with a single virtual group, write queries cannot
+  be served while the group is synchronized, so throughput drops by the
+  write fraction (half, at 50% writes); with 100 virtual groups only one
+  group is unavailable at a time, so the drop is ~0.5%.
+
+The driver reproduces the same timeline (optionally compressed so the
+simulation stays cheap) and returns the per-bin throughput series together
+with aggregate statistics over each phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core.controller import ControllerConfig
+from repro.experiments.setup import NetChainDeployment, build_netchain_deployment
+from repro.netsim.stats import ThroughputTimeSeries
+from repro.workloads.clients import NetChainLoadClient
+from repro.workloads.generators import KeyValueWorkload, WorkloadConfig
+
+
+@dataclass
+class FailureTimeline:
+    """Result of one failure-handling run."""
+
+    virtual_groups: int
+    scale: float
+    #: (time, queries-per-second in simulated units) per bin.
+    series: List[Tuple[float, float]] = field(default_factory=list)
+    fail_time: float = 0.0
+    failover_complete_time: float = 0.0
+    recovery_start_time: float = 0.0
+    recovery_end_time: float = 0.0
+    baseline_qps: float = 0.0
+    failover_window_qps: float = 0.0
+    recovery_window_qps: float = 0.0
+    post_recovery_qps: float = 0.0
+    groups_recovered: int = 0
+
+    def scaled(self, qps: float) -> float:
+        """Map a simulated rate back to the paper's absolute units."""
+        return qps * self.scale
+
+    def recovery_drop_fraction(self) -> float:
+        """Fractional throughput drop during recovery relative to baseline."""
+        if self.baseline_qps <= 0:
+            return 0.0
+        return max(0.0, 1.0 - self.recovery_window_qps / self.baseline_qps)
+
+
+def failure_experiment(virtual_groups: int = 1,
+                       write_ratio: float = 0.5,
+                       store_size: int = 1000,
+                       scale: float = 20000.0,
+                       fail_at: float = 5.0,
+                       detection_delay: float = 1.0,
+                       recovery_start_delay: float = 5.0,
+                       run_after_recovery: float = 5.0,
+                       sync_items_per_sec: float = 140.0,
+                       bin_width: float = 0.5,
+                       concurrency: int = 16,
+                       seed: int = 0,
+                       max_duration: float = 120.0) -> FailureTimeline:
+    """Fail S1 in the chain [S0, S1, S2], recover onto S3, track throughput.
+
+    The default timeline is compressed relative to the paper's 200-second
+    run (the store is smaller, so state synchronization finishes sooner);
+    the phases and their relative effects are preserved.
+    """
+    controller_config = ControllerConfig(replication=3,
+                                         vnodes_per_switch=virtual_groups,
+                                         store_slots=max(1024, store_size + 64),
+                                         sync_items_per_sec=sync_items_per_sec,
+                                         seed=seed)
+    from repro.experiments.throughput import adaptive_retry_timeout
+    deployment = build_netchain_deployment(scale=scale, store_size=store_size,
+                                           vnodes_per_switch=virtual_groups,
+                                           retry_timeout=adaptive_retry_timeout(concurrency,
+                                                                                scale),
+                                           controller_config=controller_config, seed=seed)
+    cluster = deployment.cluster
+    timeline = FailureTimeline(virtual_groups=virtual_groups, scale=scale)
+    series = ThroughputTimeSeries(bin_width=bin_width)
+    workload = KeyValueWorkload(WorkloadConfig(store_size=store_size, value_size=64,
+                                               write_ratio=write_ratio, seed=seed))
+    client = NetChainLoadClient(cluster.agent("H0"), workload, concurrency=concurrency,
+                                time_series=series)
+
+    timeline.fail_time = fail_at
+    cluster.fail_switch("S1", at=fail_at, new_switch="S3", recover=True,
+                        detection_delay=detection_delay,
+                        recovery_start_delay=recovery_start_delay)
+    client.start()
+    # Run in slices until the controller reports the recovery finished.
+    recovery_started = fail_at + detection_delay + recovery_start_delay
+    timeline.failover_complete_time = fail_at + detection_delay
+    timeline.recovery_start_time = recovery_started
+    now = 0.0
+    recovery_end: Optional[float] = None
+    while now < max_duration:
+        now = min(now + 1.0, max_duration)
+        cluster.run(until=now)
+        reports = cluster.controller.recovery_reports
+        if reports and reports[-1].finished_at > 0:
+            recovery_end = reports[-1].finished_at
+            break
+    if recovery_end is None:
+        recovery_end = now
+    timeline.recovery_end_time = recovery_end
+    cluster.run(until=recovery_end + run_after_recovery)
+    client.stop()
+    cluster.run(until=recovery_end + run_after_recovery + 0.05)
+
+    timeline.series = series.series()
+    timeline.groups_recovered = (cluster.controller.recovery_reports[-1].groups_recovered
+                                 if cluster.controller.recovery_reports else 0)
+    timeline.baseline_qps = client.successes.rate_between(fail_at * 0.5, fail_at)
+    timeline.failover_window_qps = client.successes.rate_between(
+        fail_at, fail_at + detection_delay)
+    timeline.recovery_window_qps = client.successes.rate_between(
+        recovery_started, recovery_end)
+    timeline.post_recovery_qps = client.successes.rate_between(
+        recovery_end + 0.5, recovery_end + run_after_recovery)
+    return timeline

@@ -1,0 +1,13 @@
+"""Scalability experiment: Figure 9(f) (thin wrapper over the perf model)."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.perfmodel.scalability import ScalabilityPoint, scalability_sweep
+
+
+def scalability_experiment(sizes: Optional[Sequence[Tuple[int, int]]] = None,
+                           samples: int = 2000, seed: int = 0) -> List[ScalabilityPoint]:
+    """Maximum read/write throughput of spine-leaf fabrics from 6 to 96 switches."""
+    return scalability_sweep(sizes=sizes, samples=samples, seed=seed)

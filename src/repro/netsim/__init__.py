@@ -1,0 +1,54 @@
+"""Packet-level discrete-event network simulator.
+
+This package is the substrate that replaces the paper's physical testbed:
+programmable switches (Barefoot Tofino), DPDK hosts, links and the L3
+underlay are all modelled here.  The NetChain protocol logic itself lives
+in :mod:`repro.core` and is installed onto these simulated devices.
+
+The main entry points are:
+
+* :class:`repro.netsim.engine.Simulator` -- the event loop.
+* :class:`repro.netsim.switch.Switch` -- a programmable switch with a
+  match-action pipeline and per-stage register arrays.
+* :class:`repro.netsim.host.Host` -- a server with a configurable software
+  stack delay (kernel TCP vs. DPDK) and NIC rate.
+* :mod:`repro.netsim.topology` -- builders for the paper's 4-switch testbed
+  (Figure 8) and for spine-leaf fabrics (Section 8.3).
+"""
+
+from repro.netsim.engine import Simulator, Event
+from repro.netsim.packet import (
+    Packet,
+    EthernetHeader,
+    IPv4Header,
+    UDPHeader,
+    NETCHAIN_UDP_PORT,
+)
+from repro.netsim.link import Link, LinkConfig
+from repro.netsim.node import Node, Port
+from repro.netsim.switch import Switch, SwitchConfig
+from repro.netsim.host import Host, HostConfig
+from repro.netsim.topology import Topology, build_testbed, build_spine_leaf
+from repro.netsim.routing import install_shortest_path_routes
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Packet",
+    "EthernetHeader",
+    "IPv4Header",
+    "UDPHeader",
+    "NETCHAIN_UDP_PORT",
+    "Link",
+    "LinkConfig",
+    "Node",
+    "Port",
+    "Switch",
+    "SwitchConfig",
+    "Host",
+    "HostConfig",
+    "Topology",
+    "build_testbed",
+    "build_spine_leaf",
+    "install_shortest_path_routes",
+]

@@ -1,0 +1,153 @@
+"""Discrete-event simulation engine.
+
+A tiny but complete discrete-event kernel: a priority queue of timestamped
+events, a monotonically advancing virtual clock, and helpers for periodic
+processes.  All times are in **seconds** (floats); the typical granularity
+in this project is hundreds of nanoseconds (switch pipeline delays) up to
+milliseconds (ZooKeeper fsync delays).
+
+The engine is deterministic: ties are broken by insertion order, and all
+randomness in the simulation flows through :class:`random.Random` instances
+seeded by the caller.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events compare by ``(time, seq)`` so that events scheduled earlier for
+    the same timestamp run first (FIFO within a timestamp).
+    """
+
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark this event so the simulator skips it when dequeued."""
+        self.cancelled = True
+
+
+class Simulator:
+    """Event loop with a virtual clock.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.schedule(1e-6, lambda: print("one microsecond in"))
+        sim.run(until=1.0)
+    """
+
+    def __init__(self) -> None:
+        self._queue: list[Event] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+        self._running = False
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events executed so far (for diagnostics)."""
+        return self._processed
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` to run ``delay`` seconds from now.
+
+        Negative delays are clamped to zero, which keeps callers simple when
+        a computed delay underflows to a tiny negative float.
+        """
+        if delay < 0:
+            delay = 0.0
+        event = Event(time=self._now + delay, seq=next(self._counter), callback=callback)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` at an absolute simulation time."""
+        return self.schedule(max(0.0, time - self._now), callback)
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run the event loop.
+
+        Args:
+            until: stop once the clock would pass this time (the event at
+                exactly ``until`` still runs).
+            max_events: safety valve for runaway simulations.
+        """
+        self._running = True
+        executed = 0
+        while self._queue and self._running:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            if until is not None and event.time > until:
+                # Put it back so a later run() continues where we stopped.
+                heapq.heappush(self._queue, event)
+                self._now = until
+                break
+            self._now = event.time
+            event.callback()
+            self._processed += 1
+            executed += 1
+            if max_events is not None and executed >= max_events:
+                break
+        else:
+            if until is not None and self._now < until:
+                self._now = until
+        self._running = False
+
+    def stop(self) -> None:
+        """Stop the event loop after the current event returns."""
+        self._running = False
+
+    def pending(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._queue)
+
+    def every(self, interval: float, callback: Callable[[], None],
+              start: float = 0.0, jitter: float = 0.0,
+              rng=None) -> Callable[[], None]:
+        """Run ``callback`` periodically until the returned canceller is called.
+
+        Args:
+            interval: period in seconds.
+            callback: invoked once per period.
+            start: delay before the first invocation.
+            jitter: if non-zero, each period is perturbed uniformly in
+                ``[-jitter, +jitter]`` using ``rng.uniform``.
+            rng: a ``random.Random`` used when ``jitter`` is non-zero.
+
+        Returns:
+            A zero-argument function that cancels the periodic process.
+        """
+        state = {"stopped": False}
+
+        def tick() -> None:
+            if state["stopped"]:
+                return
+            callback()
+            delay = interval
+            if jitter and rng is not None:
+                delay += rng.uniform(-jitter, jitter)
+            self.schedule(max(0.0, delay), tick)
+
+        self.schedule(start, tick)
+
+        def cancel() -> None:
+            state["stopped"] = True
+
+        return cancel

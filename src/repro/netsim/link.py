@@ -1,0 +1,103 @@
+"""Link model: propagation delay, serialization, loss and reordering.
+
+The paper's chain protocol explicitly copes with the network's best-effort
+delivery (Section 4.3): packets between chain switches can be *lost* or
+*reordered*.  Both behaviours are modelled here so that the sequence-number
+ordering protocol and the client retry logic are actually exercised.
+
+Loss injection matches the evaluation setup of Figure 9(d): a loss
+probability applied independently per traversal.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, TYPE_CHECKING
+
+from repro.netsim.packet import Packet
+from repro.netsim.node import Port
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.netsim.engine import Simulator
+
+
+@dataclass
+class LinkConfig:
+    """Per-link parameters.
+
+    Attributes:
+        delay: one-way propagation delay in seconds.  Datacenter cable runs
+            are a few hundred nanoseconds.
+        bandwidth_bps: link speed in bits/sec; ``None`` disables
+            serialization delay (useful for analytic experiments where the
+            capacity model lives in the switch service rate instead).
+        loss_rate: probability that a packet traversing the link is dropped.
+        reorder_jitter: if non-zero, each delivery is additionally delayed by
+            a uniform random amount in ``[0, reorder_jitter]`` seconds, which
+            lets later packets overtake earlier ones.
+    """
+
+    delay: float = 200e-9
+    bandwidth_bps: Optional[float] = 40e9
+    loss_rate: float = 0.0
+    reorder_jitter: float = 0.0
+
+
+class Link:
+    """A full-duplex point-to-point link between two ports."""
+
+    def __init__(self, sim: "Simulator", port_a: Port, port_b: Port,
+                 config: Optional[LinkConfig] = None,
+                 rng: Optional[random.Random] = None) -> None:
+        self.sim = sim
+        self.port_a = port_a
+        self.port_b = port_b
+        self.config = config or LinkConfig()
+        self.rng = rng or random.Random(0)
+        self.delivered = 0
+        self.dropped = 0
+        port_a.link = self
+        port_b.link = self
+
+    def other_end(self, port: Port) -> Port:
+        """The port at the opposite end from ``port``."""
+        if port is self.port_a:
+            return self.port_b
+        if port is self.port_b:
+            return self.port_a
+        raise ValueError("port is not attached to this link")
+
+    def connects(self, node_a, node_b) -> bool:
+        """Whether this link joins the two given nodes (in either order)."""
+        ends = {self.port_a.node, self.port_b.node}
+        return ends == {node_a, node_b}
+
+    def transmit(self, packet: Packet, from_port: Port) -> None:
+        """Carry ``packet`` from ``from_port`` to the opposite port."""
+        dst_port = self.other_end(from_port)
+        cfg = self.config
+        if cfg.loss_rate > 0 and self.rng.random() < cfg.loss_rate:
+            self.dropped += 1
+            return
+        latency = cfg.delay
+        if cfg.bandwidth_bps:
+            latency += packet.size_bytes() * 8.0 / cfg.bandwidth_bps
+        if cfg.reorder_jitter > 0:
+            latency += self.rng.uniform(0.0, cfg.reorder_jitter)
+        self.sim.schedule(latency, lambda: self._deliver(packet, dst_port))
+
+    def _deliver(self, packet: Packet, dst_port: Port) -> None:
+        self.delivered += 1
+        dst_port.node.deliver(packet, dst_port)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Link({self.port_a.name} <-> {self.port_b.name})"
+
+
+def connect(sim: "Simulator", node_a, node_b, config: Optional[LinkConfig] = None,
+            rng: Optional[random.Random] = None) -> Link:
+    """Create a new port on each node and wire them with a link."""
+    port_a = node_a.add_port()
+    port_b = node_b.add_port()
+    return Link(sim, port_a, port_b, config=config, rng=rng)

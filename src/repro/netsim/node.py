@@ -1,0 +1,108 @@
+"""Base classes for simulated devices (switches and hosts).
+
+A :class:`Node` owns a set of :class:`Port` objects.  Ports are wired
+together by :class:`repro.netsim.link.Link`; sending a packet out of a port
+hands it to the attached link, which delivers it to the peer port's node
+after the configured delays.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, TYPE_CHECKING
+
+from repro.netsim.packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.netsim.engine import Simulator
+    from repro.netsim.link import Link
+
+
+class Port:
+    """One attachment point of a node; at most one link is plugged in."""
+
+    def __init__(self, node: "Node", index: int) -> None:
+        self.node = node
+        self.index = index
+        self.link: Optional["Link"] = None
+        #: Counters for diagnostics and tests.
+        self.tx_packets = 0
+        self.rx_packets = 0
+
+    @property
+    def name(self) -> str:
+        return f"{self.node.name}.p{self.index}"
+
+    def peer(self) -> Optional["Port"]:
+        """The port at the other end of the attached link, if any."""
+        if self.link is None:
+            return None
+        return self.link.other_end(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Port({self.name})"
+
+
+class Node:
+    """A device in the simulated network.
+
+    Subclasses implement :meth:`receive` (packet arrived on a port) and use
+    :meth:`transmit` to push packets onto links.
+    """
+
+    def __init__(self, sim: "Simulator", name: str, ip: str = "0.0.0.0") -> None:
+        self.sim = sim
+        self.name = name
+        self.ip = ip
+        self.ports: Dict[int, Port] = {}
+        self.packets_received = 0
+        self.packets_sent = 0
+        self.packets_dropped = 0
+
+    def add_port(self, index: Optional[int] = None) -> Port:
+        """Create a new port; index defaults to the next free integer."""
+        if index is None:
+            index = len(self.ports)
+        if index in self.ports:
+            raise ValueError(f"port {index} already exists on {self.name}")
+        port = Port(self, index)
+        self.ports[index] = port
+        return port
+
+    def port_to(self, other: "Node") -> Optional[Port]:
+        """The local port whose link leads directly to ``other`` (if any)."""
+        for port in self.ports.values():
+            peer = port.peer()
+            if peer is not None and peer.node is other:
+                return port
+        return None
+
+    def neighbors(self) -> list:
+        """Directly connected nodes."""
+        result = []
+        for port in self.ports.values():
+            peer = port.peer()
+            if peer is not None:
+                result.append(peer.node)
+        return result
+
+    def transmit(self, packet: Packet, port: Port) -> None:
+        """Push ``packet`` onto the link attached to ``port``."""
+        if port.link is None:
+            self.packets_dropped += 1
+            return
+        self.packets_sent += 1
+        port.tx_packets += 1
+        port.link.transmit(packet, port)
+
+    def deliver(self, packet: Packet, port: Port) -> None:
+        """Called by links when a packet arrives at ``port``."""
+        self.packets_received += 1
+        port.rx_packets += 1
+        self.receive(packet, port)
+
+    def receive(self, packet: Packet, port: Port) -> None:
+        """Handle an arriving packet.  Subclasses override."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name}, ip={self.ip})"

@@ -1,0 +1,173 @@
+"""Packet model: Ethernet / IPv4 / UDP headers and a structured payload.
+
+NetChain queries are UDP packets with a custom header stack
+(Figure 2(b) of the paper)::
+
+    ETH | IP | UDP | OP KEY VALUE SC S0 S1 ... Sk SEQ
+
+The simulator keeps headers as small dataclasses for speed; the wire
+encoding (used by :mod:`repro.core.protocol` and by tests that check the
+format fits in a jumbo frame) is provided by ``to_bytes``/``from_bytes``
+on each header.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+import itertools
+import struct
+from dataclasses import dataclass, field, replace
+from typing import Any, Optional
+
+#: UDP destination port reserved for NetChain queries (Section 3).
+NETCHAIN_UDP_PORT = 8123
+
+#: Maximum Ethernet jumbo frame payload, which bounds value size (Section 6).
+JUMBO_FRAME_BYTES = 9000
+
+_packet_ids = itertools.count(1)
+
+
+def ip_to_int(addr: str) -> int:
+    """Convert dotted-quad to a 32-bit integer."""
+    return int(ipaddress.IPv4Address(addr))
+
+
+def int_to_ip(value: int) -> str:
+    """Convert a 32-bit integer to dotted-quad."""
+    return str(ipaddress.IPv4Address(value))
+
+
+@dataclass
+class EthernetHeader:
+    """Layer-2 header.  MAC addresses are plain strings (``"02:00:00:00:00:01"``)."""
+
+    src_mac: str = "02:00:00:00:00:00"
+    dst_mac: str = "02:00:00:00:00:00"
+    ethertype: int = 0x0800
+
+    HEADER_BYTES = 14
+
+    def to_bytes(self) -> bytes:
+        def mac_bytes(mac: str) -> bytes:
+            return bytes(int(part, 16) for part in mac.split(":"))
+
+        return mac_bytes(self.dst_mac) + mac_bytes(self.src_mac) + struct.pack("!H", self.ethertype)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "EthernetHeader":
+        def bytes_mac(raw: bytes) -> str:
+            return ":".join(f"{b:02x}" for b in raw)
+
+        dst = bytes_mac(data[0:6])
+        src = bytes_mac(data[6:12])
+        (ethertype,) = struct.unpack("!H", data[12:14])
+        return cls(src_mac=src, dst_mac=dst, ethertype=ethertype)
+
+
+@dataclass
+class IPv4Header:
+    """Layer-3 header.  Only the fields the protocols need are modelled."""
+
+    src_ip: str = "0.0.0.0"
+    dst_ip: str = "0.0.0.0"
+    ttl: int = 64
+    protocol: int = 17  # UDP
+
+    HEADER_BYTES = 20
+
+    def to_bytes(self) -> bytes:
+        return struct.pack(
+            "!BBHHHBBHII",
+            0x45,
+            0,
+            self.HEADER_BYTES,
+            0,
+            0,
+            self.ttl,
+            self.protocol,
+            0,
+            ip_to_int(self.src_ip),
+            ip_to_int(self.dst_ip),
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "IPv4Header":
+        fields = struct.unpack("!BBHHHBBHII", data[: cls.HEADER_BYTES])
+        return cls(
+            src_ip=int_to_ip(fields[8]),
+            dst_ip=int_to_ip(fields[9]),
+            ttl=fields[5],
+            protocol=fields[6],
+        )
+
+
+@dataclass
+class UDPHeader:
+    """Layer-4 header."""
+
+    src_port: int = 0
+    dst_port: int = 0
+    length: int = 8
+
+    HEADER_BYTES = 8
+
+    def to_bytes(self) -> bytes:
+        return struct.pack("!HHHH", self.src_port, self.dst_port, self.length, 0)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "UDPHeader":
+        src, dst, length, _checksum = struct.unpack("!HHHH", data[: cls.HEADER_BYTES])
+        return cls(src_port=src, dst_port=dst, length=length)
+
+
+@dataclass
+class Packet:
+    """A simulated packet.
+
+    ``payload`` is a structured object (for NetChain queries a
+    :class:`repro.core.protocol.NetChainHeader`); ``payload_bytes`` is the
+    size charged against link bandwidth and frame limits and is derived from
+    the payload's declared wire size when available.
+    """
+
+    eth: EthernetHeader = field(default_factory=EthernetHeader)
+    ip: IPv4Header = field(default_factory=IPv4Header)
+    udp: Optional[UDPHeader] = None
+    payload: Any = None
+    payload_bytes: int = 0
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    #: Number of switch pipeline traversals so far (used by capacity accounting).
+    pipeline_passes: int = 0
+    #: Creation timestamp, stamped by hosts for latency measurement.
+    created_at: float = 0.0
+
+    def size_bytes(self) -> int:
+        """Total on-wire size of the packet."""
+        size = EthernetHeader.HEADER_BYTES + IPv4Header.HEADER_BYTES
+        if self.udp is not None:
+            size += UDPHeader.HEADER_BYTES
+        return size + self.payload_bytes
+
+    def fits_in_jumbo_frame(self) -> bool:
+        """Whether the packet respects the 9KB Ethernet jumbo-frame limit."""
+        return self.size_bytes() <= JUMBO_FRAME_BYTES
+
+    def copy(self) -> "Packet":
+        """A shallow copy with a fresh packet id (used for retransmissions)."""
+        clone = replace(self)
+        clone.packet_id = next(_packet_ids)
+        clone.eth = replace(self.eth)
+        clone.ip = replace(self.ip)
+        if self.udp is not None:
+            clone.udp = replace(self.udp)
+        if hasattr(self.payload, "copy"):
+            clone.payload = self.payload.copy()
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        proto = "udp" if self.udp is not None else "ip"
+        return (
+            f"Packet(id={self.packet_id}, {proto}, {self.ip.src_ip}->{self.ip.dst_ip}, "
+            f"payload={self.payload!r})"
+        )

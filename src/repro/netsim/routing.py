@@ -1,0 +1,123 @@
+"""Underlay L3 routing: shortest-path forwarding tables.
+
+NetChain's chain routing rides on top of whatever underlay routing the
+datacenter already runs (Section 4.2): each switch simply forwards on the
+destination IP, and the NetChain program rewrites the destination IP to the
+next chain hop.  This module plays the role of that underlay routing
+protocol: it computes shortest paths over the physical topology and
+installs ``dest-IP -> egress port`` entries in every switch.
+
+It also provides :func:`reroute_around_failures`, the "fast rerouting upon
+failures" property of existing routing protocols the paper leans on: after a
+switch failure the underlay recomputes paths that avoid the failed device.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+import networkx as nx
+
+from repro.netsim.switch import Switch
+from repro.netsim.topology import Topology
+
+
+def _build_routing_graph(topology: Topology, exclude: Iterable[str]) -> nx.Graph:
+    excluded = set(exclude)
+    graph = nx.Graph()
+    for name in topology.graph.nodes:
+        if name not in excluded:
+            graph.add_node(name)
+    for a, b in topology.graph.edges:
+        if a not in excluded and b not in excluded:
+            graph.add_edge(a, b)
+    return graph
+
+
+def install_shortest_path_routes(topology: Topology,
+                                 exclude: Optional[Iterable[str]] = None) -> None:
+    """Install dest-IP forwarding entries on every switch.
+
+    Args:
+        topology: the network.
+        exclude: node names (typically failed switches) to route around.
+
+    Paths are computed hop-count shortest paths; when several equal-cost
+    next hops exist the lexicographically smallest neighbour is chosen so
+    the routing is deterministic (tests rely on this).
+    """
+    exclude = list(exclude or [])
+    excluded_set = set(exclude)
+    graph = _build_routing_graph(topology, exclude)
+    full_graph = _build_routing_graph(topology, [])
+    # next_hop[src][dst_name] = neighbour name on a shortest path.
+    for switch_name, switch in topology.switches.items():
+        if switch_name in exclude:
+            continue
+        switch.forwarding_table.clear()
+        if switch_name not in graph:
+            continue
+        # BFS tree from each destination would be O(n^2); for the sizes used
+        # here (<= ~100 switches) per-source shortest paths are fine.
+        paths = nx.single_source_shortest_path(graph, switch_name)
+        for dst_name, path in paths.items():
+            if dst_name == switch_name or len(path) < 2:
+                continue
+            dst_node = topology.node(dst_name)
+            candidates = _equal_cost_next_hops(graph, switch_name, dst_name, len(path) - 1)
+            next_hop_name = sorted(candidates)[0]
+            next_hop = topology.node(next_hop_name)
+            port = switch.port_to(next_hop)
+            if port is not None:
+                switch.forwarding_table[dst_node.ip] = port
+        # Routes *toward* an excluded (failed) node are kept on the full
+        # graph: NetChain's failover relies on packets still flowing toward
+        # the failed switch until one of its neighbours intercepts them with
+        # a redirect rule (Algorithm 2).
+        for dst_name in excluded_set:
+            if dst_name not in full_graph or dst_name == switch_name:
+                continue
+            try:
+                path = nx.shortest_path(full_graph, switch_name, dst_name)
+            except nx.NetworkXNoPath:
+                continue
+            if len(path) < 2:
+                continue
+            dst_node = topology.node(dst_name)
+            next_hop = topology.node(path[1])
+            port = switch.port_to(next_hop)
+            if port is not None:
+                switch.forwarding_table[dst_node.ip] = port
+
+
+def _equal_cost_next_hops(graph: nx.Graph, src: str, dst: str, dist: int) -> List[str]:
+    """Neighbours of ``src`` that lie on some shortest path to ``dst``."""
+    lengths = nx.single_source_shortest_path_length(graph, dst)
+    result = []
+    for neighbor in graph.neighbors(src):
+        if lengths.get(neighbor, float("inf")) == dist - 1:
+            result.append(neighbor)
+    return result or [dst]
+
+
+def reroute_around_failures(topology: Topology, failed: Iterable[str]) -> None:
+    """Recompute underlay routes avoiding the given failed nodes."""
+    install_shortest_path_routes(topology, exclude=failed)
+
+
+def path_between(topology: Topology, src: str, dst: str,
+                 exclude: Optional[Iterable[str]] = None) -> List[str]:
+    """Shortest physical path between two nodes (node names, inclusive)."""
+    graph = _build_routing_graph(topology, exclude or [])
+    return nx.shortest_path(graph, src, dst)
+
+
+def hop_count(topology: Topology, src: str, dst: str) -> int:
+    """Number of links on the shortest path between two nodes."""
+    return len(path_between(topology, src, dst)) - 1
+
+
+def switch_hops_on_path(topology: Topology, src: str, dst: str) -> List[str]:
+    """Switch names traversed between ``src`` and ``dst`` (exclusive of hosts)."""
+    return [name for name in path_between(topology, src, dst)
+            if name in topology.switches]

@@ -1,0 +1,136 @@
+"""Measurement helpers: latency distributions and throughput time series.
+
+The evaluation section of the paper reports saturation throughput
+(Figures 9(a)-(d), 9(f), 11), latency-vs-throughput curves (Figure 9(e)) and
+per-second throughput time series around failures (Figure 10).  These small
+collectors provide exactly those aggregations.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+class LatencyRecorder:
+    """Collects per-query latencies and reports summary statistics."""
+
+    def __init__(self) -> None:
+        self.samples: List[float] = []
+
+    def record(self, latency: float) -> None:
+        """Add one latency sample (seconds)."""
+        self.samples.append(latency)
+
+    def count(self) -> int:
+        return len(self.samples)
+
+    def mean(self) -> float:
+        """Mean latency, 0.0 when empty."""
+        if not self.samples:
+            return 0.0
+        return sum(self.samples) / len(self.samples)
+
+    def percentile(self, p: float) -> float:
+        """p-th percentile (0-100), nearest-rank."""
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        rank = max(0, min(len(ordered) - 1, int(math.ceil(p / 100.0 * len(ordered))) - 1))
+        return ordered[rank]
+
+    def median(self) -> float:
+        return self.percentile(50.0)
+
+    def p99(self) -> float:
+        return self.percentile(99.0)
+
+    def clear(self) -> None:
+        self.samples.clear()
+
+
+class ThroughputTimeSeries:
+    """Counts completions into fixed-width time bins (Figure 10 style)."""
+
+    def __init__(self, bin_width: float = 1.0) -> None:
+        self.bin_width = bin_width
+        self.bins: Dict[int, int] = {}
+
+    def record(self, time: float, count: int = 1) -> None:
+        """Record ``count`` completions at simulation time ``time``."""
+        index = int(time / self.bin_width)
+        self.bins[index] = self.bins.get(index, 0) + count
+
+    def series(self) -> List[Tuple[float, float]]:
+        """(bin start time, rate per second) for every bin, gaps included."""
+        if not self.bins:
+            return []
+        first = min(self.bins)
+        last = max(self.bins)
+        result = []
+        for index in range(first, last + 1):
+            rate = self.bins.get(index, 0) / self.bin_width
+            result.append((index * self.bin_width, rate))
+        return result
+
+    def rate_at(self, time: float) -> float:
+        """Rate in the bin containing ``time``."""
+        index = int(time / self.bin_width)
+        return self.bins.get(index, 0) / self.bin_width
+
+    def total(self) -> int:
+        """Total completions recorded."""
+        return sum(self.bins.values())
+
+
+@dataclass
+class ThroughputMeasurement:
+    """Result of a fixed-duration throughput measurement."""
+
+    completed: int = 0
+    duration: float = 0.0
+    #: Multiplier applied when mapping scaled simulation rates back to the
+    #: paper's absolute rates (see DESIGN.md, "Scale model").
+    scale: float = 1.0
+
+    def qps(self) -> float:
+        """Queries per second in simulated (scaled-down) units."""
+        if self.duration <= 0:
+            return 0.0
+        return self.completed / self.duration
+
+    def scaled_qps(self) -> float:
+        """Queries per second scaled back to the paper's absolute units."""
+        return self.qps() * self.scale
+
+    def scaled_mqps(self) -> float:
+        """Scaled throughput in millions of queries per second."""
+        return self.scaled_qps() / 1e6
+
+
+class IntervalCounter:
+    """Counts events and reports rates over arbitrary time windows."""
+
+    def __init__(self) -> None:
+        self._times: List[float] = []
+
+    def record(self, time: float) -> None:
+        self._times.append(time)
+
+    def count_between(self, start: float, end: float) -> int:
+        """Number of events with ``start <= t < end`` (times must be recorded
+        in nondecreasing order, which simulation time guarantees)."""
+        lo = bisect_right(self._times, start - 1e-15)
+        hi = bisect_right(self._times, end - 1e-15)
+        return hi - lo
+
+    def rate_between(self, start: float, end: float) -> float:
+        """Average events per second over the window."""
+        if end <= start:
+            return 0.0
+        return self.count_between(start, end) / (end - start)
+
+    def total(self) -> int:
+        return len(self._times)

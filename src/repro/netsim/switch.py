@@ -1,0 +1,227 @@
+"""Programmable switch model.
+
+This is the stand-in for a Barefoot Tofino switch: a device with
+
+* an L3 forwarding table (dest-IP based, installed by the underlay routing
+  protocol, Section 4.2 -- "standard L3 routing that forwards packets based
+  on destination IP"),
+* a programmable match-action pipeline on which data-plane programs such as
+  the NetChain program (:mod:`repro.core.switch_program`) are installed,
+* per-stage register arrays with an SRAM budget (:mod:`repro.netsim.registers`),
+* a packet-processing capacity (packets per second) and a sub-microsecond
+  pipeline delay, the two constants of Table 1 that make switches orders of
+  magnitude faster than servers.
+
+Capacity is modelled as a single-server queue: each pipeline pass occupies
+``1/capacity_pps`` seconds of the pipeline, and packets beyond the ingress
+queue limit are tail-dropped.  The paper's testbed mode processes every
+query packet twice per switch (once in each direction); this emerges
+naturally here because a query traverses the same switch on its way up and
+down the topology.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from enum import Enum, auto
+from typing import Callable, Dict, List, Optional, TYPE_CHECKING
+
+from repro.netsim.node import Node, Port
+from repro.netsim.packet import Packet
+from repro.netsim.registers import RegisterFile
+from repro.netsim.tables import MatchTable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.netsim.engine import Simulator
+
+
+class PipelineAction(Enum):
+    """What a pipeline program decided to do with a packet."""
+
+    #: Not interesting to this program; keep going (next program, then L3).
+    CONTINUE = auto()
+    #: Program rewrote the packet; forward it using the L3 table.
+    FORWARD = auto()
+    #: Drop the packet.
+    DROP = auto()
+    #: Program consumed the packet (e.g. delivered it to the local control agent).
+    CONSUME = auto()
+
+
+class PipelineProgram:
+    """Interface for data-plane programs installed on a switch."""
+
+    def process(self, switch: "Switch", packet: Packet, in_port: Port) -> PipelineAction:
+        """Inspect/modify ``packet``; return the action the switch should take."""
+        raise NotImplementedError
+
+
+@dataclass
+class SwitchConfig:
+    """Resource and timing parameters of one switch.
+
+    Defaults correspond to the paper's Tofino numbers (Table 1 and
+    Section 7) scaled by ``1.0`` -- callers pass scaled-down capacities for
+    tractable simulations (see ``repro.perfmodel.devices``).
+    """
+
+    #: Packets per second the pipeline can process.  ``None`` = unlimited.
+    capacity_pps: Optional[float] = None
+    #: Pipeline (per-pass) processing delay in seconds.
+    pipeline_delay: float = 0.5e-6
+    #: Number of pipeline stages usable for value storage (Section 7 uses 8).
+    value_stages: int = 8
+    #: Bytes of value each stage can read/write per pass (Section 6 uses 16).
+    stage_value_bytes: int = 16
+    #: On-chip SRAM budget available to NetChain, in bytes (Section 7: 8 MB
+    #: of slots; Section 6 argues ~10 MB per switch is realistic).
+    sram_bytes: Optional[int] = 10 * 1024 * 1024
+    #: Ingress queue limit in packets (tail drop beyond this).
+    ingress_queue_packets: int = 10000
+
+
+class Switch(Node):
+    """A programmable switch: L3 forwarding plus a match-action pipeline."""
+
+    def __init__(self, sim: "Simulator", name: str, ip: str,
+                 config: Optional[SwitchConfig] = None,
+                 rng: Optional[random.Random] = None) -> None:
+        super().__init__(sim, name, ip)
+        self.config = config or SwitchConfig()
+        self.rng = rng or random.Random(hash(name) & 0xFFFF)
+        #: dest-IP -> egress port, installed by the underlay routing protocol.
+        self.forwarding_table: Dict[str, Port] = {}
+        #: Data-plane programs, run in order on every packet.
+        self.programs: List[PipelineProgram] = []
+        #: Register arrays (switch SRAM).
+        self.registers = RegisterFile(sram_bytes=self.config.sram_bytes)
+        #: Named match tables created by data-plane programs.
+        self.tables: Dict[str, MatchTable] = {}
+        #: Per-switch loss injection (Figure 9(d) injects loss per switch).
+        self.injected_loss_rate = 0.0
+        #: A callable the control plane registers to receive control packets.
+        self.control_agent: Optional[Callable[[Packet, Port], None]] = None
+        # Capacity accounting (single-server queue).
+        self._busy_until = 0.0
+        self._queued = 0
+        self.pipeline_passes = 0
+        self.dropped_capacity = 0
+        self.dropped_no_route = 0
+        self.dropped_injected = 0
+        self.dropped_by_program = 0
+        #: When ``True`` the switch silently discards everything (fail-stop).
+        self.failed = False
+
+    # ------------------------------------------------------------------ #
+    # Resource helpers used by data-plane programs.
+    # ------------------------------------------------------------------ #
+
+    def create_table(self, name: str, max_entries: Optional[int] = None) -> MatchTable:
+        """Create (or return an existing) named match table."""
+        if name not in self.tables:
+            self.tables[name] = MatchTable(name, max_entries=max_entries)
+        return self.tables[name]
+
+    def install_program(self, program: PipelineProgram) -> None:
+        """Append a data-plane program to the pipeline."""
+        self.programs.append(program)
+
+    def max_value_bytes_per_pass(self) -> int:
+        """Largest value a single pipeline pass can carry (Section 6: k*n)."""
+        return self.config.value_stages * self.config.stage_value_bytes
+
+    def charge_extra_passes(self, passes: int) -> None:
+        """Charge pipeline capacity for packet recirculation.
+
+        Values larger than one pass can carry are re-circulated through the
+        pipeline (Section 6), which costs effective throughput.  Each extra
+        pass consumes one service slot of the capacity model.
+        """
+        if passes <= 0:
+            return
+        self.pipeline_passes += passes
+        if self.config.capacity_pps is not None:
+            self._busy_until = max(self._busy_until, self.sim.now)
+            self._busy_until += passes / self.config.capacity_pps
+
+    # ------------------------------------------------------------------ #
+    # Packet path.
+    # ------------------------------------------------------------------ #
+
+    def receive(self, packet: Packet, port: Port) -> None:
+        if self.failed:
+            self.packets_dropped += 1
+            return
+        if self.injected_loss_rate > 0 and self.rng.random() < self.injected_loss_rate:
+            self.dropped_injected += 1
+            return
+        cfg = self.config
+        if cfg.capacity_pps is None:
+            self.sim.schedule(cfg.pipeline_delay, lambda: self._process(packet, port))
+            return
+        # Single-server queue with tail drop.  The packet waits for the
+        # backlog ahead of it but its own service slot is not added to its
+        # latency: the scaled-down service rate models the throughput
+        # ceiling, not per-packet processing delay (which is
+        # ``pipeline_delay``).  See DESIGN.md, "Scale model".
+        now = self.sim.now
+        backlog = max(0.0, self._busy_until - now)
+        service_time = 1.0 / cfg.capacity_pps
+        if backlog / service_time >= cfg.ingress_queue_packets:
+            self.dropped_capacity += 1
+            return
+        start = max(now, self._busy_until)
+        self._busy_until = start + service_time
+        finish = backlog + cfg.pipeline_delay
+        self.sim.schedule(finish, lambda: self._process(packet, port))
+
+    def _process(self, packet: Packet, port: Port) -> None:
+        if self.failed:
+            return
+        self.pipeline_passes += 1
+        packet.pipeline_passes += 1
+        for program in self.programs:
+            action = program.process(self, packet, port)
+            if action is PipelineAction.DROP:
+                self.dropped_by_program += 1
+                return
+            if action is PipelineAction.CONSUME:
+                return
+            if action is PipelineAction.FORWARD:
+                break
+        self.forward(packet)
+
+    def forward(self, packet: Packet) -> None:
+        """L3 forward based on destination IP."""
+        dst = packet.ip.dst_ip
+        if dst == self.ip:
+            # Destined to the switch itself: hand it to the control agent.
+            if self.control_agent is not None:
+                self.control_agent(packet, None)
+            else:
+                self.dropped_no_route += 1
+            return
+        out_port = self.forwarding_table.get(dst)
+        if out_port is None:
+            self.dropped_no_route += 1
+            return
+        packet.ip.ttl -= 1
+        if packet.ip.ttl <= 0:
+            self.packets_dropped += 1
+            return
+        self.transmit(packet, out_port)
+
+    # ------------------------------------------------------------------ #
+    # Failure injection (Section 5 / Section 8.4).
+    # ------------------------------------------------------------------ #
+
+    def fail(self) -> None:
+        """Fail-stop: the switch stops processing and forwarding packets."""
+        self.failed = True
+
+    def recover_device(self) -> None:
+        """Bring the device back up (its NetChain state is *not* restored;
+        the controller's failure-recovery protocol handles state)."""
+        self.failed = False
+        self._busy_until = 0.0

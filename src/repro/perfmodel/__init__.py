@@ -1,0 +1,40 @@
+"""Analytic performance models and device constants.
+
+* :mod:`repro.perfmodel.devices` -- the packet-processing capability numbers
+  of Table 1 and the scale model used to map them onto tractable
+  discrete-event simulations.
+* :mod:`repro.perfmodel.scalability` -- the spine-leaf scalability model that
+  regenerates Figure 9(f).
+"""
+
+from repro.perfmodel.devices import (
+    DeviceModel,
+    TOFINO,
+    NETBRICKS_SERVER,
+    ZOOKEEPER_SERVER,
+    DPDK_CLIENT,
+    table1_rows,
+    scaled_switch_config,
+    scaled_dpdk_host_config,
+    scaled_kernel_host_config,
+)
+from repro.perfmodel.scalability import (
+    SpineLeafModel,
+    ScalabilityPoint,
+    scalability_sweep,
+)
+
+__all__ = [
+    "DeviceModel",
+    "TOFINO",
+    "NETBRICKS_SERVER",
+    "ZOOKEEPER_SERVER",
+    "DPDK_CLIENT",
+    "table1_rows",
+    "scaled_switch_config",
+    "scaled_dpdk_host_config",
+    "scaled_kernel_host_config",
+    "SpineLeafModel",
+    "ScalabilityPoint",
+    "scalability_sweep",
+]

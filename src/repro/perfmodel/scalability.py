@@ -1,0 +1,155 @@
+"""Scalability model for large spine-leaf deployments (Figure 9(f)).
+
+The paper evaluates NetChain at datacenter scale with simulations of
+standard spine-leaf networks: 64-port switches at 4 BQPS, 32 servers per
+leaf, a non-blocking fabric (spines = leaves / 2), and network sizes from 6
+to 96 switches.  The reported metric is the maximum read-only and
+write-only throughput of the whole fabric.
+
+The model here mirrors that simulation: keys are assigned to chains of
+``f+1`` switches chosen uniformly (consistent hashing spreads virtual nodes
+over all switches), clients sit under random leaves, and a query consumes
+one pipeline pass at every switch it traverses on its way through the chain
+and back.  The fabric's maximum throughput is the aggregate switch capacity
+divided by the expected number of passes per query -- reads traverse fewer
+switches than writes, which is exactly why the paper's write curve sits
+below the read curve while both grow linearly with the number of switches.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.perfmodel.devices import TOFINO
+
+
+@dataclass
+class ScalabilityPoint:
+    """One point of the Figure 9(f) series."""
+
+    num_switches: int
+    num_spines: int
+    num_leaves: int
+    read_bqps: float
+    write_bqps: float
+    avg_read_passes: float
+    avg_write_passes: float
+
+
+class SpineLeafModel:
+    """Expected-hop-count throughput model of a spine-leaf fabric."""
+
+    def __init__(self, num_spines: int, num_leaves: int,
+                 switch_pps: float = TOFINO.packets_per_sec,
+                 replication: int = 3, seed: int = 0) -> None:
+        if num_spines < 1 or num_leaves < 1:
+            raise ValueError("need at least one spine and one leaf")
+        self.num_spines = num_spines
+        self.num_leaves = num_leaves
+        self.switch_pps = switch_pps
+        self.replication = replication
+        self.rng = random.Random(seed)
+        self.spines = [f"spine{i}" for i in range(num_spines)]
+        self.leaves = [f"leaf{i}" for i in range(num_leaves)]
+        self.switches = self.spines + self.leaves
+
+    @property
+    def num_switches(self) -> int:
+        return self.num_spines + self.num_leaves
+
+    # ------------------------------------------------------------------ #
+    # Path model.
+    # ------------------------------------------------------------------ #
+
+    def _is_spine(self, name: str) -> bool:
+        return name.startswith("spine")
+
+    def _segment(self, src: str, dst: str) -> List[str]:
+        """Switches traversed going from ``src`` to ``dst`` (excluding ``src``,
+        including ``dst``), on a shortest path of the two-layer fabric."""
+        if src == dst:
+            return []
+        src_spine, dst_spine = self._is_spine(src), self._is_spine(dst)
+        if src_spine and dst_spine:
+            # spine -> any leaf -> spine
+            via = self.rng.choice(self.leaves)
+            return [via, dst]
+        if src_spine != dst_spine:
+            # adjacent layers: one hop
+            return [dst]
+        # leaf -> spine -> leaf
+        via = self.rng.choice(self.spines)
+        return [via, dst]
+
+    def passes_for_query(self, client_leaf: str, visit_sequence: Sequence[str]) -> int:
+        """Pipeline passes consumed by one query.
+
+        The query starts at a server under ``client_leaf``, must visit the
+        switches of ``visit_sequence`` in order, and returns to the client.
+        Every switch traversal (including transit hops) costs one pass.
+        """
+        passes = 1  # the client's ToR processes the outgoing packet
+        current = client_leaf
+        for target in list(visit_sequence) + [client_leaf]:
+            passes += len(self._segment(current, target))
+            current = target
+        return passes
+
+    def sample_chain(self) -> List[str]:
+        """A chain of ``replication`` distinct switches (consistent hashing
+        places virtual nodes uniformly over all switches)."""
+        return self.rng.sample(self.switches, self.replication)
+
+    def average_passes(self, write: bool, samples: int = 2000) -> float:
+        """Monte-Carlo estimate of passes per read or write query."""
+        total = 0
+        for _ in range(samples):
+            chain = self.sample_chain()
+            client_leaf = self.rng.choice(self.leaves)
+            sequence = chain if write else [chain[-1]]
+            total += self.passes_for_query(client_leaf, sequence)
+        return total / samples
+
+    # ------------------------------------------------------------------ #
+    # Throughput.
+    # ------------------------------------------------------------------ #
+
+    def max_throughput_qps(self, write: bool, samples: int = 2000) -> float:
+        """Fabric-wide maximum throughput for a read-only or write-only load."""
+        avg_passes = self.average_passes(write=write, samples=samples)
+        aggregate_capacity = self.num_switches * self.switch_pps
+        return aggregate_capacity / avg_passes
+
+    def evaluate(self, samples: int = 2000) -> ScalabilityPoint:
+        """Both series' values for this fabric size."""
+        read_passes = self.average_passes(write=False, samples=samples)
+        write_passes = self.average_passes(write=True, samples=samples)
+        capacity = self.num_switches * self.switch_pps
+        return ScalabilityPoint(
+            num_switches=self.num_switches,
+            num_spines=self.num_spines,
+            num_leaves=self.num_leaves,
+            read_bqps=capacity / read_passes / 1e9,
+            write_bqps=capacity / write_passes / 1e9,
+            avg_read_passes=read_passes,
+            avg_write_passes=write_passes,
+        )
+
+
+def scalability_sweep(sizes: Optional[Sequence[Tuple[int, int]]] = None,
+                      samples: int = 2000, seed: int = 0) -> List[ScalabilityPoint]:
+    """Regenerate the Figure 9(f) sweep.
+
+    ``sizes`` is a list of ``(spines, leaves)`` pairs; the default follows
+    the paper: non-blocking fabrics from 6 switches (2 spines, 4 leaves) to
+    96 switches (32 spines, 64 leaves).
+    """
+    if sizes is None:
+        sizes = [(s, 2 * s) for s in (2, 4, 8, 12, 16, 20, 24, 28, 32)]
+    points = []
+    for spines, leaves in sizes:
+        model = SpineLeafModel(spines, leaves, seed=seed)
+        points.append(model.evaluate(samples=samples))
+    return points

@@ -1,0 +1,35 @@
+"""Workload generation and load-driving clients.
+
+* :mod:`repro.workloads.generators` -- key-value workload descriptions:
+  key distributions, read/write mixes, value sizes, store sizes -- the knobs
+  of Figures 9(a)-(d).
+* :mod:`repro.workloads.clients` -- closed-loop and open-loop load drivers
+  for NetChain agents and for the ZooKeeper baseline, plus throughput
+  measurement helpers.
+"""
+
+from repro.workloads.generators import (
+    WorkloadConfig,
+    KeyValueWorkload,
+    Operation,
+    OpType,
+    zipf_probabilities,
+)
+from repro.workloads.clients import (
+    NetChainLoadClient,
+    ZooKeeperLoadClient,
+    measure_netchain_load,
+    measure_zookeeper_load,
+)
+
+__all__ = [
+    "WorkloadConfig",
+    "KeyValueWorkload",
+    "Operation",
+    "OpType",
+    "zipf_probabilities",
+    "NetChainLoadClient",
+    "ZooKeeperLoadClient",
+    "measure_netchain_load",
+    "measure_zookeeper_load",
+]

@@ -1,0 +1,182 @@
+"""Load-driving clients and throughput measurement helpers.
+
+Both systems are driven by **closed-loop** logical clients: each logical
+client keeps a fixed number of queries outstanding and issues the next one
+as soon as a reply (or a timeout) comes back.  This is how the paper's
+evaluation generates load -- DPDK client processes for NetChain and 100
+Curator client processes for ZooKeeper (Section 8.1) -- and it makes the
+measured saturation throughput insensitive to the exact concurrency level
+once the bottleneck resource is saturated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.agent import NetChainAgent, QueryResult
+from repro.baselines.zk_client import ZooKeeperClient, ZkResult
+from repro.netsim.stats import IntervalCounter, LatencyRecorder, ThroughputTimeSeries
+from repro.workloads.generators import KeyValueWorkload, OpType
+
+
+class NetChainLoadClient:
+    """Closed-loop load generator driving one NetChain agent."""
+
+    def __init__(self, agent: NetChainAgent, workload: KeyValueWorkload,
+                 concurrency: int = 16,
+                 time_series: Optional[ThroughputTimeSeries] = None) -> None:
+        self.agent = agent
+        self.workload = workload
+        self.concurrency = concurrency
+        self.completions = IntervalCounter()
+        self.successes = IntervalCounter()
+        self.read_latency = LatencyRecorder()
+        self.write_latency = LatencyRecorder()
+        self.time_series = time_series
+        self.running = False
+        self.failed_queries = 0
+
+    def start(self) -> None:
+        """Begin issuing queries (call before running the simulator)."""
+        self.running = True
+        for _ in range(self.concurrency):
+            self._issue()
+
+    def stop(self) -> None:
+        """Stop issuing new queries; outstanding ones drain naturally."""
+        self.running = False
+
+    def _issue(self) -> None:
+        if not self.running:
+            return
+        operation = self.workload.next_operation()
+        if operation.op is OpType.WRITE:
+            self.agent.write(operation.key, operation.value, callback=self._on_done)
+        else:
+            self.agent.read(operation.key, callback=self._on_done)
+
+    def _on_done(self, result: QueryResult) -> None:
+        now = self.agent.sim.now
+        self.completions.record(now)
+        if result.ok:
+            self.successes.record(now)
+            if self.time_series is not None:
+                self.time_series.record(now)
+            if result.op.name.startswith("READ"):
+                self.read_latency.record(result.latency)
+            else:
+                self.write_latency.record(result.latency)
+        else:
+            self.failed_queries += 1
+        self._issue()
+
+
+class ZooKeeperLoadClient:
+    """Closed-loop load generator driving one ZooKeeper client session."""
+
+    def __init__(self, client: ZooKeeperClient, workload: KeyValueWorkload,
+                 concurrency: int = 1, path_prefix: str = "/kv/",
+                 time_series: Optional[ThroughputTimeSeries] = None) -> None:
+        self.client = client
+        self.workload = workload
+        self.concurrency = concurrency
+        self.path_prefix = path_prefix
+        self.completions = IntervalCounter()
+        self.successes = IntervalCounter()
+        self.read_latency = LatencyRecorder()
+        self.write_latency = LatencyRecorder()
+        self.time_series = time_series
+        self.running = False
+        self.failed_queries = 0
+
+    def _path(self, key: str) -> str:
+        return f"{self.path_prefix}{key}"
+
+    def start(self) -> None:
+        """Begin issuing requests."""
+        self.running = True
+        for _ in range(self.concurrency):
+            self._issue()
+
+    def stop(self) -> None:
+        self.running = False
+
+    def _issue(self) -> None:
+        if not self.running:
+            return
+        operation = self.workload.next_operation()
+        if operation.op is OpType.WRITE:
+            self.client.set_async(self._path(operation.key), operation.value,
+                                  callback=lambda r: self._on_done(r, is_write=True))
+        else:
+            self.client.get_async(self._path(operation.key),
+                                  callback=lambda r: self._on_done(r, is_write=False))
+
+    def _on_done(self, result: ZkResult, is_write: bool) -> None:
+        now = self.client.sim.now
+        self.completions.record(now)
+        if result.ok:
+            self.successes.record(now)
+            if self.time_series is not None:
+                self.time_series.record(now)
+            if is_write:
+                self.write_latency.record(result.latency)
+            else:
+                self.read_latency.record(result.latency)
+        else:
+            self.failed_queries += 1
+        self._issue()
+
+
+@dataclass
+class LoadMeasurement:
+    """Throughput/latency over a measurement window, in simulated units."""
+
+    qps: float
+    success_qps: float
+    mean_read_latency: float
+    mean_write_latency: float
+    window: float
+
+    def scaled_qps(self, scale: float) -> float:
+        """Throughput mapped back to the paper's absolute units."""
+        return self.success_qps * scale
+
+
+def _measure(sim, clients: List, warmup: float, duration: float) -> LoadMeasurement:
+    start = sim.now
+    for client in clients:
+        client.start()
+    sim.run(until=start + warmup + duration)
+    for client in clients:
+        client.stop()
+    window_start = start + warmup
+    window_end = start + warmup + duration
+    total = sum(c.completions.rate_between(window_start, window_end) for c in clients)
+    success = sum(c.successes.rate_between(window_start, window_end) for c in clients)
+    read_lat = LatencyRecorder()
+    write_lat = LatencyRecorder()
+    for client in clients:
+        read_lat.samples.extend(client.read_latency.samples)
+        write_lat.samples.extend(client.write_latency.samples)
+    return LoadMeasurement(qps=total, success_qps=success,
+                           mean_read_latency=read_lat.mean(),
+                           mean_write_latency=write_lat.mean(),
+                           window=duration)
+
+
+def measure_netchain_load(clients: List[NetChainLoadClient], warmup: float,
+                          duration: float) -> LoadMeasurement:
+    """Run NetChain load clients and measure the steady-state window."""
+    if not clients:
+        raise ValueError("need at least one load client")
+    return _measure(clients[0].agent.sim, clients, warmup, duration)
+
+
+def measure_zookeeper_load(clients: List[ZooKeeperLoadClient], warmup: float,
+                           duration: float) -> LoadMeasurement:
+    """Run ZooKeeper load clients and measure the steady-state window."""
+    if not clients:
+        raise ValueError("need at least one load client")
+    return _measure(clients[0].client.sim, clients, warmup, duration)

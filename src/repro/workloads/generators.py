@@ -1,0 +1,105 @@
+"""Key-value workload generators.
+
+The evaluation's default workload (Section 8.1) uses 64-byte values, a 20K
+item store, a 1% write ratio and uniformly random keys; the individual
+experiments sweep one knob at a time.  :class:`KeyValueWorkload` produces an
+operation stream with exactly those knobs, plus an optional Zipf-skewed key
+popularity (coordination workloads are often skewed; the default stays
+uniform to match the paper).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from enum import Enum, auto
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+class OpType(Enum):
+    """Operation kinds produced by the generator."""
+
+    READ = auto()
+    WRITE = auto()
+
+
+@dataclass
+class Operation:
+    """One generated operation."""
+
+    op: OpType
+    key: str
+    value: Optional[bytes] = None
+
+
+@dataclass
+class WorkloadConfig:
+    """The workload knobs of Section 8.1."""
+
+    #: Number of distinct keys ("store size").
+    store_size: int = 20000
+    #: Value size in bytes.
+    value_size: int = 64
+    #: Fraction of operations that are writes, in [0, 1].
+    write_ratio: float = 0.01
+    #: Zipf skew parameter; 0 means uniform key popularity.
+    zipf_theta: float = 0.0
+    #: Prefix for generated key names.
+    key_prefix: str = "k"
+    #: RNG seed.
+    seed: int = 0
+
+    def key_names(self) -> List[str]:
+        """All key names of the store."""
+        return [f"{self.key_prefix}{i:08d}" for i in range(self.store_size)]
+
+
+def zipf_probabilities(n: int, theta: float) -> np.ndarray:
+    """Zipf popularity distribution over ``n`` items (theta=0 is uniform)."""
+    if n <= 0:
+        raise ValueError("need at least one item")
+    ranks = np.arange(1, n + 1, dtype=float)
+    weights = ranks ** (-theta) if theta > 0 else np.ones(n)
+    return weights / weights.sum()
+
+
+class KeyValueWorkload:
+    """Generates read/write operations according to a :class:`WorkloadConfig`."""
+
+    def __init__(self, config: Optional[WorkloadConfig] = None) -> None:
+        self.config = config or WorkloadConfig()
+        self.rng = random.Random(self.config.seed)
+        self.np_rng = np.random.default_rng(self.config.seed)
+        self.keys = self.config.key_names()
+        self._probabilities = zipf_probabilities(len(self.keys), self.config.zipf_theta)
+        self._value = bytes(self.config.value_size)
+        self._cumulative = np.cumsum(self._probabilities)
+
+    def pick_key(self) -> str:
+        """One key according to the configured popularity distribution."""
+        if self.config.zipf_theta <= 0:
+            return self.keys[self.rng.randrange(len(self.keys))]
+        u = self.rng.random()
+        index = int(np.searchsorted(self._cumulative, u))
+        return self.keys[min(index, len(self.keys) - 1)]
+
+    def make_value(self) -> bytes:
+        """A value of the configured size (content is irrelevant to the systems)."""
+        return self._value
+
+    def next_operation(self) -> Operation:
+        """Generate the next operation."""
+        if self.rng.random() < self.config.write_ratio:
+            return Operation(op=OpType.WRITE, key=self.pick_key(), value=self.make_value())
+        return Operation(op=OpType.READ, key=self.pick_key())
+
+    def operations(self, count: int) -> List[Operation]:
+        """Generate a batch of operations."""
+        return [self.next_operation() for _ in range(count)]
+
+    def measured_write_fraction(self, count: int = 10000) -> float:
+        """Empirical write fraction over a sample (useful in tests)."""
+        sample = self.operations(count)
+        return sum(1 for op in sample if op.op is OpType.WRITE) / count

@@ -1,0 +1,32 @@
+"""Shared fixtures for the NetChain reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ClusterConfig, NetChainCluster
+from repro.core.controller import ControllerConfig
+
+
+def make_cluster(vnodes_per_switch: int = 4, store_slots: int = 2048,
+                 scale: float = 1000.0, seed: int = 0,
+                 **controller_overrides) -> NetChainCluster:
+    """A small, fast NetChain cluster on the 4-switch testbed."""
+    controller_config = ControllerConfig(vnodes_per_switch=vnodes_per_switch,
+                                         store_slots=store_slots, seed=seed,
+                                         **controller_overrides)
+    cluster_config = ClusterConfig(scale=scale, vnodes_per_switch=vnodes_per_switch,
+                                   store_slots=store_slots, seed=seed)
+    return NetChainCluster(cluster_config, controller_config=controller_config)
+
+
+@pytest.fixture
+def cluster() -> NetChainCluster:
+    """A ready-to-use testbed cluster."""
+    return make_cluster()
+
+
+@pytest.fixture
+def agent(cluster: NetChainCluster):
+    """The client agent on H0 of the testbed cluster."""
+    return cluster.agent("H0")

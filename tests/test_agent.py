@@ -1,0 +1,126 @@
+"""Unit/integration tests for the NetChain client agent."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.agent import AgentConfig, NetChainAgent, QueryTimeout
+from repro.core.protocol import OpCode, QueryStatus
+from tests.conftest import make_cluster
+
+
+def test_write_then_read_roundtrip(cluster, agent):
+    cluster.controller.populate(["alpha"])
+    write = agent.write_sync("alpha", b"value-1")
+    assert write.ok and write.status == QueryStatus.OK
+    assert write.seq == 1
+    read = agent.read_sync("alpha")
+    assert read.ok
+    assert read.value == b"value-1"
+    assert read.version() == write.version()
+
+
+def test_read_of_unknown_key_reports_not_found(cluster, agent):
+    result = agent.read_sync("never-inserted")
+    assert not result.ok
+    assert result.status == QueryStatus.KEY_NOT_FOUND
+
+
+def test_sequence_numbers_increase_across_writes(cluster, agent):
+    cluster.controller.populate(["k"])
+    seqs = [agent.write_sync("k", f"v{i}").seq for i in range(5)]
+    assert seqs == [1, 2, 3, 4, 5]
+
+
+def test_insert_then_write_and_delete(cluster, agent):
+    insert = agent.insert_sync("fresh", b"first")
+    assert insert.ok
+    assert agent.read_sync("fresh").value == b"first"
+    delete = agent.delete_sync("fresh")
+    assert delete.ok
+    assert agent.read_sync("fresh").status == QueryStatus.KEY_NOT_FOUND
+
+
+def test_cas_semantics(cluster, agent):
+    cluster.controller.populate(["lock"])
+    assert agent.cas_sync("lock", b"", b"me").status == QueryStatus.OK
+    result = agent.cas_sync("lock", b"", b"other")
+    assert result.status == QueryStatus.CAS_FAILED
+    assert result.value == b"me"
+    assert agent.cas_sync("lock", b"me", b"").status == QueryStatus.OK
+
+
+def test_latency_close_to_paper_value(cluster, agent):
+    """Section 8.2: DPDK clients observe ~9.7 us query latency."""
+    cluster.controller.populate(["k"])
+    result = agent.read_sync("k")
+    assert 5e-6 < result.latency < 30e-6
+    write = agent.write_sync("k", b"v")
+    assert 5e-6 < write.latency < 30e-6
+
+
+def test_reads_and_writes_from_different_hosts_are_consistent(cluster):
+    cluster.controller.populate(["shared"])
+    writer = cluster.agent("H0")
+    reader = cluster.agent("H1")
+    writer.write_sync("shared", b"from-h0")
+    assert reader.read_sync("shared").value == b"from-h0"
+
+
+def test_retries_mask_packet_loss(cluster, agent):
+    cluster.controller.populate(["k"])
+    cluster.topology.set_loss_rate(0.2)
+    for i in range(10):
+        result = agent.write_sync("k", f"v{i}", deadline=10.0)
+        assert result.ok
+    assert agent.retransmissions >= 1
+
+
+def test_query_timeout_after_exhausting_retries(cluster):
+    cluster.controller.populate(["k"])
+    # All switches drop everything: the query can never succeed.
+    cluster.topology.set_loss_rate(1.0)
+    impatient = NetChainAgent(cluster.topology.hosts["H2"], cluster.controller,
+                              config=AgentConfig(retry_timeout=100e-6, max_retries=2))
+    with pytest.raises(QueryTimeout):
+        impatient.read_sync("k", deadline=5.0)
+    assert impatient.timeouts == 1
+    assert impatient.failed == 1
+
+
+def test_async_callbacks_and_outstanding_tracking(cluster, agent):
+    cluster.controller.populate(["a", "b"])
+    results = []
+    agent.read("a", callback=results.append)
+    agent.read("b", callback=results.append)
+    assert agent.outstanding() == 2
+    cluster.run(until=cluster.sim.now + 0.01)
+    assert len(results) == 2
+    assert agent.outstanding() == 0
+    assert agent.completed == 2
+
+
+def test_agent_statistics_separate_reads_and_writes(cluster, agent):
+    cluster.controller.populate(["k"])
+    agent.write_sync("k", b"v")
+    agent.read_sync("k")
+    agent.read_sync("k")
+    assert agent.read_latency.count() == 2
+    assert agent.write_latency.count() == 1
+    assert agent.latency.count() == 3
+
+
+def test_result_logging_opt_in(cluster, agent):
+    cluster.controller.populate(["k"])
+    agent.log_results = True
+    agent.read_sync("k")
+    assert len(agent.results_log) == 1
+    assert agent.results_log[0].op == OpCode.READ_REPLY
+
+
+def test_value_sizes_up_to_prototype_limit(cluster, agent):
+    """The prototype supports values up to 128 bytes at line rate."""
+    cluster.controller.populate(["big"])
+    payload = bytes(range(128))
+    assert agent.write_sync("big", payload).ok
+    assert agent.read_sync("big").value == payload

@@ -1,0 +1,173 @@
+"""Unit/integration tests for the NetChain control plane (Section 5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.controller import ControllerConfig, NetChainController
+from repro.core.protocol import QueryStatus, normalize_key
+from repro.netsim.topology import build_testbed
+from tests.conftest import make_cluster
+
+
+def test_chain_assignment_uses_distinct_member_switches(cluster):
+    controller = cluster.controller
+    for i in range(50):
+        info = controller.chain_for_key(f"key{i}")
+        assert len(info.switches) == 3
+        assert len(set(info.switches)) == 3
+        ips, vgroup = controller.chain_ips_for_key(f"key{i}")
+        assert len(ips) == 3
+        assert vgroup == info.vgroup
+
+
+def test_populate_installs_on_all_chain_switches(cluster):
+    controller = cluster.controller
+    controller.populate({"k1": b"v1"})
+    info = controller.chain_for_key("k1")
+    for name in info.switches:
+        item = controller.stores[name].read("k1")
+        assert item is not None
+        assert item.value == b"v1"
+    assert controller.total_items() == 1
+
+
+def test_insert_key_takes_control_plane_latency(cluster):
+    controller = cluster.controller
+    done = []
+    controller.insert_key("slow-key", on_done=lambda: done.append(cluster.sim.now))
+    assert controller.chain_for_key("slow-key") is not None
+    cluster.run(until=cluster.sim.now + 0.1)
+    assert done and done[0] >= controller.config.insert_latency
+
+
+def test_garbage_collect_removes_slots(cluster):
+    controller = cluster.controller
+    controller.populate(["gone"])
+    controller.garbage_collect("gone")
+    info = controller.chain_for_key("gone")
+    for name in info.switches:
+        assert controller.stores[name].read("gone") is None
+    assert controller.total_items() == 0
+
+
+def test_requires_enough_member_switches():
+    topology = build_testbed()
+    with pytest.raises(ValueError):
+        NetChainController(topology, member_switches=["S0", "S1"],
+                           config=ControllerConfig(replication=3, store_slots=64))
+
+
+def test_fast_failover_installs_rules_on_neighbors_only(cluster):
+    controller = cluster.controller
+    cluster.topology.switches["S1"].fail()
+    controller.fast_failover("S1")
+    cluster.run(until=cluster.sim.now + 0.1)
+    failed_ip = controller.switch_ip("S1")
+    # Ring topology: S0 and S2 are S1's neighbours; S3 is not.
+    for name, expect_rule in (("S0", True), ("S2", True), ("S3", False)):
+        rules = [r for r in controller.programs[name].rules
+                 if r.match_dst_ip == failed_ip and r.kind == "failover"]
+        assert bool(rules) == expect_rule
+    assert "S1" in controller.failed_switches
+    # Failover is idempotent.
+    controller.fast_failover("S1")
+    cluster.run(until=cluster.sim.now + 0.1)
+    s0_rules = [r for r in controller.programs["S0"].rules if r.kind == "failover"]
+    assert len(s0_rules) == 1
+
+
+def test_fast_failover_bumps_session_for_headed_groups(cluster):
+    controller = cluster.controller
+    headed = [vg for vg, info in controller.chain_table.items()
+              if info.switches[0] == "S1"]
+    assert headed, "expected S1 to head at least one virtual group"
+    cluster.topology.switches["S1"].fail()
+    controller.fast_failover("S1")
+    cluster.run(until=cluster.sim.now + 0.1)
+    for vgroup in headed:
+        new_head = controller.chain_table[vgroup].switches[1]
+        assert controller.sessions[vgroup] == 1
+        assert controller.programs[new_head].head_sessions.get(vgroup) == 1
+
+
+def test_affected_vgroups_lists_chains_containing_switch(cluster):
+    controller = cluster.controller
+    groups = controller.affected_vgroups("S2")
+    assert groups
+    for vgroup in groups:
+        assert "S2" in controller.chain_table[vgroup].switches
+
+
+def test_failure_recovery_replaces_switch_and_copies_state(cluster):
+    controller = cluster.controller
+    keys = [f"key{i}" for i in range(40)]
+    controller.populate(keys)
+    agent = cluster.agent("H0")
+    for key in keys[:10]:
+        agent.write_sync(key, b"before-failure")
+    cluster.topology.switches["S1"].fail()
+    controller.fast_failover("S1")
+    report = controller.failure_recovery("S1", new_switch="S3")
+    cluster.run(until=cluster.sim.now + 60.0)
+    assert report.finished_at > 0
+    assert report.groups_recovered == len(controller.affected_vgroups("S1")) or \
+        report.groups_recovered > 0
+    # S1 no longer appears in any chain.
+    for info in controller.chain_table.values():
+        assert "S1" not in info.switches
+        assert len(set(info.switches)) == len(info.switches)
+    # Data written before the failure is still readable.
+    for key in keys[:10]:
+        assert agent.read_sync(key).value == b"before-failure"
+
+
+def test_recovery_report_counts_items(cluster):
+    controller = cluster.controller
+    controller.populate([f"key{i}" for i in range(30)])
+    cluster.topology.switches["S2"].fail()
+    controller.fast_failover("S2")
+    report = controller.failure_recovery("S2", new_switch="S3")
+    cluster.run(until=cluster.sim.now + 60.0)
+    assert report.items_copied > 0
+    assert report.replacements
+
+
+def test_handle_switch_failure_runs_both_phases(cluster):
+    controller = cluster.controller
+    controller.populate([f"key{i}" for i in range(10)])
+    cluster.topology.switches["S1"].fail()
+    controller.handle_switch_failure("S1", new_switch="S3", recover=True,
+                                     recovery_start_delay=0.5)
+    cluster.run(until=cluster.sim.now + 60.0)
+    assert controller.recovery_reports
+    assert controller.recovery_reports[-1].finished_at > 0
+
+
+def test_planned_removal_and_reintroduction(cluster):
+    controller = cluster.controller
+    controller.remove_switch("S3")
+    assert "S3" in controller.failed_switches
+    controller.reintroduce_switch("S3")
+    assert "S3" not in controller.failed_switches
+    assert controller.programs["S3"].active
+
+
+def test_events_log_records_reconfigurations(cluster):
+    controller = cluster.controller
+    cluster.topology.switches["S1"].fail()
+    controller.fast_failover("S1")
+    assert any("fast failover" in message for _, message in controller.events)
+
+
+def test_recovery_of_head_bumps_session_again(cluster):
+    controller = cluster.controller
+    headed = [vg for vg, info in controller.chain_table.items()
+              if info.switches[0] == "S1"]
+    controller.populate([f"k{i}" for i in range(20)])
+    cluster.topology.switches["S1"].fail()
+    controller.fast_failover("S1")
+    controller.failure_recovery("S1", new_switch="S3")
+    cluster.run(until=cluster.sim.now + 60.0)
+    for vgroup in headed:
+        assert controller.sessions[vgroup] >= 2

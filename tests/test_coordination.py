@@ -1,0 +1,135 @@
+"""Tests for the coordination primitives built on the NetChain KV API."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.coordination import (
+    Barrier,
+    ConfigurationStore,
+    DistributedLock,
+    GroupMembership,
+    LockManager,
+)
+from tests.conftest import make_cluster
+
+
+@pytest.fixture
+def coord_cluster():
+    cluster = make_cluster()
+    cluster.controller.populate(["lock:a", "lock:b", "barrier:1", "cfg:mode", "cfg:limit",
+                                 "group:shards"])
+    return cluster
+
+
+def test_lock_acquire_and_release(coord_cluster):
+    agent = coord_cluster.agent("H0")
+    lock = DistributedLock(agent, "lock:a", owner="client-1")
+    assert lock.try_acquire()
+    assert lock.held
+    assert lock.holder() == b"client-1"
+    assert lock.release()
+    assert not lock.held
+    assert lock.holder() == b""
+
+
+def test_lock_mutual_exclusion(coord_cluster):
+    lock1 = DistributedLock(coord_cluster.agent("H0"), "lock:a", owner="c1")
+    lock2 = DistributedLock(coord_cluster.agent("H1"), "lock:a", owner="c2")
+    assert lock1.try_acquire()
+    assert not lock2.try_acquire()
+    assert lock1.release()
+    assert lock2.try_acquire()
+
+
+def test_lock_release_requires_ownership(coord_cluster):
+    lock1 = DistributedLock(coord_cluster.agent("H0"), "lock:a", owner="c1")
+    lock2 = DistributedLock(coord_cluster.agent("H1"), "lock:a", owner="c2")
+    assert lock1.try_acquire()
+    assert not lock2.release()
+    assert lock1.holder() == b"c1"
+
+
+def test_lock_acquire_spins_until_available(coord_cluster):
+    lock1 = DistributedLock(coord_cluster.agent("H0"), "lock:b", owner="c1")
+    lock2 = DistributedLock(coord_cluster.agent("H1"), "lock:b", owner="c2")
+    assert lock1.try_acquire()
+    assert not lock2.acquire(max_attempts=3)
+    lock1.release()
+    assert lock2.acquire(max_attempts=3)
+
+
+def test_async_lock_interface(coord_cluster):
+    agent = coord_cluster.agent("H0")
+    lock = DistributedLock(agent, "lock:a", owner="async-client")
+    outcomes = []
+    lock.try_acquire_async(outcomes.append)
+    coord_cluster.run(until=coord_cluster.sim.now + 0.01)
+    assert outcomes and outcomes[0].acquired
+    lock.release_async(outcomes.append)
+    coord_cluster.run(until=coord_cluster.sim.now + 0.01)
+    assert len(outcomes) == 2
+    assert not lock.held
+
+
+def test_lock_manager_tracks_held_locks(coord_cluster):
+    manager = LockManager(coord_cluster.agent("H0"), client_id="mgr-1")
+    lock = manager.lock("lock:a")
+    assert manager.lock("lock:a") is lock
+    assert lock.try_acquire()
+    assert manager.held_locks() == [lock]
+    manager.release_all()
+    assert manager.held_locks() == []
+
+
+def test_barrier_requires_all_parties(coord_cluster):
+    agents = [coord_cluster.agent(f"H{i}") for i in range(3)]
+    barriers = [Barrier(agent, "barrier:1", parties=3) for agent in agents]
+    assert barriers[0].arrive() == 1
+    assert not barriers[0].is_complete()
+    assert barriers[1].arrive() == 2
+    assert barriers[2].arrive() == 3
+    for barrier in barriers:
+        assert barrier.is_complete()
+    barriers[0].wait()  # returns immediately once complete
+
+
+def test_barrier_rejects_zero_parties(coord_cluster):
+    with pytest.raises(ValueError):
+        Barrier(coord_cluster.agent("H0"), "barrier:1", parties=0)
+
+
+def test_configuration_store_set_get_cas(coord_cluster):
+    config = ConfigurationStore(coord_cluster.agent("H0"))
+    # A parameter that has never been set reports the caller's default.
+    assert config.get("timeout", default=b"none") == b"none"
+    # The first set of a brand-new parameter inserts it via the control plane.
+    config.set("timeout", b"30")
+    assert config.get("timeout") == b"30"
+    config.set("mode", b"primary")
+    assert config.get("mode") == b"primary"
+    assert config.compare_and_set("mode", b"primary", b"backup")
+    assert not config.compare_and_set("mode", b"primary", b"other")
+    assert config.get("mode") == b"backup"
+    # Another host observes the update.
+    other = ConfigurationStore(coord_cluster.agent("H1"))
+    assert other.get("mode") == b"backup"
+
+
+def test_configuration_store_rejects_oversized_names(coord_cluster):
+    config = ConfigurationStore(coord_cluster.agent("H0"))
+    with pytest.raises(ValueError):
+        config.set("a-very-long-configuration-name", b"x")
+
+
+def test_group_membership_join_and_leave(coord_cluster):
+    membership_a = GroupMembership(coord_cluster.agent("H0"), "group:shards")
+    membership_b = GroupMembership(coord_cluster.agent("H1"), "group:shards")
+    assert membership_a.members() == []
+    assert membership_a.join("node-1")
+    assert membership_b.join("node-2")
+    assert membership_a.members() == [b"node-1", b"node-2"]
+    assert membership_a.join("node-1")  # idempotent
+    assert membership_b.leave("node-1")
+    assert membership_b.members() == [b"node-2"]
+    assert membership_b.leave("node-1")  # already gone

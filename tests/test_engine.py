@@ -1,0 +1,158 @@
+"""Unit tests for the discrete-event engine."""
+
+from __future__ import annotations
+
+import random
+
+from repro.netsim.engine import Simulator
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+    assert sim.pending() == 0
+
+
+def test_events_run_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(3e-6, lambda: order.append("c"))
+    sim.schedule(1e-6, lambda: order.append("a"))
+    sim.schedule(2e-6, lambda: order.append("b"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_ties_run_in_insertion_order():
+    sim = Simulator()
+    order = []
+    for label in ("first", "second", "third"):
+        sim.schedule(1e-6, lambda l=label: order.append(l))
+    sim.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_clock_advances_to_event_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule(5.0, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [5.0]
+    assert sim.now == 5.0
+
+
+def test_negative_delay_is_clamped():
+    sim = Simulator()
+    fired = []
+    sim.schedule(-1.0, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [0.0]
+
+
+def test_run_until_stops_before_later_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: fired.append(1.0))
+    sim.schedule(10.0, lambda: fired.append(10.0))
+    sim.run(until=5.0)
+    assert fired == [1.0]
+    assert sim.now == 5.0
+    # The later event is still pending and runs on the next call.
+    sim.run(until=20.0)
+    assert fired == [1.0, 10.0]
+
+
+def test_run_until_with_no_events_advances_clock():
+    sim = Simulator()
+    sim.run(until=2.5)
+    assert sim.now == 2.5
+
+
+def test_event_can_be_cancelled():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(1.0, lambda: fired.append("x"))
+    event.cancel()
+    sim.run()
+    assert fired == []
+
+
+def test_nested_scheduling_from_callback():
+    sim = Simulator()
+    seen = []
+
+    def outer():
+        seen.append(("outer", sim.now))
+        sim.schedule(1.0, lambda: seen.append(("inner", sim.now)))
+
+    sim.schedule(1.0, outer)
+    sim.run()
+    assert seen == [("outer", 1.0), ("inner", 2.0)]
+
+
+def test_schedule_at_absolute_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.0, lambda: sim.schedule_at(5.0, lambda: seen.append(sim.now)))
+    sim.run()
+    assert seen == [5.0]
+
+
+def test_schedule_at_past_time_runs_immediately():
+    sim = Simulator()
+    seen = []
+
+    def later():
+        sim.schedule_at(0.5, lambda: seen.append(sim.now))
+
+    sim.schedule(2.0, later)
+    sim.run()
+    assert seen == [2.0]
+
+
+def test_stop_halts_the_loop():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: (fired.append(1), sim.stop()))
+    sim.schedule(2.0, lambda: fired.append(2))
+    sim.run()
+    assert fired == [1]
+    assert sim.pending() == 1
+
+
+def test_max_events_limits_execution():
+    sim = Simulator()
+    fired = []
+    for i in range(10):
+        sim.schedule(float(i), lambda i=i: fired.append(i))
+    sim.run(max_events=3)
+    assert fired == [0, 1, 2]
+
+
+def test_processed_events_counter():
+    sim = Simulator()
+    for i in range(5):
+        sim.schedule(float(i), lambda: None)
+    sim.run()
+    assert sim.processed_events == 5
+
+
+def test_periodic_process_and_cancel():
+    sim = Simulator()
+    ticks = []
+    cancel = sim.every(1.0, lambda: ticks.append(sim.now))
+    sim.run(until=3.5)
+    assert ticks == [0.0, 1.0, 2.0, 3.0]
+    cancel()
+    sim.run(until=10.0)
+    assert len(ticks) == 4
+
+
+def test_periodic_process_with_jitter_stays_positive():
+    sim = Simulator()
+    ticks = []
+    rng = random.Random(1)
+    sim.every(1.0, lambda: ticks.append(sim.now), jitter=0.5, rng=rng)
+    sim.run(until=10.0)
+    assert len(ticks) >= 6
+    assert all(b > a for a, b in zip(ticks, ticks[1:]))

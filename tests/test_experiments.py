@@ -1,0 +1,180 @@
+"""Fast sanity checks for the experiment drivers (shapes, not exact numbers).
+
+The full sweeps behind the paper's figures live in ``benchmarks/``; these
+tests run miniature versions of each driver so regressions in the
+experiment harness are caught by the unit-test suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    build_netchain_deployment,
+    build_zookeeper_deployment,
+    failure_experiment,
+    netchain_latency_curve,
+    netchain_max_throughput_qps,
+    netchain_throughput,
+    netchain_transactions,
+    scalability_experiment,
+    table1,
+    zookeeper_latency_curve,
+    zookeeper_throughput,
+    zookeeper_transactions,
+)
+from repro.experiments.throughput import adaptive_retry_timeout, netchain_server_sweep
+
+
+SCALE = 100000.0  # tiny simulated rates keep these tests fast
+
+
+def test_netchain_max_throughput_is_2_bqps():
+    assert netchain_max_throughput_qps() == pytest.approx(2e9)
+
+
+def test_adaptive_retry_timeout_scales_with_concurrency():
+    assert adaptive_retry_timeout(1, 1000.0) == pytest.approx(1e-3)
+    assert adaptive_retry_timeout(64, 50000.0) > adaptive_retry_timeout(4, 50000.0)
+
+
+def test_netchain_throughput_tracks_number_of_servers():
+    one = netchain_throughput(num_servers=1, store_size=50, scale=SCALE,
+                              duration=0.2, warmup=0.05, concurrency=8)
+    four = netchain_throughput(num_servers=4, store_size=50, scale=SCALE,
+                               duration=0.2, warmup=0.05, concurrency=8)
+    # Each DPDK client server contributes ~20.5 MQPS (Section 8.1).
+    assert one.mqps == pytest.approx(20.5, rel=0.2)
+    assert four.mqps == pytest.approx(82.0, rel=0.2)
+    assert four.qps > 3 * one.qps
+
+
+def test_netchain_throughput_insensitive_to_value_size():
+    small = netchain_throughput(num_servers=2, value_size=16, store_size=50, scale=SCALE,
+                                duration=0.15, warmup=0.05, concurrency=8)
+    large = netchain_throughput(num_servers=2, value_size=128, store_size=50, scale=SCALE,
+                                duration=0.15, warmup=0.05, concurrency=8)
+    assert large.qps == pytest.approx(small.qps, rel=0.15)
+
+
+def test_netchain_loss_degrades_gracefully():
+    clean = netchain_throughput(num_servers=2, store_size=50, scale=SCALE,
+                                duration=0.2, warmup=0.05, concurrency=32)
+    lossy = netchain_throughput(num_servers=2, store_size=50, scale=SCALE,
+                                duration=0.2, warmup=0.05, concurrency=32,
+                                loss_rate=0.1)
+    assert lossy.qps < clean.qps
+    # Graceful: well above half of the loss-free throughput is retained
+    # (Figure 9(d): 48 of 82 MQPS at 10% loss).
+    assert lossy.qps > 0.4 * clean.qps
+
+
+def test_netchain_server_sweep_returns_one_point_per_count():
+    results = netchain_server_sweep(max_servers=2, store_size=30, scale=SCALE,
+                                    duration=0.1, warmup=0.02, concurrency=4)
+    assert [r.num_load_generators for r in results] == [1, 2]
+
+
+def test_zookeeper_throughput_drops_with_write_ratio():
+    reads = zookeeper_throughput(num_clients=30, store_size=100, write_ratio=0.0,
+                                 scale=1000.0, duration=1.5, warmup=0.5)
+    writes = zookeeper_throughput(num_clients=30, store_size=100, write_ratio=1.0,
+                                  scale=1000.0, duration=1.5, warmup=0.5)
+    # Section 8.1: 230 KQPS read-only versus 27 KQPS write-only.
+    assert reads.kqps == pytest.approx(230.0, rel=0.5)
+    assert writes.kqps < 60.0
+    assert writes.qps < reads.qps / 3
+
+
+def test_netchain_beats_zookeeper_by_orders_of_magnitude():
+    netchain = netchain_throughput(num_servers=4, store_size=50, scale=SCALE,
+                                   duration=0.15, warmup=0.05, concurrency=8)
+    zookeeper = zookeeper_throughput(num_clients=20, store_size=50, write_ratio=0.01,
+                                     scale=1000.0, duration=1.0, warmup=0.3)
+    assert netchain.qps > 50 * zookeeper.qps
+
+
+def test_latency_curves_have_expected_magnitudes():
+    netchain_points = netchain_latency_curve(concurrency_levels=(1,), num_servers=1,
+                                             store_size=20, scale=SCALE,
+                                             duration=0.05, warmup=0.01)
+    for point in netchain_points:
+        assert point.latency_us < 50.0
+    zk_points = zookeeper_latency_curve(client_counts=(1,), store_size=20,
+                                        duration=0.6, warmup=0.2)
+    reads = [p for p in zk_points if p.op == "read"]
+    writes = [p for p in zk_points if p.op == "write"]
+    assert reads[0].latency_us > 100.0
+    assert writes[0].latency_us > 1000.0
+
+
+def test_failure_experiment_timeline_phases():
+    timeline = failure_experiment(virtual_groups=1, store_size=100, scale=SCALE,
+                                  fail_at=1.0, detection_delay=0.5,
+                                  recovery_start_delay=1.0, run_after_recovery=1.0,
+                                  sync_items_per_sec=200.0, bin_width=0.5,
+                                  concurrency=8, max_duration=30.0)
+    assert timeline.groups_recovered > 0
+    assert timeline.baseline_qps > 0
+    # The failover window (before the controller reacts) loses most throughput.
+    assert timeline.failover_window_qps < 0.5 * timeline.baseline_qps
+    # After recovery the cluster is back to full throughput.
+    assert timeline.post_recovery_qps > 0.8 * timeline.baseline_qps
+    # Recovery costs some throughput (write unavailability).
+    assert timeline.recovery_window_qps < timeline.baseline_qps
+    assert timeline.series
+
+
+def test_failure_experiment_virtual_groups_reduce_disruption():
+    few = failure_experiment(virtual_groups=1, store_size=120, scale=SCALE,
+                             fail_at=1.0, detection_delay=0.2, recovery_start_delay=0.5,
+                             run_after_recovery=0.5, sync_items_per_sec=100.0,
+                             concurrency=8, max_duration=40.0)
+    many = failure_experiment(virtual_groups=16, store_size=120, scale=SCALE,
+                              fail_at=1.0, detection_delay=0.2, recovery_start_delay=0.5,
+                              run_after_recovery=0.5, sync_items_per_sec=100.0,
+                              concurrency=8, max_duration=60.0)
+    assert many.recovery_drop_fraction() < few.recovery_drop_fraction()
+
+
+def test_transaction_experiments_reproduce_figure_11_gap():
+    netchain = netchain_transactions(contention_index=0.01, num_clients=5,
+                                     cold_items=100, duration=0.01, warmup=0.002)
+    zookeeper = zookeeper_transactions(contention_index=0.01, num_clients=2,
+                                       cold_items=100, duration=0.6, warmup=0.1)
+    assert netchain.txns_per_sec > 0
+    assert zookeeper.txns_per_sec > 0
+    # Orders of magnitude gap (Figure 11), compared per client.
+    assert (netchain.txns_per_sec / netchain.num_clients) > \
+        20 * (zookeeper.txns_per_sec / zookeeper.num_clients)
+
+
+def test_netchain_contention_lowers_transaction_throughput():
+    low = netchain_transactions(contention_index=0.01, num_clients=8, cold_items=100,
+                                duration=0.01, warmup=0.002)
+    high = netchain_transactions(contention_index=1.0, num_clients=8, cold_items=100,
+                                 duration=0.01, warmup=0.002)
+    assert high.txns_per_sec < low.txns_per_sec
+    assert high.aborts > low.aborts
+
+
+def test_scalability_experiment_linear_growth():
+    points = scalability_experiment(sizes=[(2, 4), (8, 16)], samples=500)
+    assert points[1].read_bqps > points[0].read_bqps
+    assert points[1].write_bqps > points[0].write_bqps
+    assert points[0].read_bqps > points[0].write_bqps
+
+
+def test_table1_rows():
+    rows = table1()
+    assert len(rows) == 2
+
+
+def test_deployment_builders():
+    netchain = build_netchain_deployment(scale=SCALE, store_size=10)
+    assert len(netchain.keys) == 10
+    assert netchain.cluster.controller.total_items() == 10
+    zookeeper = build_zookeeper_deployment(scale=1000.0, store_size=10)
+    assert len(zookeeper.paths) == 10
+    client = zookeeper.new_client(0)
+    assert client.get(zookeeper.paths[0]).ok

@@ -1,0 +1,133 @@
+"""Tests for the hybrid NetChain-accelerator store (Section 6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hybrid import DictBackend, HybridPolicy, HybridStore, ZooKeeperBackend
+from tests.conftest import make_cluster
+
+
+@pytest.fixture
+def hybrid():
+    cluster = make_cluster()
+    backend = DictBackend()
+    policy = HybridPolicy(max_network_value_bytes=64, promote_after_reads=3)
+    store = HybridStore(cluster.agent("H0"), backend, policy=policy)
+    return cluster, backend, store
+
+
+def test_pinned_keys_live_in_the_network(hybrid):
+    cluster, backend, store = hybrid
+    store.policy.pin("cfg:leader")
+    assert store.write("cfg:leader", b"H0")
+    assert store.in_network("cfg:leader")
+    assert store.read("cfg:leader") == b"H0"
+    assert store.stats.network_writes == 1
+    assert store.stats.network_reads == 1
+    assert backend.read("cfg:leader") is None
+
+
+def test_unpinned_small_keys_start_on_servers(hybrid):
+    cluster, backend, store = hybrid
+    assert store.write("cold-key", b"value")
+    assert not store.in_network("cold-key")
+    assert backend.read("cold-key") == b"value"
+    assert store.read("cold-key") == b"value"
+    assert store.stats.server_reads == 1
+
+
+def test_large_values_always_go_to_servers(hybrid):
+    cluster, backend, store = hybrid
+    big = bytes(500)
+    assert store.write("big-object", big)
+    assert not store.in_network("big-object")
+    assert store.read("big-object") == big
+
+
+def test_pinned_key_with_oversized_value_rejected(hybrid):
+    cluster, backend, store = hybrid
+    store.policy.pin("cfg:huge")
+    with pytest.raises(ValueError):
+        store.write("cfg:huge", bytes(128))
+
+
+def test_hot_keys_promoted_after_repeated_reads(hybrid):
+    cluster, backend, store = hybrid
+    store.write("hot", b"small")
+    for _ in range(store.policy.promote_after_reads):
+        assert store.read("hot") == b"small"
+    assert store.in_network("hot")
+    assert store.stats.promotions == 1
+    # Subsequent reads are served by the network tier.
+    before = store.stats.network_reads
+    assert store.read("hot") == b"small"
+    assert store.stats.network_reads == before + 1
+
+
+def test_value_growth_demotes_key_to_servers(hybrid):
+    cluster, backend, store = hybrid
+    store.policy.pin("growing")
+    store.write("growing", b"tiny")
+    assert store.in_network("growing")
+    store.policy.pinned.clear()
+    big = bytes(200)
+    assert store.write("growing", big)
+    assert not store.in_network("growing")
+    assert store.stats.demotions == 1
+    assert store.read("growing") == big
+
+
+def test_delete_removes_from_both_tiers(hybrid):
+    cluster, backend, store = hybrid
+    store.policy.pin("net-key")
+    store.write("net-key", b"x")
+    store.write("srv-key", b"y")
+    assert store.delete("net-key")
+    assert store.delete("srv-key")
+    assert not store.delete("srv-key")
+    assert store.read("net-key") is None
+    assert store.read("srv-key") is None
+    assert cluster.controller.total_items() == 0
+
+
+def test_cas_only_on_network_resident_keys(hybrid):
+    cluster, backend, store = hybrid
+    store.policy.pin("lock:1")
+    store.write("lock:1", b"")
+    assert store.cas("lock:1", b"", b"owner")
+    assert not store.cas("lock:1", b"", b"other")
+    store.write("server-only", b"v")
+    with pytest.raises(ValueError):
+        store.cas("server-only", b"v", b"w")
+
+
+def test_network_fraction_statistic(hybrid):
+    cluster, backend, store = hybrid
+    store.policy.pin("hot")
+    store.write("hot", b"1")
+    store.write("cold", b"2")
+    store.read("hot")
+    store.read("cold")
+    assert 0.0 < store.stats.network_fraction() < 1.0
+
+
+def test_zookeeper_backend_adapter():
+    from repro.baselines import ZooKeeperClient, ZooKeeperConfig, build_zookeeper_ensemble
+    from repro.netsim.host import HostConfig
+    from repro.netsim.routing import install_shortest_path_routes
+    from repro.netsim.topology import build_testbed
+
+    topo = build_testbed(host_config=HostConfig(stack_delay=40e-6, nic_pps=None))
+    install_shortest_path_routes(topo)
+    hosts = [topo.hosts[f"H{i}"] for i in range(4)]
+    ensemble = build_zookeeper_ensemble(hosts[:3],
+                                        ZooKeeperConfig(server_msgs_per_sec=None))
+    backend = ZooKeeperBackend(ZooKeeperClient(hosts[3], ensemble))
+    assert backend.read("missing") is None
+    assert backend.write("k1", b"v1")
+    assert backend.read("k1") == b"v1"
+    assert backend.write("k1", b"v2")
+    assert backend.read("k1") == b"v2"
+    assert backend.delete("k1")
+    assert backend.read("k1") is None

@@ -1,0 +1,132 @@
+"""Unit tests for nodes, ports and links (delay, loss, reordering)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.netsim.engine import Simulator
+from repro.netsim.link import Link, LinkConfig, connect
+from repro.netsim.node import Node
+from repro.netsim.packet import Packet
+
+
+class RecordingNode(Node):
+    """A node that records arrivals with timestamps."""
+
+    def __init__(self, sim, name):
+        super().__init__(sim, name)
+        self.received = []
+
+    def receive(self, packet, port):
+        self.received.append((self.sim.now, packet))
+
+
+def make_pair(config=None, seed=0):
+    sim = Simulator()
+    a = RecordingNode(sim, "a")
+    b = RecordingNode(sim, "b")
+    link = connect(sim, a, b, config=config, rng=random.Random(seed))
+    return sim, a, b, link
+
+
+def test_connect_creates_ports_and_peers():
+    sim, a, b, link = make_pair()
+    assert len(a.ports) == 1 and len(b.ports) == 1
+    assert a.ports[0].peer() is b.ports[0]
+    assert b.neighbors() == [a]
+    assert a.port_to(b) is a.ports[0]
+    assert link.connects(a, b) and link.connects(b, a)
+
+
+def test_transmit_delivers_after_propagation_delay():
+    sim, a, b, _ = make_pair(LinkConfig(delay=1e-6, bandwidth_bps=None))
+    a.transmit(Packet(), a.ports[0])
+    sim.run()
+    assert len(b.received) == 1
+    assert b.received[0][0] == pytest.approx(1e-6)
+
+
+def test_serialization_delay_depends_on_size():
+    config = LinkConfig(delay=0.0, bandwidth_bps=8e6)  # 1 byte per microsecond
+    sim, a, b, _ = make_pair(config)
+    packet = Packet(payload_bytes=66)  # 66 + 34 header bytes = 100 bytes
+    a.transmit(packet, a.ports[0])
+    sim.run()
+    assert b.received[0][0] == pytest.approx(100e-6)
+
+
+def test_loss_rate_drops_packets():
+    config = LinkConfig(loss_rate=1.0)
+    sim, a, b, link = make_pair(config)
+    for _ in range(10):
+        a.transmit(Packet(), a.ports[0])
+    sim.run()
+    assert b.received == []
+    assert link.dropped == 10
+
+
+def test_partial_loss_rate_is_statistical():
+    config = LinkConfig(loss_rate=0.5)
+    sim, a, b, link = make_pair(config, seed=7)
+    for _ in range(500):
+        a.transmit(Packet(), a.ports[0])
+    sim.run()
+    assert 150 < len(b.received) < 350
+    assert link.dropped + len(b.received) == 500
+
+
+def test_reorder_jitter_can_reorder_packets():
+    config = LinkConfig(delay=1e-6, bandwidth_bps=None, reorder_jitter=50e-6)
+    sim, a, b, _ = make_pair(config, seed=3)
+    packets = [Packet() for _ in range(50)]
+    for packet in packets:
+        a.transmit(packet, a.ports[0])
+    sim.run()
+    received_ids = [p.packet_id for _, p in b.received]
+    sent_ids = [p.packet_id for p in packets]
+    assert sorted(received_ids) == sorted(sent_ids)
+    assert received_ids != sent_ids  # at least one reordering happened
+
+
+def test_counters_track_tx_rx():
+    sim, a, b, link = make_pair()
+    a.transmit(Packet(), a.ports[0])
+    sim.run()
+    assert a.packets_sent == 1
+    assert b.packets_received == 1
+    assert a.ports[0].tx_packets == 1
+    assert b.ports[0].rx_packets == 1
+    assert link.delivered == 1
+
+
+def test_transmit_without_link_drops():
+    sim = Simulator()
+    node = RecordingNode(sim, "lonely")
+    port = node.add_port()
+    node.transmit(Packet(), port)
+    sim.run()
+    assert node.packets_dropped == 1
+
+
+def test_duplicate_port_index_rejected():
+    sim = Simulator()
+    node = RecordingNode(sim, "n")
+    node.add_port(0)
+    with pytest.raises(ValueError):
+        node.add_port(0)
+
+
+def test_other_end_rejects_foreign_port():
+    sim, a, b, link = make_pair()
+    foreign = RecordingNode(sim, "c").add_port()
+    with pytest.raises(ValueError):
+        link.other_end(foreign)
+
+
+def test_base_node_receive_is_abstract():
+    sim = Simulator()
+    node = Node(sim, "base")
+    with pytest.raises(NotImplementedError):
+        node.receive(Packet(), None)

@@ -1,0 +1,102 @@
+"""Unit tests for consistent hashing with virtual nodes (Section 4.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ring import ConsistentHashRing
+
+
+SWITCHES = ["S0", "S1", "S2", "S3"]
+
+
+def test_requires_enough_switches():
+    with pytest.raises(ValueError):
+        ConsistentHashRing(["S0", "S1"], replication=3)
+    with pytest.raises(ValueError):
+        ConsistentHashRing(SWITCHES, replication=0)
+
+
+def test_virtual_node_count():
+    ring = ConsistentHashRing(SWITCHES, vnodes_per_switch=25)
+    assert len(ring.vnodes) == 100
+    distribution = ring.load_distribution()
+    assert all(count == 25 for count in distribution.values())
+
+
+def test_chain_has_f_plus_one_distinct_switches():
+    ring = ConsistentHashRing(SWITCHES, vnodes_per_switch=10, replication=3)
+    for i in range(200):
+        chain = ring.chain_for_key(f"key{i}")
+        assert len(chain) == 3
+        assert len(set(chain)) == 3
+        assert all(switch in SWITCHES for switch in chain)
+
+
+def test_chain_lookup_is_deterministic():
+    ring_a = ConsistentHashRing(SWITCHES, vnodes_per_switch=10, seed=1)
+    ring_b = ConsistentHashRing(SWITCHES, vnodes_per_switch=10, seed=99)
+    for i in range(50):
+        key = f"key{i}"
+        assert ring_a.chain_for_key(key) == ring_b.chain_for_key(key)
+
+
+def test_vgroup_matches_primary_vnode():
+    ring = ConsistentHashRing(SWITCHES, vnodes_per_switch=10)
+    for i in range(50):
+        key = f"key{i}"
+        vgroup = ring.vgroup_for_key(key)
+        assert ring.primary_vnode_for_key(key).vnode_id == vgroup
+        # The chain of the key equals the chain of its virtual group.
+        assert ring.chain_for_key(key) == ring.chain_for_vgroup(vgroup)
+
+
+def test_keys_spread_over_switches():
+    ring = ConsistentHashRing(SWITCHES, vnodes_per_switch=25)
+    heads = {ring.chain_for_key(f"key{i}")[0] for i in range(500)}
+    assert heads == set(SWITCHES)
+
+
+def test_vgroups_involving_counts():
+    ring = ConsistentHashRing(SWITCHES, vnodes_per_switch=10, replication=3)
+    groups = ring.vgroups_involving("S1")
+    # Every group's chain has 3 of the 4 switches, so S1 appears in roughly
+    # 3/4 of the 40 groups; it must appear in at least its own 10.
+    assert len(groups) >= 10
+    for vgroup in groups:
+        assert "S1" in ring.chain_for_vgroup(vgroup)
+
+
+def test_reassign_vnode_changes_ownership():
+    ring = ConsistentHashRing(SWITCHES, vnodes_per_switch=5)
+    target = ring.virtual_nodes_of("S1")[0]
+    ring.reassign_vnode(target.vnode_id, "S3")
+    assert ring.vnodes[target.vnode_id].switch == "S3"
+    assert target.vnode_id not in [v.vnode_id for v in ring.virtual_nodes_of("S1")]
+
+
+def test_reassign_switch_spreads_over_live_switches():
+    ring = ConsistentHashRing(SWITCHES, vnodes_per_switch=30, seed=5)
+    mapping = ring.reassign_switch("S2")
+    assert len(mapping) == 30
+    assert all(target != "S2" for target in mapping.values())
+    # Spread over more than one live switch (Section 5.2).
+    assert len(set(mapping.values())) >= 2
+    assert ring.virtual_nodes_of("S2") == []
+
+
+def test_reassign_switch_requires_live_switches():
+    ring = ConsistentHashRing(["A", "B", "C"], vnodes_per_switch=2, replication=3)
+    with pytest.raises(ValueError):
+        ring.reassign_switch("A", live_switches=[])
+
+
+def test_replication_larger_than_switches_rejected_at_lookup():
+    ring = ConsistentHashRing(SWITCHES, vnodes_per_switch=4, replication=3)
+    with pytest.raises(ValueError):
+        ring.chain_vnodes_for_key("k", replication=5)
+
+
+def test_key_position_accepts_bytes_and_str():
+    ring = ConsistentHashRing(SWITCHES)
+    assert ring.key_position("abc") == ring.key_position(b"abc")

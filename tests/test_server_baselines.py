@@ -1,0 +1,115 @@
+"""Tests for the server-hosted chain replication and primary-backup baselines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import PrimaryBackupCluster, ServerChainCluster
+from repro.netsim.host import HostConfig
+from repro.netsim.routing import install_shortest_path_routes
+from repro.netsim.topology import build_testbed
+
+
+def make_hosts(n=4):
+    topo = build_testbed(host_config=HostConfig(stack_delay=5e-6, nic_pps=None),
+                         num_hosts=n)
+    install_shortest_path_routes(topo)
+    return topo, [topo.hosts[f"H{i}"] for i in range(n)]
+
+
+# --------------------------------------------------------------------- #
+# Server chain replication.
+# --------------------------------------------------------------------- #
+
+def test_chain_write_read_roundtrip():
+    topo, hosts = make_hosts()
+    cluster = ServerChainCluster(hosts[:3])
+    client = cluster.client(hosts[3])
+    assert client.write("k", b"v1").ok
+    assert client.read("k").value == b"v1"
+
+
+def test_chain_write_applies_on_every_replica():
+    topo, hosts = make_hosts()
+    cluster = ServerChainCluster(hosts[:3])
+    client = cluster.client(hosts[3])
+    client.write("k", b"v1")
+    for replica in cluster.replicas:
+        assert replica.store["k"][0] == b"v1"
+
+
+def test_chain_versions_increase():
+    topo, hosts = make_hosts()
+    cluster = ServerChainCluster(hosts[:3])
+    client = cluster.client(hosts[3])
+    versions = [client.write("k", f"v{i}".encode()).version for i in range(3)]
+    assert versions == [1, 2, 3]
+
+
+def test_chain_read_of_missing_key_returns_empty():
+    topo, hosts = make_hosts()
+    cluster = ServerChainCluster(hosts[:3])
+    client = cluster.client(hosts[3])
+    result = client.read("absent")
+    assert result.ok and result.value == b""
+
+
+def test_chain_message_count_is_n_plus_one():
+    topo, hosts = make_hosts()
+    assert ServerChainCluster(hosts[:3]).messages_per_write() == 4
+    assert ServerChainCluster(hosts[:2]).messages_per_write() == 3
+
+
+def test_single_node_chain_works():
+    topo, hosts = make_hosts()
+    cluster = ServerChainCluster(hosts[:1])
+    client = cluster.client(hosts[3])
+    assert client.write("k", b"x").ok
+    assert client.read("k").value == b"x"
+
+
+def test_chain_requires_servers():
+    with pytest.raises(ValueError):
+        ServerChainCluster([])
+
+
+# --------------------------------------------------------------------- #
+# Primary-backup.
+# --------------------------------------------------------------------- #
+
+def test_pb_write_read_roundtrip():
+    topo, hosts = make_hosts()
+    cluster = PrimaryBackupCluster(hosts[:3])
+    client = cluster.client(hosts[3])
+    assert client.write("k", b"v1").ok
+    assert client.read("k").value == b"v1"
+
+
+def test_pb_write_waits_for_all_backups():
+    topo, hosts = make_hosts()
+    cluster = PrimaryBackupCluster(hosts[:3])
+    client = cluster.client(hosts[3])
+    client.write("k", b"v1")
+    for backup in cluster.backups:
+        assert backup.store["k"][0] == b"v1"
+        assert backup.updates_applied == 1
+    assert not cluster.primary.pending_writes
+
+
+def test_pb_message_count_is_two_n():
+    topo, hosts = make_hosts()
+    assert PrimaryBackupCluster(hosts[:3]).messages_per_write() == 6
+    assert PrimaryBackupCluster(hosts[:1]).messages_per_write() == 2
+
+
+def test_pb_requires_servers():
+    with pytest.raises(ValueError):
+        PrimaryBackupCluster([])
+
+
+def test_chain_uses_fewer_messages_than_primary_backup():
+    """Section 2.2: n+1 for chain replication versus 2n for primary-backup."""
+    topo, hosts = make_hosts()
+    chain = ServerChainCluster(hosts[:3])
+    pb = PrimaryBackupCluster(hosts[:3])
+    assert chain.messages_per_write() < pb.messages_per_write()

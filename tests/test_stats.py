@@ -1,0 +1,73 @@
+"""Unit tests for the measurement helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netsim.stats import (
+    IntervalCounter,
+    LatencyRecorder,
+    ThroughputMeasurement,
+    ThroughputTimeSeries,
+)
+
+
+def test_latency_recorder_statistics():
+    recorder = LatencyRecorder()
+    for value in [1.0, 2.0, 3.0, 4.0, 5.0]:
+        recorder.record(value)
+    assert recorder.count() == 5
+    assert recorder.mean() == pytest.approx(3.0)
+    assert recorder.median() == pytest.approx(3.0)
+    assert recorder.percentile(100) == pytest.approx(5.0)
+    assert recorder.p99() == pytest.approx(5.0)
+    recorder.clear()
+    assert recorder.count() == 0
+    assert recorder.mean() == 0.0
+    assert recorder.percentile(50) == 0.0
+
+
+def test_latency_percentile_bounds():
+    recorder = LatencyRecorder()
+    for value in range(1, 101):
+        recorder.record(float(value))
+    assert recorder.percentile(1) == pytest.approx(1.0)
+    assert recorder.percentile(50) == pytest.approx(50.0)
+    assert recorder.percentile(99) == pytest.approx(99.0)
+
+
+def test_throughput_time_series_bins_and_gaps():
+    series = ThroughputTimeSeries(bin_width=1.0)
+    series.record(0.5)
+    series.record(0.7)
+    series.record(2.5)
+    data = dict(series.series())
+    assert data[0.0] == 2.0
+    assert data[1.0] == 0.0
+    assert data[2.0] == 1.0
+    assert series.total() == 3
+    assert series.rate_at(0.9) == 2.0
+    assert series.rate_at(5.0) == 0.0
+
+
+def test_throughput_time_series_empty():
+    assert ThroughputTimeSeries().series() == []
+
+
+def test_throughput_measurement_scaling():
+    measurement = ThroughputMeasurement(completed=500, duration=0.5, scale=1000.0)
+    assert measurement.qps() == pytest.approx(1000.0)
+    assert measurement.scaled_qps() == pytest.approx(1e6)
+    assert measurement.scaled_mqps() == pytest.approx(1.0)
+    assert ThroughputMeasurement(completed=5, duration=0.0).qps() == 0.0
+
+
+def test_interval_counter_window_queries():
+    counter = IntervalCounter()
+    for t in [0.1, 0.2, 1.5, 2.5, 2.6]:
+        counter.record(t)
+    assert counter.total() == 5
+    assert counter.count_between(0.0, 1.0) == 2
+    assert counter.count_between(1.0, 3.0) == 3
+    assert counter.rate_between(0.0, 1.0) == pytest.approx(2.0)
+    assert counter.rate_between(2.0, 2.0) == 0.0

@@ -1,0 +1,267 @@
+"""Unit tests for the programmable switch model, tables and registers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netsim.engine import Simulator
+from repro.netsim.link import connect
+from repro.netsim.node import Node
+from repro.netsim.packet import Packet
+from repro.netsim.registers import RegisterAllocationError, RegisterFile
+from repro.netsim.switch import PipelineAction, PipelineProgram, Switch, SwitchConfig
+from repro.netsim.tables import MatchTable, TableFullError
+
+
+class Sink(Node):
+    def __init__(self, sim, name, ip="10.9.9.9"):
+        super().__init__(sim, name, ip)
+        self.received = []
+
+    def receive(self, packet, port):
+        self.received.append(packet)
+
+
+def make_switch(config=None):
+    sim = Simulator()
+    switch = Switch(sim, "S0", "10.0.0.1", config=config)
+    sink = Sink(sim, "H", "10.1.0.1")
+    connect(sim, switch, sink)
+    switch.forwarding_table[sink.ip] = switch.port_to(sink)
+    return sim, switch, sink
+
+
+def packet_to(ip):
+    packet = Packet()
+    packet.ip.dst_ip = ip
+    packet.ip.src_ip = "10.1.0.1"
+    return packet
+
+
+# --------------------------------------------------------------------- #
+# Forwarding.
+# --------------------------------------------------------------------- #
+
+def test_forwards_on_destination_ip():
+    sim, switch, sink = make_switch()
+    switch.deliver(packet_to(sink.ip), list(switch.ports.values())[0])
+    sim.run()
+    assert len(sink.received) == 1
+
+
+def test_drops_without_route():
+    sim, switch, sink = make_switch()
+    switch.deliver(packet_to("10.5.5.5"), list(switch.ports.values())[0])
+    sim.run()
+    assert sink.received == []
+    assert switch.dropped_no_route == 1
+
+
+def test_ttl_decrement_and_expiry():
+    sim, switch, sink = make_switch()
+    packet = packet_to(sink.ip)
+    packet.ip.ttl = 1
+    switch.deliver(packet, list(switch.ports.values())[0])
+    sim.run()
+    assert sink.received == []
+
+
+def test_packet_to_switch_itself_goes_to_control_agent():
+    sim, switch, sink = make_switch()
+    captured = []
+    switch.control_agent = lambda packet, port: captured.append(packet)
+    switch.deliver(packet_to(switch.ip), list(switch.ports.values())[0])
+    sim.run()
+    assert len(captured) == 1
+
+
+def test_pipeline_delay_applied():
+    sim, switch, sink = make_switch(SwitchConfig(capacity_pps=None, pipeline_delay=2e-6))
+    switch.deliver(packet_to(sink.ip), list(switch.ports.values())[0])
+    sim.run()
+    assert sim.now >= 2e-6
+
+
+def test_failed_switch_drops_everything():
+    sim, switch, sink = make_switch()
+    switch.fail()
+    switch.deliver(packet_to(sink.ip), list(switch.ports.values())[0])
+    sim.run()
+    assert sink.received == []
+    switch.recover_device()
+    switch.deliver(packet_to(sink.ip), list(switch.ports.values())[0])
+    sim.run()
+    assert len(sink.received) == 1
+
+
+def test_injected_loss_drops_fraction():
+    sim, switch, sink = make_switch()
+    switch.injected_loss_rate = 1.0
+    switch.deliver(packet_to(sink.ip), list(switch.ports.values())[0])
+    sim.run()
+    assert sink.received == []
+    assert switch.dropped_injected == 1
+
+
+# --------------------------------------------------------------------- #
+# Capacity model.
+# --------------------------------------------------------------------- #
+
+def test_capacity_queue_drops_when_full():
+    config = SwitchConfig(capacity_pps=1000.0, ingress_queue_packets=5)
+    sim, switch, sink = make_switch(config)
+    port = list(switch.ports.values())[0]
+    for _ in range(20):
+        switch.deliver(packet_to(sink.ip), port)
+    sim.run()
+    assert switch.dropped_capacity > 0
+    assert len(sink.received) < 20
+
+
+def test_capacity_limits_throughput():
+    config = SwitchConfig(capacity_pps=1000.0, ingress_queue_packets=100000)
+    sim, switch, sink = make_switch(config)
+    port = list(switch.ports.values())[0]
+
+    def offer():
+        switch.deliver(packet_to(sink.ip), port)
+
+    # Offer 5000 pps for one second against a 1000 pps switch.
+    for i in range(5000):
+        sim.schedule(i * 0.0002, offer)
+    sim.run(until=1.0)
+    assert len(sink.received) <= 1100
+
+
+def test_pipeline_pass_counting():
+    sim, switch, sink = make_switch()
+    port = list(switch.ports.values())[0]
+    switch.deliver(packet_to(sink.ip), port)
+    sim.run()
+    assert switch.pipeline_passes == 1
+
+
+def test_charge_extra_passes_consumes_capacity():
+    config = SwitchConfig(capacity_pps=1000.0)
+    sim, switch, sink = make_switch(config)
+    switch.charge_extra_passes(10)
+    assert switch.pipeline_passes == 10
+    assert switch._busy_until == pytest.approx(10 / 1000.0)
+
+
+# --------------------------------------------------------------------- #
+# Pipeline programs.
+# --------------------------------------------------------------------- #
+
+class DropAll(PipelineProgram):
+    def process(self, switch, packet, in_port):
+        return PipelineAction.DROP
+
+
+class Rewrite(PipelineProgram):
+    def __init__(self, new_dst):
+        self.new_dst = new_dst
+
+    def process(self, switch, packet, in_port):
+        packet.ip.dst_ip = self.new_dst
+        return PipelineAction.FORWARD
+
+
+def test_program_can_drop():
+    sim, switch, sink = make_switch()
+    switch.install_program(DropAll())
+    switch.deliver(packet_to(sink.ip), list(switch.ports.values())[0])
+    sim.run()
+    assert sink.received == []
+    assert switch.dropped_by_program == 1
+
+
+def test_program_can_rewrite_and_forward():
+    sim, switch, sink = make_switch()
+    switch.install_program(Rewrite(sink.ip))
+    switch.deliver(packet_to("10.77.0.1"), list(switch.ports.values())[0])
+    sim.run()
+    assert len(sink.received) == 1
+
+
+def test_max_value_bytes_per_pass():
+    switch = Switch(Simulator(), "S", "10.0.0.1",
+                    config=SwitchConfig(value_stages=8, stage_value_bytes=16))
+    assert switch.max_value_bytes_per_pass() == 128
+
+
+# --------------------------------------------------------------------- #
+# Match tables.
+# --------------------------------------------------------------------- #
+
+def test_match_table_insert_lookup_remove():
+    table = MatchTable("t")
+    entry = table.insert("key", lambda: 1, loc=1)
+    assert table.lookup("key") is entry
+    assert table.lookup("missing") is None
+    assert table.remove(entry)
+    assert not table.remove(entry)
+    assert table.lookup("key") is None
+
+
+def test_match_table_priority_wins():
+    table = MatchTable("t")
+    table.insert("x", lambda: "low", priority=1, tag="low")
+    high = table.insert("x", lambda: "high", priority=10, tag="high")
+    assert table.lookup("x") is high
+
+
+def test_match_table_capacity():
+    table = MatchTable("t", max_entries=2)
+    table.insert("a", lambda: 1)
+    table.insert("b", lambda: 2)
+    with pytest.raises(TableFullError):
+        table.insert("c", lambda: 3)
+    assert len(table) == 2
+    table.clear()
+    assert len(table) == 0
+
+
+def test_match_table_remove_match():
+    table = MatchTable("t")
+    table.insert("a", lambda: 1)
+    table.insert("a", lambda: 2, priority=5)
+    assert table.remove_match("a") == 2
+    assert len(table) == 0
+
+
+# --------------------------------------------------------------------- #
+# Register arrays.
+# --------------------------------------------------------------------- #
+
+def test_register_allocation_and_budget():
+    registers = RegisterFile(sram_bytes=1000)
+    array = registers.allocate("a", slots=10, bytes_per_slot=16)
+    assert array.size_bytes() == 160
+    assert registers.allocated_bytes() == 160
+    with pytest.raises(RegisterAllocationError):
+        registers.allocate("b", slots=100, bytes_per_slot=16)
+    registers.free("a")
+    assert registers.allocated_bytes() == 0
+
+
+def test_register_duplicate_name_rejected():
+    registers = RegisterFile()
+    registers.allocate("a", 4, 4)
+    with pytest.raises(ValueError):
+        registers.allocate("a", 4, 4)
+
+
+def test_register_read_write_snapshot_load():
+    registers = RegisterFile()
+    array = registers.allocate("vals", slots=4, bytes_per_slot=8, initial=0)
+    array.write(2, 42)
+    assert array.read(2) == 42
+    snapshot = array.snapshot()
+    array.fill(0)
+    assert array.read(2) == 0
+    array.load(snapshot)
+    assert array.read(2) == 42
+    with pytest.raises(ValueError):
+        array.load([1, 2])
+    assert len(array) == 4

@@ -1,0 +1,122 @@
+"""Unit tests for the simplified reliable transport (TCP model)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netsim.host import HostConfig
+from repro.netsim.link import LinkConfig
+from repro.netsim.routing import install_shortest_path_routes
+from repro.netsim.tcp import TcpConfig, TcpConnection
+from repro.netsim.topology import build_line
+
+
+def make_pair(loss_rate=0.0, tcp_config=None):
+    topo = build_line(1, hosts_at={0: 2},
+                      host_config=HostConfig(stack_delay=1e-6, nic_pps=None),
+                      link_config=LinkConfig(loss_rate=0.0))
+    install_shortest_path_routes(topo)
+    if loss_rate:
+        topo.switches["S0"].injected_loss_rate = loss_rate
+    hosts = list(topo.hosts.values())
+    conn = TcpConnection(hosts[0], hosts[1], config=tcp_config or TcpConfig())
+    return topo, hosts[0], hosts[1], conn
+
+
+def test_messages_delivered_in_order():
+    topo, a, b, conn = make_pair()
+    got = []
+    conn.endpoint(b).on_message = got.append
+    for i in range(20):
+        conn.endpoint(a).send(f"msg{i}")
+    topo.run(until=1.0)
+    assert got == [f"msg{i}" for i in range(20)]
+
+
+def test_bidirectional_delivery():
+    topo, a, b, conn = make_pair()
+    got_a, got_b = [], []
+    conn.endpoint(a).on_message = got_a.append
+    conn.endpoint(b).on_message = got_b.append
+    conn.endpoint(a).send("to-b")
+    conn.endpoint(b).send("to-a")
+    topo.run(until=1.0)
+    assert got_b == ["to-b"]
+    assert got_a == ["to-a"]
+
+
+def test_reliable_delivery_under_loss():
+    topo, a, b, conn = make_pair(loss_rate=0.3)
+    got = []
+    conn.endpoint(b).on_message = got.append
+    for i in range(30):
+        conn.endpoint(a).send(i)
+    topo.run(until=20.0)
+    assert got == list(range(30))
+    assert conn.endpoint(a).retransmissions > 0
+
+
+def test_loss_reduces_goodput():
+    """Heavy loss makes delivery dramatically slower (Figure 9(d) mechanism)."""
+    def delivered_by(loss, deadline):
+        topo, a, b, conn = make_pair(loss_rate=loss)
+        got = []
+        conn.endpoint(b).on_message = got.append
+        for i in range(200):
+            conn.endpoint(a).send(i)
+        topo.run(until=deadline)
+        return len(got)
+
+    clean = delivered_by(0.0, 0.02)
+    lossy = delivered_by(0.4, 0.02)
+    assert lossy < clean
+
+
+def test_no_duplicate_deliveries_despite_retransmission():
+    topo, a, b, conn = make_pair(loss_rate=0.3)
+    got = []
+    conn.endpoint(b).on_message = got.append
+    for i in range(15):
+        conn.endpoint(a).send(i)
+    topo.run(until=20.0)
+    assert got == sorted(set(got))
+    assert len(got) == 15
+
+
+def test_congestion_window_halves_on_timeout():
+    config = TcpConfig(initial_cwnd=16)
+    topo, a, b, conn = make_pair(loss_rate=1.0, tcp_config=config)
+    endpoint = conn.endpoint(a)
+    endpoint.send("doomed")
+    topo.run(until=0.5)
+    assert endpoint._cwnd < 16
+
+
+def test_closed_endpoint_stops_sending():
+    topo, a, b, conn = make_pair()
+    got = []
+    conn.endpoint(b).on_message = got.append
+    conn.endpoint(a).close()
+    conn.endpoint(a).send("nope")
+    topo.run(until=0.5)
+    assert got == []
+
+
+def test_close_cancels_retransmission_timers():
+    topo, a, b, conn = make_pair(loss_rate=1.0)
+    endpoint = conn.endpoint(a)
+    endpoint.send("lost")
+    conn.close()
+    before = endpoint.retransmissions
+    topo.run(until=2.0)
+    assert endpoint.retransmissions == before
+
+
+def test_stats_counters():
+    topo, a, b, conn = make_pair()
+    conn.endpoint(b).on_message = lambda m: None
+    for i in range(5):
+        conn.endpoint(a).send(i)
+    topo.run(until=1.0)
+    assert conn.endpoint(a).messages_sent == 5
+    assert conn.endpoint(b).messages_delivered == 5

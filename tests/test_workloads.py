@@ -1,0 +1,109 @@
+"""Tests for workload generators and load-driving clients."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads import (
+    KeyValueWorkload,
+    NetChainLoadClient,
+    OpType,
+    WorkloadConfig,
+    measure_netchain_load,
+    zipf_probabilities,
+)
+from tests.conftest import make_cluster
+
+
+def test_workload_defaults_match_paper_section_8_1():
+    config = WorkloadConfig()
+    assert config.store_size == 20000
+    assert config.value_size == 64
+    assert config.write_ratio == pytest.approx(0.01)
+
+
+def test_key_names_cover_store_size():
+    config = WorkloadConfig(store_size=10)
+    names = config.key_names()
+    assert len(names) == 10
+    assert len(set(names)) == 10
+
+
+def test_write_ratio_respected_statistically():
+    workload = KeyValueWorkload(WorkloadConfig(store_size=100, write_ratio=0.3, seed=1))
+    fraction = workload.measured_write_fraction(5000)
+    assert 0.25 < fraction < 0.35
+
+
+def test_read_only_and_write_only_extremes():
+    reads = KeyValueWorkload(WorkloadConfig(store_size=10, write_ratio=0.0))
+    writes = KeyValueWorkload(WorkloadConfig(store_size=10, write_ratio=1.0))
+    assert all(op.op is OpType.READ for op in reads.operations(200))
+    assert all(op.op is OpType.WRITE for op in writes.operations(200))
+
+
+def test_write_operations_carry_values_of_configured_size():
+    workload = KeyValueWorkload(WorkloadConfig(store_size=10, write_ratio=1.0,
+                                               value_size=48))
+    operation = workload.next_operation()
+    assert operation.value is not None
+    assert len(operation.value) == 48
+
+
+def test_keys_drawn_from_store():
+    workload = KeyValueWorkload(WorkloadConfig(store_size=50, seed=3))
+    keys = {workload.pick_key() for _ in range(500)}
+    assert keys.issubset(set(workload.keys))
+    assert len(keys) > 20
+
+
+def test_zipf_probabilities_sum_to_one_and_skew():
+    uniform = zipf_probabilities(100, 0.0)
+    skewed = zipf_probabilities(100, 0.99)
+    assert uniform.sum() == pytest.approx(1.0)
+    assert skewed.sum() == pytest.approx(1.0)
+    assert skewed[0] > uniform[0]
+    with pytest.raises(ValueError):
+        zipf_probabilities(0, 0.5)
+
+
+def test_zipf_workload_prefers_popular_keys():
+    workload = KeyValueWorkload(WorkloadConfig(store_size=100, zipf_theta=1.2, seed=2))
+    counts = {}
+    for _ in range(3000):
+        key = workload.pick_key()
+        counts[key] = counts.get(key, 0) + 1
+    top = max(counts.values())
+    assert top > 3000 / 100 * 5  # far above the uniform share
+
+
+def test_closed_loop_client_measures_throughput_and_latency():
+    cluster = make_cluster()
+    cluster.controller.populate([f"k{i:08d}" for i in range(20)])
+    workload = KeyValueWorkload(WorkloadConfig(store_size=20, key_prefix="k",
+                                               write_ratio=0.5, seed=0))
+    client = NetChainLoadClient(cluster.agent("H0"), workload, concurrency=4)
+    measurement = measure_netchain_load([client], warmup=0.01, duration=0.05)
+    assert measurement.success_qps > 0
+    assert measurement.mean_read_latency > 0
+    assert measurement.mean_write_latency > 0
+    assert measurement.scaled_qps(cluster.config.scale) > measurement.success_qps
+
+
+def test_load_client_stop_halts_new_queries():
+    cluster = make_cluster()
+    cluster.controller.populate([f"k{i:08d}" for i in range(5)])
+    workload = KeyValueWorkload(WorkloadConfig(store_size=5, key_prefix="k"))
+    client = NetChainLoadClient(cluster.agent("H0"), workload, concurrency=2)
+    client.start()
+    cluster.run(until=cluster.sim.now + 0.02)
+    client.stop()
+    cluster.run(until=cluster.sim.now + 0.02)
+    completed = client.completions.total()
+    cluster.run(until=cluster.sim.now + 0.05)
+    assert client.completions.total() == completed
+
+
+def test_measure_requires_clients():
+    with pytest.raises(ValueError):
+        measure_netchain_load([], warmup=0.0, duration=0.1)
