@@ -2,10 +2,12 @@
 """Quickstart: an in-network key-value store in a few lines.
 
 Builds the paper's 4-switch testbed (Figure 8), installs the NetChain
-program on the switches, and uses the client agent's key-value API:
-insert, write, read, compare-and-swap and delete.  Every query is processed
-entirely by the simulated switch data plane -- note the ~10 microsecond
-latencies, versus the hundreds of microseconds a server-based store pays.
+program on the switches, and drives it through the unified client API
+(:mod:`repro.core.client`): every operation returns a future, and a
+session batches operations back-to-back with a pipelined in-flight window.
+Every query is processed entirely by the simulated switch data plane --
+note the ~10 microsecond latencies, versus the hundreds of microseconds a
+server-based store pays.
 
 Run:  python examples/quickstart.py
 """
@@ -18,48 +20,65 @@ from repro.core import ClusterConfig, NetChainCluster
 def main() -> None:
     # A NetChain deployment: 4 Tofino-like switches in a ring, 4 client
     # hosts, chains of 3 switches (f+1 = 3 tolerates 2 failures with the
-    # help of the controller's reconfiguration protocol).
-    cluster = NetChainCluster(ClusterConfig(store_slots=4096, vnodes_per_switch=8))
+    # help of the controller's reconfiguration protocol).  scale=1 keeps
+    # the full device capacities so per-query latency matches the paper.
+    cluster = NetChainCluster(ClusterConfig(scale=1.0, store_slots=4096,
+                                            vnodes_per_switch=8))
     controller = cluster.controller
-    agent = cluster.agent("H0")
+    session = cluster.session("H0")
 
     print("== NetChain quickstart ==")
     print(f"member switches : {sorted(controller.members)}")
 
     # Insert goes through the control plane (the controller installs the
     # key's index entry on every switch of its chain), then the value is
-    # written through the data plane.
-    agent.insert_sync("hello", b"world")
+    # written through the data plane.  .result() drives the simulation
+    # until the reply arrives.
+    session.insert("hello", b"world").result()
     info = controller.chain_for_key("hello")
     print(f"chain for 'hello': {info.switches} (head -> tail)")
 
-    # Reads and writes are pure data-plane operations.
-    result = agent.read_sync("hello")
+    # Reads and writes are pure data-plane operations returning futures.
+    result = session.read("hello").result()
     print(f"read  'hello' -> {result.value!r}   latency {result.latency * 1e6:.1f} us")
 
-    result = agent.write_sync("hello", b"netchain")
+    result = session.write("hello", b"netchain").result()
     print(f"write 'hello' <- b'netchain'        latency {result.latency * 1e6:.1f} us "
-          f"(version {result.version()})")
+          f"(version {result.raw.version()})")
 
-    result = agent.read_sync("hello")
-    print(f"read  'hello' -> {result.value!r}   version {result.version()}")
+    result = session.read("hello").result()
+    print(f"read  'hello' -> {result.value!r}   version {result.raw.version()}")
 
     # Compare-and-swap: the primitive used to build locks (Section 8.5).
-    ok = agent.cas_sync("hello", b"netchain", b"swapped")
-    failed = agent.cas_sync("hello", b"netchain", b"nope")
-    print(f"cas expecting current value  -> status {ok.status.name}")
-    print(f"cas expecting stale value    -> status {failed.status.name} "
-          f"(value stays {agent.read_sync('hello').value!r})")
+    ok = session.cas("hello", b"netchain", b"swapped").result()
+    failed = session.cas("hello", b"netchain", b"nope").result()
+    print(f"cas expecting current value  -> ok={ok.ok}")
+    print(f"cas expecting stale value    -> ok={failed.ok} "
+          f"(value stays {session.read('hello').result().value!r})")
+
+    # Batched pipelined submission: operations go out back-to-back with a
+    # bounded in-flight window instead of one round-trip gap per op.
+    keys = [f"bulk{i}" for i in range(8)]
+    controller.populate(keys)
+    batch = session.batch()
+    for key in keys:
+        batch.write(key, key.encode())
+    start = cluster.sim.now
+    results = batch.results()
+    elapsed = cluster.sim.now - start
+    print(f"batched 8 writes in {elapsed * 1e6:.1f} us total "
+          f"({'all ok' if all(r.ok for r in results) else 'failures!'}) -- "
+          f"~{elapsed / len(keys) * 1e6:.1f} us/op pipelined")
 
     # Reads from another host observe the same data (strong consistency).
-    other = cluster.agent("H1")
-    print(f"read from H1 -> {other.read_sync('hello').value!r}")
+    other = cluster.session("H1")
+    print(f"read from H1 -> {other.read('hello').result().value!r}")
 
     # Delete invalidates the item in the data plane; the controller
     # garbage-collects the slot afterwards.
-    agent.delete_sync("hello")
-    result = agent.read_sync("hello")
-    print(f"read after delete -> status {result.status.name}")
+    session.delete("hello").result()
+    result = session.read("hello").result()
+    print(f"read after delete -> ok={result.ok} (not_found={result.not_found})")
 
     stats = [(name, program.stats.reads, program.stats.writes_applied)
              for name, program in sorted(controller.programs.items())]

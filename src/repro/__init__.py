@@ -20,15 +20,18 @@ Sub-packages:
 * :mod:`repro.experiments` -- drivers that regenerate every figure and table
   of the paper's evaluation.
 
-Quickstart::
+Quickstart (the unified futures-based client API, :mod:`repro.core.client`)::
 
     from repro.core import NetChainCluster, ClusterConfig
 
     cluster = NetChainCluster(ClusterConfig(store_slots=1024))
-    agent = cluster.agent("H0")
-    agent.insert_sync("hello")
-    agent.write_sync("hello", b"world")
-    print(agent.read_sync("hello").value)   # b"world"
+    session = cluster.session("H0")
+    session.insert("hello").result()
+    session.write("hello", b"world").result()
+    print(session.read("hello").result().value)   # b"world"
+
+    # Pipelined batched submission (one RTT per window, not per op):
+    futures = session.batch().read("hello").write("hello", b"!").submit()
 """
 
 __version__ = "1.0.0"

@@ -7,6 +7,7 @@
 
 from repro.apps.transactions import (
     TransactionWorkloadConfig,
+    TransactionClient,
     NetChainTransactionClient,
     ZooKeeperTransactionClient,
     TransactionStats,
@@ -14,6 +15,7 @@ from repro.apps.transactions import (
 
 __all__ = [
     "TransactionWorkloadConfig",
+    "TransactionClient",
     "NetChainTransactionClient",
     "ZooKeeperTransactionClient",
     "TransactionStats",

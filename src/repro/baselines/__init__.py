@@ -17,7 +17,12 @@ from repro.baselines.zookeeper import (
     ZooKeeperEnsemble,
     build_zookeeper_ensemble,
 )
-from repro.baselines.zk_client import ZooKeeperClient, ZkLock, ZkResult
+from repro.baselines.zk_client import (
+    ZooKeeperClient,
+    ZooKeeperKVClient,
+    ZkLock,
+    ZkResult,
+)
 from repro.baselines.chain_server import ServerChainReplica, ServerChainCluster
 from repro.baselines.primary_backup import PrimaryBackupCluster
 
@@ -30,6 +35,7 @@ __all__ = [
     "ZooKeeperEnsemble",
     "build_zookeeper_ensemble",
     "ZooKeeperClient",
+    "ZooKeeperKVClient",
     "ZkLock",
     "ZkResult",
     "ServerChainReplica",

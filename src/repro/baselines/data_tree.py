@@ -13,6 +13,12 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
 
+#: Stable error-message prefixes; clients classify failures by these, so
+#: keep them in sync with the ``raise`` sites below.
+ERR_NO_NODE = "no such znode"
+ERR_VERSION_MISMATCH = "version mismatch"
+
+
 class ZnodeError(Exception):
     """Raised for invalid znode operations (missing node, bad version, ...)."""
 
@@ -71,7 +77,7 @@ class DataTree:
         validate_path(path)
         node = self.nodes.get(path)
         if node is None:
-            raise ZnodeError(f"no such znode: {path}")
+            raise ZnodeError(f"{ERR_NO_NODE}: {path}")
         return node
 
     def get_children(self, path: str) -> List[str]:
@@ -113,7 +119,7 @@ class DataTree:
         """Update a node's data; ``expected_version`` of -1 skips the check."""
         node = self.get(path)
         if expected_version not in (-1, node.version):
-            raise ZnodeError(f"version mismatch on {path}: "
+            raise ZnodeError(f"{ERR_VERSION_MISMATCH} on {path}: "
                              f"expected {expected_version}, have {node.version}")
         node.data = data
         node.version += 1
@@ -128,7 +134,7 @@ class DataTree:
         if node.children:
             raise ZnodeError(f"znode {path} has children")
         if expected_version not in (-1, node.version):
-            raise ZnodeError(f"version mismatch on {path}")
+            raise ZnodeError(f"{ERR_VERSION_MISMATCH} on {path}")
         del self.nodes[path]
         parent = parent_path(path)
         if parent in self.nodes:

@@ -2,12 +2,20 @@
 the paper's evaluation, Section 8).
 
 A client opens one TCP connection to an ensemble server, issues requests
-identified by an ``xid``, and receives responses and watch events.  The
+identified by an ``xid``, and receives responses and watch events.  Every
+request returns a :class:`repro.core.client.KVFuture`; the synchronous
+methods are thin wrappers that drive the simulator through the future.  The
 module also provides the standard exclusive-lock recipe used by the
 transaction benchmark: an ephemeral sequential znode under the lock's
 directory; the holder is the lowest sequence number (Section 8.5 notes that
 ZooKeeper locks are "implemented by ephemeral znodes and ... directly
 provided by Apache Curator").
+
+:class:`ZooKeeperKVClient` adapts a session to the backend-agnostic
+:class:`repro.core.client.KVClient` protocol (keys become znodes under a
+path prefix; compare-and-swap is the standard read-then-conditional-set
+recipe using znode versions), so coordination primitives, load generators
+and the transaction benchmark run unmodified against the ensemble.
 """
 
 from __future__ import annotations
@@ -16,7 +24,9 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
+from repro.baselines.data_tree import ERR_NO_NODE, ERR_VERSION_MISMATCH
 from repro.baselines.zookeeper import ZooKeeperEnsemble, ZooKeeperServer
+from repro.core.client import KVClient, KVFuture, KVResult, KVTimeout, _raw_key
 from repro.netsim.host import Host
 from repro.netsim.tcp import TcpConnection
 
@@ -65,69 +75,68 @@ class ZooKeeperClient:
     # ------------------------------------------------------------------ #
 
     def submit(self, op: str, callback: Optional[Callable[[ZkResult], None]] = None,
-               **fields: Any) -> int:
-        """Send a request; ``callback`` receives the :class:`ZkResult`."""
+               **fields: Any) -> KVFuture:
+        """Send a request; the returned future resolves with the
+        :class:`ZkResult` (``callback``, if given, fires first)."""
         xid = next(self._xids)
         request = {"kind": "request", "xid": xid, "op": op}
         request.update(fields)
-        self._pending[xid] = {"callback": callback, "op": op, "sent_at": self.sim.now}
+        future = KVFuture(self.sim, op=op)
+        future.xid = xid
+        self._pending[xid] = {"callback": callback, "op": op, "sent_at": self.sim.now,
+                              "future": future}
         self._endpoint.send(request, self.ensemble.config.message_bytes)
-        return xid
+        return future
 
-    def get_async(self, path: str, callback=None, watch: bool = False) -> int:
+    def get_async(self, path: str, callback=None, watch: bool = False) -> KVFuture:
         return self.submit("get", callback, path=path, watch=watch)
 
-    def set_async(self, path: str, data, callback=None, version: int = -1) -> int:
+    def set_async(self, path: str, data, callback=None, version: int = -1) -> KVFuture:
         return self.submit("set", callback, path=path, data=_to_bytes(data), version=version)
 
     def create_async(self, path: str, data=b"", callback=None, ephemeral: bool = False,
-                     sequential: bool = False) -> int:
+                     sequential: bool = False) -> KVFuture:
         return self.submit("create", callback, path=path, data=_to_bytes(data),
                            ephemeral=ephemeral, sequential=sequential)
 
-    def delete_async(self, path: str, callback=None, version: int = -1) -> int:
+    def delete_async(self, path: str, callback=None, version: int = -1) -> KVFuture:
         return self.submit("delete", callback, path=path, version=version)
 
-    def children_async(self, path: str, callback=None, watch: bool = False) -> int:
+    def children_async(self, path: str, callback=None, watch: bool = False) -> KVFuture:
         return self.submit("children", callback, path=path, watch=watch)
 
-    def exists_async(self, path: str, callback=None, watch: bool = False) -> int:
+    def exists_async(self, path: str, callback=None, watch: bool = False) -> KVFuture:
         return self.submit("exists", callback, path=path, watch=watch)
 
     # ------------------------------------------------------------------ #
-    # Synchronous API (drives the simulator).
+    # Synchronous API (thin wrappers that drive the simulator).
     # ------------------------------------------------------------------ #
 
-    def _sync(self, submit: Callable[[Callable[[ZkResult], None]], int],
-              deadline: float = 10.0) -> ZkResult:
-        box: List[ZkResult] = []
-        submit(box.append)
-        limit = self.sim.now + deadline
-        while not box and self.sim.pending() and self.sim.now < limit:
-            self.sim.run(until=min(limit, self.sim.now + 0.05))
-        if not box:
-            raise TimeoutError("no response from the ZooKeeper ensemble")
-        return box[0]
+    def _sync(self, future: KVFuture, deadline: float = 10.0) -> ZkResult:
+        try:
+            return future.result(deadline)
+        except KVTimeout:
+            raise TimeoutError("no response from the ZooKeeper ensemble") from None
 
     def get(self, path: str, watch: bool = False, deadline: float = 10.0) -> ZkResult:
-        return self._sync(lambda cb: self.get_async(path, cb, watch=watch), deadline)
+        return self._sync(self.get_async(path, watch=watch), deadline)
 
     def set(self, path: str, data, version: int = -1, deadline: float = 10.0) -> ZkResult:
-        return self._sync(lambda cb: self.set_async(path, data, cb, version=version), deadline)
+        return self._sync(self.set_async(path, data, version=version), deadline)
 
     def create(self, path: str, data=b"", ephemeral: bool = False, sequential: bool = False,
                deadline: float = 10.0) -> ZkResult:
-        return self._sync(lambda cb: self.create_async(path, data, cb, ephemeral=ephemeral,
-                                                       sequential=sequential), deadline)
+        return self._sync(self.create_async(path, data, ephemeral=ephemeral,
+                                            sequential=sequential), deadline)
 
     def delete(self, path: str, version: int = -1, deadline: float = 10.0) -> ZkResult:
-        return self._sync(lambda cb: self.delete_async(path, cb, version=version), deadline)
+        return self._sync(self.delete_async(path, version=version), deadline)
 
     def children(self, path: str, watch: bool = False, deadline: float = 10.0) -> ZkResult:
-        return self._sync(lambda cb: self.children_async(path, cb, watch=watch), deadline)
+        return self._sync(self.children_async(path, watch=watch), deadline)
 
     def exists(self, path: str, watch: bool = False, deadline: float = 10.0) -> ZkResult:
-        return self._sync(lambda cb: self.exists_async(path, cb, watch=watch), deadline)
+        return self._sync(self.exists_async(path, watch=watch), deadline)
 
     def ensure_path(self, path: str, deadline: float = 10.0) -> None:
         """Create ``path`` and any missing ancestors (Curator's creatingParentsIfNeeded)."""
@@ -171,6 +180,129 @@ class ZooKeeperClient:
         callback = pending["callback"]
         if callback is not None:
             callback(result)
+        future = pending.get("future")
+        if future is not None:
+            future.resolve(result)
+
+
+class ZooKeeperKVClient(KVClient):
+    """The :class:`~repro.core.client.KVClient` protocol over one session.
+
+    Keys map to znodes under ``prefix``.  ``insert`` is ``create`` (the
+    analogue of NetChain's control-plane insert), ``write`` is an
+    unconditional ``set``, and ``cas`` is the standard ZooKeeper recipe:
+    read the znode, compare its data, and conditionally ``set`` against the
+    observed version -- atomic because a concurrent update bumps the version
+    and fails the conditional set.
+    """
+
+    backend = "zookeeper"
+
+    def __init__(self, client: ZooKeeperClient, prefix: str = "/kv/") -> None:
+        self.client = client
+        self.sim = client.sim
+        self.prefix = prefix if prefix.endswith("/") else prefix + "/"
+        #: Parent paths whose ancestor chain has already been created.
+        self._ready_parents: set = set()
+
+    def _path(self, key) -> str:
+        name = key.decode("utf-8", "replace") if isinstance(key, bytes) else str(key)
+        return f"{self.prefix}{name}"
+
+    def _to_kv(self, result: ZkResult, op: str, key, started: float) -> KVResult:
+        error = result.error
+        return KVResult(ok=result.ok, op=op, key=_raw_key(key),
+                        value=result.data or b"",
+                        not_found=bool(error and ERR_NO_NODE in error),
+                        cas_failed=bool(error and ERR_VERSION_MISMATCH in error),
+                        error=None if result.ok else (error or "failed"),
+                        latency=self.sim.now - started, backend=self.backend, raw=result)
+
+    # -- the five protocol operations ------------------------------------ #
+
+    def read(self, key) -> KVFuture:
+        started = self.sim.now
+        future = KVFuture(self.sim, op="read", key=_raw_key(key))
+        self.client.get_async(self._path(key)).then(
+            lambda r: future.resolve(self._to_kv(r, "read", key, started)))
+        return future
+
+    def write(self, key, value) -> KVFuture:
+        started = self.sim.now
+        future = KVFuture(self.sim, op="write", key=_raw_key(key))
+        self.client.set_async(self._path(key), value).then(
+            lambda r: future.resolve(self._to_kv(r, "write", key, started)))
+        return future
+
+    def cas(self, key, expected, new_value) -> KVFuture:
+        started = self.sim.now
+        future = KVFuture(self.sim, op="cas", key=_raw_key(key))
+        path = self._path(key)
+        expected = _to_bytes(expected) if expected else b""
+
+        def on_get(get_result: ZkResult) -> None:
+            if not get_result.ok:
+                future.resolve(self._to_kv(get_result, "cas", key, started))
+                return
+            if (get_result.data or b"") != expected:
+                future.resolve(KVResult(ok=False, op="cas", key=_raw_key(key),
+                                        value=get_result.data or b"", cas_failed=True,
+                                        error="cas_failed",
+                                        latency=self.sim.now - started,
+                                        backend=self.backend, raw=get_result))
+                return
+            self.client.set_async(path, new_value, version=get_result.version).then(
+                lambda r: future.resolve(self._to_kv(r, "cas", key, started)))
+
+        self.client.get_async(path).then(on_get)
+        return future
+
+    def delete(self, key) -> KVFuture:
+        started = self.sim.now
+        future = KVFuture(self.sim, op="delete", key=_raw_key(key))
+        self.client.delete_async(self._path(key)).then(
+            lambda r: future.resolve(self._to_kv(r, "delete", key, started)))
+        return future
+
+    def insert(self, key, value=b"") -> KVFuture:
+        started = self.sim.now
+        future = KVFuture(self.sim, op="insert", key=_raw_key(key))
+        path = self._path(key)
+        parent = path.rsplit("/", 1)[0]
+
+        def do_create(_result=None) -> None:
+            self.client.create_async(path, value).then(
+                lambda r: future.resolve(self._to_kv(r, "insert", key, started)))
+
+        if parent in self._ready_parents:
+            do_create()
+        else:
+            def mark_and_create() -> None:
+                self._ready_parents.add(parent)
+                do_create()
+
+            self._ensure_ancestors(path, done=mark_and_create)
+        return future
+
+    # -- ancestors of the key namespace ---------------------------------- #
+
+    def _ensure_ancestors(self, path: str, done: Callable[[], None]) -> None:
+        """Create the parent chain of ``path`` (ignoring already-exists)."""
+        parts = [p for p in path.split("/") if p][:-1]
+        ancestors = []
+        current = ""
+        for part in parts:
+            current = f"{current}/{part}"
+            ancestors.append(current)
+
+        def create_next(index: int) -> None:
+            if index >= len(ancestors):
+                done()
+                return
+            self.client.create_async(ancestors[index]).then(
+                lambda _r: create_next(index + 1))
+
+        create_next(0)
 
 
 class ZkLock:

@@ -9,6 +9,8 @@ from:
 * :mod:`repro.core.switch_program` -- the data-plane program
   (Algorithm 1 plus chain routing and failure-handling rules).
 * :mod:`repro.core.ring` -- consistent hashing with virtual nodes.
+* :mod:`repro.core.client` -- the backend-agnostic ``KVClient`` protocol:
+  futures, sessions and pipelined batch submission.
 * :mod:`repro.core.agent` -- the client-side agent exposing the key-value API.
 * :mod:`repro.core.controller` -- the control plane: chain assignment,
   fast failover (Algorithm 2) and failure recovery (Algorithm 3).
@@ -19,6 +21,16 @@ from:
 """
 
 from repro.core.protocol import OpCode, QueryStatus, NetChainHeader
+from repro.core.client import (
+    KVClient,
+    KVFuture,
+    KVResult,
+    KVSession,
+    KVBatch,
+    KVTimeout,
+    gather,
+    first,
+)
 from repro.core.kvstore import SwitchKVStore, KVStoreConfig, StoreFullError
 from repro.core.ring import ConsistentHashRing, VirtualNode
 from repro.core.switch_program import NetChainSwitchProgram
@@ -40,6 +52,14 @@ from repro.core.cluster import NetChainCluster, ClusterConfig
 from repro.core.hybrid import HybridStore, HybridPolicy
 
 __all__ = [
+    "KVClient",
+    "KVFuture",
+    "KVResult",
+    "KVSession",
+    "KVBatch",
+    "KVTimeout",
+    "gather",
+    "first",
     "OpCode",
     "QueryStatus",
     "NetChainHeader",

@@ -7,17 +7,23 @@ directory, gathers replies, and retries on timeout -- the paper's answer to
 packet loss between the client and the chain (Section 4.3: "relies on
 client-side retries ... because writes are idempotent, retrying is benign").
 
-The agent is callback-based because it lives inside a discrete-event
-simulation; ``*_sync`` convenience wrappers run the simulator until the
-reply arrives and are what the examples and most tests use.
+The agent implements the backend-agnostic :class:`repro.core.client.KVClient`
+protocol: every operation returns a :class:`repro.core.client.KVFuture`
+resolved when the reply (or a terminal retry failure) arrives, so the same
+coordination recipes, load generators and benchmarks drive NetChain and the
+ZooKeeper baseline interchangeably.  The legacy ``callback=`` argument and
+the ``*_sync`` wrappers are kept as thin compatibility shims over the
+futures API; new code should use futures and :class:`~repro.core.client.KVSession`
+batches.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
+from repro.core.client import KVClient, KVFuture, KVResult, KVTimeout, _raw_key
 from repro.core.protocol import (
     NETCHAIN_UDP_PORT,
     NetChainHeader,
@@ -36,7 +42,7 @@ from repro.netsim.stats import LatencyRecorder
 _agent_ports = itertools.count(9000)
 
 
-class QueryTimeout(Exception):
+class QueryTimeout(KVTimeout):
     """Raised by the synchronous API when a query exhausts its retries."""
 
 
@@ -78,13 +84,17 @@ class _Pending:
     dst_ip: str
     callback: Optional[Callable[[QueryResult], None]]
     created_at: float
+    future: Optional[KVFuture] = None
+    op_name: str = ""
     retries: int = 0
     timer: object = None
     done: bool = False
 
 
-class NetChainAgent:
+class NetChainAgent(KVClient):
     """Key-value client API backed by the in-network store."""
+
+    backend = "netchain"
 
     def __init__(self, host: Host, directory, config: Optional[AgentConfig] = None,
                  name: Optional[str] = None) -> None:
@@ -116,90 +126,100 @@ class NetChainAgent:
         self.log_results = False
 
     # ------------------------------------------------------------------ #
-    # Public API (asynchronous).
+    # Public API (futures; the KVClient protocol).
     # ------------------------------------------------------------------ #
 
-    def read(self, key, callback: Optional[Callable[[QueryResult], None]] = None) -> int:
+    def read(self, key, callback: Optional[Callable[[QueryResult], None]] = None) -> KVFuture:
         """Read the value of ``key``; the reply comes from the chain tail."""
         chain_ips, vgroup = self.directory.chain_ips_for_key(key)
         header = make_read(key, chain_ips, vgroup=vgroup)
-        return self._submit(header, dst_ip=chain_ips[-1], callback=callback)
+        return self._submit(header, dst_ip=chain_ips[-1], callback=callback, op_name="read")
 
-    def write(self, key, value, callback: Optional[Callable[[QueryResult], None]] = None) -> int:
+    def write(self, key, value, callback: Optional[Callable[[QueryResult], None]] = None) -> KVFuture:
         """Write ``value`` under ``key``; the query enters at the chain head."""
         chain_ips, vgroup = self.directory.chain_ips_for_key(key)
         header = make_write(key, value, chain_ips, vgroup=vgroup)
-        return self._submit(header, dst_ip=chain_ips[0], callback=callback)
+        return self._submit(header, dst_ip=chain_ips[0], callback=callback, op_name="write")
 
     def cas(self, key, expected, new_value,
-            callback: Optional[Callable[[QueryResult], None]] = None) -> int:
+            callback: Optional[Callable[[QueryResult], None]] = None) -> KVFuture:
         """Compare-and-swap, the primitive behind exclusive locks (Section 8.5)."""
         chain_ips, vgroup = self.directory.chain_ips_for_key(key)
         header = make_cas(key, expected, new_value, chain_ips, vgroup=vgroup)
-        return self._submit(header, dst_ip=chain_ips[0], callback=callback)
+        return self._submit(header, dst_ip=chain_ips[0], callback=callback, op_name="cas")
 
-    def delete(self, key, callback: Optional[Callable[[QueryResult], None]] = None) -> int:
+    def delete(self, key, callback: Optional[Callable[[QueryResult], None]] = None) -> KVFuture:
         """Invalidate ``key`` in the data plane (control plane GC happens later)."""
         chain_ips, vgroup = self.directory.chain_ips_for_key(key)
         header = make_delete(key, chain_ips, vgroup=vgroup)
-        return self._submit(header, dst_ip=chain_ips[0], callback=callback)
+        return self._submit(header, dst_ip=chain_ips[0], callback=callback, op_name="delete")
 
     def insert(self, key, value=b"",
-               callback: Optional[Callable[[QueryResult], None]] = None) -> None:
+               callback: Optional[Callable[[QueryResult], None]] = None) -> KVFuture:
         """Insert a new key.
 
         Inserts are control-plane operations (Section 4.1): the controller
         installs index entries on the chain switches, which is much slower
-        than a data-plane query.  The callback fires after the control-plane
+        than a data-plane query.  The future resolves after the control-plane
         latency plus an initial write of the value.
         """
-        def after_insert() -> None:
-            result = QueryResult(ok=True, op=OpCode.INSERT, key=key if isinstance(key, bytes)
-                                 else str(key).encode(), status=QueryStatus.OK)
-            if value:
-                self.write(key, value, callback=callback)
-            elif callback is not None:
+        raw_key = _raw_key(key)
+        future = KVFuture(self.sim, op="insert", key=raw_key)
+        started = self.sim.now
+
+        def finish(result: QueryResult) -> None:
+            if callback is not None:
                 callback(result)
+            kv = self._to_kv(result, "insert")
+            # The future reports the full elapsed time including the
+            # control-plane install, which dominates; the raw QueryResult
+            # keeps the data-plane write latency.
+            kv.latency = self.sim.now - started
+            future.resolve(kv)
+
+        def after_insert() -> None:
+            if value:
+                self.write(key, value, callback=finish)
+            else:
+                finish(QueryResult(ok=True, op=OpCode.INSERT, key=raw_key,
+                                   status=QueryStatus.OK))
 
         self.directory.insert_key(key, on_done=after_insert)
+        return future
 
     # ------------------------------------------------------------------ #
-    # Synchronous wrappers (they drive the simulator).
+    # Synchronous wrappers (thin shims over the futures API).
     # ------------------------------------------------------------------ #
 
     def read_sync(self, key, deadline: float = 5.0) -> QueryResult:
         """Blocking read: runs the simulation until the reply arrives."""
-        return self._run_sync(lambda cb: self.read(key, cb), deadline)
+        return self._await(self.read(key), deadline)
 
     def write_sync(self, key, value, deadline: float = 5.0) -> QueryResult:
         """Blocking write."""
-        return self._run_sync(lambda cb: self.write(key, value, cb), deadline)
+        return self._await(self.write(key, value), deadline)
 
     def cas_sync(self, key, expected, new_value, deadline: float = 5.0) -> QueryResult:
         """Blocking compare-and-swap."""
-        return self._run_sync(lambda cb: self.cas(key, expected, new_value, cb), deadline)
+        return self._await(self.cas(key, expected, new_value), deadline)
 
     def delete_sync(self, key, deadline: float = 5.0) -> QueryResult:
         """Blocking delete."""
-        return self._run_sync(lambda cb: self.delete(key, cb), deadline)
+        return self._await(self.delete(key), deadline)
 
     def insert_sync(self, key, value=b"", deadline: float = 5.0) -> QueryResult:
         """Blocking insert."""
-        return self._run_sync(lambda cb: self.insert(key, value, cb), deadline)
+        return self._await(self.insert(key, value), deadline)
 
-    def _run_sync(self, submit: Callable[[Callable[[QueryResult], None]], object],
-                  deadline: float) -> QueryResult:
-        box: List[QueryResult] = []
-        submit(box.append)
-        limit = self.sim.now + deadline
-        while not box and self.sim.pending() and self.sim.now < limit:
-            self.sim.run(until=min(limit, self.sim.now + 0.05))
-        if not box:
-            raise QueryTimeout(f"{self.name}: no reply within {deadline}s of simulated time")
-        result = box[0]
+    def _await(self, future: KVFuture, deadline: float) -> QueryResult:
+        try:
+            result: KVResult = future.result(deadline)
+        except KVTimeout:
+            raise QueryTimeout(
+                f"{self.name}: no reply within {deadline}s of simulated time") from None
         if result.timed_out:
             raise QueryTimeout(f"{self.name}: query for {result.key!r} exhausted retries")
-        return result
+        return result.raw
 
     # ------------------------------------------------------------------ #
     # Internals.
@@ -209,13 +229,31 @@ class NetChainAgent:
         """Number of queries awaiting a reply."""
         return len(self._pending)
 
+    def _to_kv(self, result: QueryResult, op_name: str) -> KVResult:
+        status = result.status
+        if result.ok:
+            error = None
+        elif result.timed_out:
+            error = "timeout"
+        else:
+            error = status.name.lower() if status is not None else "failed"
+        return KVResult(ok=result.ok, op=op_name, key=result.key, value=result.value,
+                        not_found=status == QueryStatus.KEY_NOT_FOUND,
+                        cas_failed=status == QueryStatus.CAS_FAILED,
+                        timed_out=result.timed_out, error=error,
+                        latency=result.latency, retries=result.retries,
+                        backend=self.backend, raw=result)
+
     def _submit(self, header: NetChainHeader, dst_ip: str,
-                callback: Optional[Callable[[QueryResult], None]]) -> int:
+                callback: Optional[Callable[[QueryResult], None]],
+                op_name: str) -> KVFuture:
+        future = KVFuture(self.sim, op=op_name, key=header.key)
+        future.query_id = header.query_id
         pending = _Pending(header=header, dst_ip=dst_ip, callback=callback,
-                           created_at=self.sim.now)
+                           created_at=self.sim.now, future=future, op_name=op_name)
         self._pending[header.query_id] = pending
         self._transmit(pending)
-        return header.query_id
+        return future
 
     def _transmit(self, pending: _Pending) -> None:
         header = pending.header.copy()
@@ -274,3 +312,5 @@ class NetChainAgent:
             self.results_log.append(result)
         if pending.callback is not None:
             pending.callback(result)
+        if pending.future is not None:
+            pending.future.resolve(self._to_kv(result, pending.op_name))

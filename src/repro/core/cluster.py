@@ -68,14 +68,13 @@ class NetChainCluster:
             )
         self.controller = NetChainController(topology, member_switches=member_switches,
                                              config=controller_config)
+        # One shared config for every agent: it is read-only to the agents
+        # (each allocates its own UDP port because ``udp_port`` stays None).
         agent_config = AgentConfig(retry_timeout=cfg.retry_timeout,
                                    max_retries=cfg.max_retries)
         self.agents: Dict[str, NetChainAgent] = {}
         for name, host in topology.hosts.items():
-            self.agents[name] = NetChainAgent(
-                host, self.controller,
-                config=AgentConfig(retry_timeout=agent_config.retry_timeout,
-                                   max_retries=agent_config.max_retries))
+            self.agents[name] = NetChainAgent(host, self.controller, config=agent_config)
 
     # ------------------------------------------------------------------ #
     # Convenience accessors.
@@ -93,6 +92,10 @@ class NetChainCluster:
     def agent_list(self) -> List[NetChainAgent]:
         """All agents, in host-name order."""
         return [self.agents[name] for name in sorted(self.agents)]
+
+    def session(self, host_name: str = "H0", window: int = 16):
+        """A :class:`repro.core.client.KVSession` over the host's agent."""
+        return self.agents[host_name].session(window=window)
 
     def populate(self, num_keys: int, value_size: int = 64,
                  key_prefix: str = "k") -> List[str]:

@@ -1,17 +1,21 @@
-"""Coordination primitives built on the NetChain key-value API.
+"""Coordination primitives built on the unified key-value client protocol.
 
 The paper motivates NetChain with the classic coordination-service use
 cases: distributed locking, configuration management, group membership and
 barriers (Section 1).  This module implements them on top of the
-:class:`repro.core.agent.NetChainAgent` key-value API:
+backend-agnostic :class:`repro.core.client.KVClient` protocol, so the same
+recipes run against the in-network store
+(:class:`repro.core.agent.NetChainAgent`) and against the ZooKeeper
+baseline (:class:`repro.baselines.zk_client.ZooKeeperKVClient`) -- the
+apples-to-apples comparison the evaluation needs:
 
-* **Locks** use the switch compare-and-swap primitive exactly as the
-  evaluation's transaction benchmark does (Section 8.5): a lock is a key
-  whose value is the owner's id; it can only be released by the owner.
+* **Locks** use compare-and-swap exactly as the evaluation's transaction
+  benchmark does (Section 8.5): a lock is a key whose value is the owner's
+  id; it can only be released by the owner.
 * **Barriers**, **configuration store** and **group membership** are thin
   recipes over read / write / CAS, mirroring what ZooKeeper recipes provide.
 
-Each primitive offers both an asynchronous (callback) interface usable from
+Each primitive offers both an asynchronous (futures) interface usable from
 inside the discrete-event simulation, and a synchronous interface that
 drives the simulator (convenient in examples and tests).
 """
@@ -21,8 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
-from repro.core.agent import NetChainAgent, QueryResult
-from repro.core.protocol import QueryStatus
+from repro.core.client import KVClient, KVResult, KVTimeout
 
 #: Value representing "unlocked" / "absent" for CAS-based recipes.
 EMPTY = b""
@@ -43,51 +46,68 @@ class LockResult:
 
 
 class DistributedLock:
-    """An exclusive lock stored as one NetChain key.
+    """An exclusive lock stored as one key.
 
     The lock is free when the key holds the empty value; acquiring writes
     the owner id with a compare-and-swap against the empty value; releasing
     swaps the owner id back to empty, so only the owner can release
-    (Section 8.5).
+    (Section 8.5).  Works against any :class:`KVClient` backend.
     """
 
-    def __init__(self, agent: NetChainAgent, key, owner) -> None:
-        self.agent = agent
+    def __init__(self, client: KVClient, key, owner) -> None:
+        self.client = client
         self.key = key
         self.owner = owner if isinstance(owner, bytes) else str(owner).encode()
         self.held = False
+        #: CAS attempts that lost the race (conflict accounting).
+        self.cas_conflicts = 0
+        #: Total acquisition attempts.
+        self.attempts = 0
 
     # -- asynchronous interface ---------------------------------------- #
 
     def try_acquire_async(self, callback: Callable[[LockResult], None]) -> None:
         """Attempt to take the lock once; report the outcome via callback."""
-        def on_reply(result: QueryResult) -> None:
-            acquired = result.ok and result.status == QueryStatus.OK
-            if acquired:
+        self.attempts += 1
+
+        def on_reply(result: KVResult) -> None:
+            if result.ok:
                 self.held = True
-            callback(LockResult(acquired=acquired, owner=result.value or None,
+            elif result.cas_failed:
+                # Only genuine lost races count as conflicts; timeouts and
+                # missing keys are failures of a different kind.
+                self.cas_conflicts += 1
+            callback(LockResult(acquired=result.ok, owner=result.value or None,
                                 latency=result.latency, retries=result.retries))
 
-        self.agent.cas(self.key, EMPTY, self.owner, callback=on_reply)
+        self.client.cas(self.key, EMPTY, self.owner).then(on_reply)
 
     def release_async(self, callback: Optional[Callable[[LockResult], None]] = None) -> None:
         """Release the lock (only succeeds for the current owner)."""
-        def on_reply(result: QueryResult) -> None:
-            released = result.ok and result.status == QueryStatus.OK
-            if released:
+        def on_reply(result: KVResult) -> None:
+            if result.ok:
                 self.held = False
             if callback is not None:
-                callback(LockResult(acquired=not released, owner=self.owner,
+                callback(LockResult(acquired=not result.ok, owner=self.owner,
                                     latency=result.latency, retries=result.retries))
 
-        self.agent.cas(self.key, self.owner, EMPTY, callback=on_reply)
+        self.client.cas(self.key, self.owner, EMPTY).then(on_reply)
 
     # -- synchronous interface ------------------------------------------ #
 
     def try_acquire(self, deadline: float = 5.0) -> bool:
-        """One acquisition attempt, driving the simulator until it resolves."""
-        result = self.agent.cas_sync(self.key, EMPTY, self.owner, deadline=deadline)
-        self.held = result.ok and result.status == QueryStatus.OK
+        """One acquisition attempt, driving the simulator until it resolves.
+
+        Raises :class:`KVTimeout` when the query itself dies (exhausted
+        retries), so callers can tell a held lock from a dead network.
+        """
+        self.attempts += 1
+        result = self.client.cas(self.key, EMPTY, self.owner).result(deadline)
+        if result.timed_out:
+            raise KVTimeout(f"lock {self.key!r}: acquire query exhausted retries")
+        self.held = result.ok
+        if result.cas_failed:
+            self.cas_conflicts += 1
         return self.held
 
     def acquire(self, max_attempts: int = 100, deadline: float = 5.0) -> bool:
@@ -99,22 +119,21 @@ class DistributedLock:
 
     def release(self, deadline: float = 5.0) -> bool:
         """Release the lock; returns whether the release took effect."""
-        result = self.agent.cas_sync(self.key, self.owner, EMPTY, deadline=deadline)
-        released = result.ok and result.status == QueryStatus.OK
-        if released:
+        result = self.client.cas(self.key, self.owner, EMPTY).result(deadline)
+        if result.ok:
             self.held = False
-        return released
+        return result.ok
 
     def holder(self, deadline: float = 5.0) -> bytes:
         """Current lock holder (empty bytes when free)."""
-        return self.agent.read_sync(self.key, deadline=deadline).value
+        return self.client.read(self.key).result(deadline).value
 
 
 class LockManager:
     """Creates and tracks locks for one client."""
 
-    def __init__(self, agent: NetChainAgent, client_id) -> None:
-        self.agent = agent
+    def __init__(self, client: KVClient, client_id) -> None:
+        self.client = client
         self.client_id = client_id if isinstance(client_id, bytes) else str(client_id).encode()
         self._locks: Dict[bytes, DistributedLock] = {}
 
@@ -122,7 +141,7 @@ class LockManager:
         """Get (or create) the lock object for ``key``."""
         raw = key if isinstance(key, bytes) else str(key).encode()
         if raw not in self._locks:
-            self._locks[raw] = DistributedLock(self.agent, key, self.client_id)
+            self._locks[raw] = DistributedLock(self.client, key, self.client_id)
         return self._locks[raw]
 
     def held_locks(self) -> List[DistributedLock]:
@@ -142,25 +161,31 @@ class Barrier:
     a CAS loop and poll until it reaches the expected count.
     """
 
-    def __init__(self, agent: NetChainAgent, key, parties: int) -> None:
+    def __init__(self, client: KVClient, key, parties: int) -> None:
         if parties < 1:
             raise ValueError("a barrier needs at least one party")
-        self.agent = agent
+        self.client = client
         self.key = key
         self.parties = parties
+        #: CAS attempts that lost an arrival race (conflict accounting).
+        self.cas_conflicts = 0
 
     def _count(self) -> int:
-        value = self.agent.read_sync(self.key).value
+        value = self.client.read(self.key).result(5.0).value
         return int(value) if value else 0
 
     def arrive(self, max_attempts: int = 1000) -> int:
         """Register arrival; returns this participant's arrival index (1-based)."""
         for _ in range(max_attempts):
             current = self._count()
-            result = self.agent.cas_sync(self.key, str(current) if current else EMPTY,
-                                         str(current + 1))
-            if result.ok and result.status == QueryStatus.OK:
+            result = self.client.cas(self.key, str(current) if current else EMPTY,
+                                     str(current + 1)).result(5.0)
+            if result.ok:
                 return current + 1
+            if result.timed_out:
+                raise KVTimeout(f"barrier {self.key!r}: arrival query exhausted retries")
+            if result.cas_failed:
+                self.cas_conflicts += 1
         raise CoordinationError(f"could not register arrival at barrier {self.key!r}")
 
     def is_complete(self) -> bool:
@@ -172,15 +197,15 @@ class Barrier:
         for _ in range(max_polls):
             if self.is_complete():
                 return
-            self.agent.sim.run(until=self.agent.sim.now + poll_interval)
+            self.client.sim.run(until=self.client.sim.now + poll_interval)
         raise CoordinationError(f"barrier {self.key!r} did not complete")
 
 
 class ConfigurationStore:
     """Configuration management: named parameters with atomic updates."""
 
-    def __init__(self, agent: NetChainAgent, prefix: str = "cfg") -> None:
-        self.agent = agent
+    def __init__(self, client: KVClient, prefix: str = "cfg") -> None:
+        self.client = client
         self.prefix = prefix
 
     def _key(self, name: str) -> str:
@@ -195,26 +220,25 @@ class ConfigurationStore:
         Creation is a control-plane insert (Section 4.1) and therefore slower
         than subsequent updates, which are plain data-plane writes.
         """
-        result = self.agent.write_sync(self._key(name), value)
+        result = self.client.write(self._key(name), value).result(5.0)
         if result.ok:
             return
-        if result.status == QueryStatus.KEY_NOT_FOUND:
-            result = self.agent.insert_sync(self._key(name), value)
+        if result.not_found:
+            result = self.client.insert(self._key(name), value).result(5.0)
             if result.ok:
                 return
         raise CoordinationError(f"failed to set configuration {name!r}")
 
     def get(self, name: str, default: Optional[bytes] = None) -> Optional[bytes]:
         """Read a configuration parameter."""
-        result = self.agent.read_sync(self._key(name))
-        if result.status == QueryStatus.KEY_NOT_FOUND:
+        result = self.client.read(self._key(name)).result(5.0)
+        if result.not_found:
             return default
         return result.value
 
     def compare_and_set(self, name: str, expected, new_value) -> bool:
         """Atomically update a parameter only if it still holds ``expected``."""
-        result = self.agent.cas_sync(self._key(name), expected, new_value)
-        return result.ok and result.status == QueryStatus.OK
+        return self.client.cas(self._key(name), expected, new_value).result(5.0).ok
 
 
 class GroupMembership:
@@ -227,27 +251,26 @@ class GroupMembership:
 
     SEPARATOR = b","
 
-    def __init__(self, agent: NetChainAgent, group_key) -> None:
-        self.agent = agent
+    def __init__(self, client: KVClient, group_key) -> None:
+        self.client = client
         self.group_key = group_key
 
     def members(self) -> List[bytes]:
         """Current members."""
-        value = self.agent.read_sync(self.group_key).value
+        value = self.client.read(self.group_key).result(5.0).value
         if not value:
             return []
         return [m for m in value.split(self.SEPARATOR) if m]
 
     def _store(self, expected: bytes, members: List[bytes]) -> bool:
         new_value = self.SEPARATOR.join(sorted(set(members)))
-        result = self.agent.cas_sync(self.group_key, expected, new_value)
-        return result.ok and result.status == QueryStatus.OK
+        return self.client.cas(self.group_key, expected, new_value).result(5.0).ok
 
     def join(self, member, max_attempts: int = 100) -> bool:
         """Add a member to the roster (CAS loop)."""
         raw = member if isinstance(member, bytes) else str(member).encode()
         for _ in range(max_attempts):
-            current = self.agent.read_sync(self.group_key).value or EMPTY
+            current = self.client.read(self.group_key).result(5.0).value or EMPTY
             members = [m for m in current.split(self.SEPARATOR) if m]
             if raw in members:
                 return True
@@ -259,7 +282,7 @@ class GroupMembership:
         """Remove a member from the roster (CAS loop)."""
         raw = member if isinstance(member, bytes) else str(member).encode()
         for _ in range(max_attempts):
-            current = self.agent.read_sync(self.group_key).value or EMPTY
+            current = self.client.read(self.group_key).result(5.0).value or EMPTY
             members = [m for m in current.split(self.SEPARATOR) if m]
             if raw not in members:
                 return True

@@ -27,7 +27,7 @@ from typing import List, Optional, Tuple
 from repro.core.controller import ControllerConfig
 from repro.experiments.setup import NetChainDeployment, build_netchain_deployment
 from repro.netsim.stats import ThroughputTimeSeries
-from repro.workloads.clients import NetChainLoadClient
+from repro.workloads.clients import LoadClient
 from repro.workloads.generators import KeyValueWorkload, WorkloadConfig
 
 
@@ -95,8 +95,8 @@ def failure_experiment(virtual_groups: int = 1,
     series = ThroughputTimeSeries(bin_width=bin_width)
     workload = KeyValueWorkload(WorkloadConfig(store_size=store_size, value_size=64,
                                                write_ratio=write_ratio, seed=seed))
-    client = NetChainLoadClient(cluster.agent("H0"), workload, concurrency=concurrency,
-                                time_series=series)
+    client = LoadClient(cluster.agent("H0"), workload, concurrency=concurrency,
+                        time_series=series)
 
     timeline.fail_time = fail_at
     cluster.fail_switch("S1", at=fail_at, new_switch="S3", recover=True,

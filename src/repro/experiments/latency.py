@@ -20,12 +20,7 @@ from repro.experiments.setup import (
     build_netchain_deployment,
     build_zookeeper_deployment,
 )
-from repro.workloads.clients import (
-    NetChainLoadClient,
-    ZooKeeperLoadClient,
-    measure_netchain_load,
-    measure_zookeeper_load,
-)
+from repro.workloads.clients import LoadClient, measure_load
 from repro.workloads.generators import KeyValueWorkload, WorkloadConfig
 
 
@@ -77,8 +72,8 @@ def netchain_latency_curve(concurrency_levels: Sequence[int] = (1, 4, 16),
                                                            value_size=value_size,
                                                            write_ratio=write_ratio,
                                                            seed=seed + i))
-                clients.append(NetChainLoadClient(agent, workload, concurrency=concurrency))
-            measurement = measure_netchain_load(clients, warmup=warmup, duration=duration)
+                clients.append(LoadClient(agent, workload, concurrency=concurrency))
+            measurement = measure_load(clients, warmup=warmup, duration=duration)
             latency = (measurement.mean_write_latency if write_ratio > 0.5
                        else measurement.mean_read_latency)
             points.append(LatencyPoint(system="NetChain", op=op_name,
@@ -115,9 +110,9 @@ def zookeeper_latency_curve(client_counts: Sequence[int] = (1, 10, 50, 100),
                                                            value_size=value_size,
                                                            write_ratio=write_ratio,
                                                            seed=seed + i))
-                clients.append(ZooKeeperLoadClient(deployment.new_client(i), workload,
-                                                   concurrency=1))
-            measurement = measure_zookeeper_load(clients, warmup=warmup, duration=duration)
+                clients.append(LoadClient(deployment.new_kv_client(i), workload,
+                                          concurrency=1))
+            measurement = measure_load(clients, warmup=warmup, duration=duration)
             latency = (measurement.mean_write_latency if write_ratio > 0.5
                        else measurement.mean_read_latency)
             points.append(LatencyPoint(system="ZooKeeper", op=op_name,

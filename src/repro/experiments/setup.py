@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.baselines.zk_client import ZooKeeperClient
+from repro.baselines.zk_client import ZooKeeperClient, ZooKeeperKVClient
 from repro.baselines.zookeeper import (
     ZooKeeperConfig,
     ZooKeeperEnsemble,
@@ -72,6 +72,11 @@ class ZooKeeperDeployment:
         live = self.ensemble.live_servers()
         server = live[index % len(live)]
         return ZooKeeperClient(host, self.ensemble, server_id=server.server_id)
+
+    def new_kv_client(self, index: int = 0, prefix: str = "/kv/") -> ZooKeeperKVClient:
+        """A new session adapted to the unified :class:`KVClient` protocol,
+        keyed under the same path prefix the deployment preloaded."""
+        return ZooKeeperKVClient(self.new_client(index), prefix=prefix)
 
 
 def build_netchain_deployment(scale: float = 20000.0,

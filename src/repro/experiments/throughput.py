@@ -28,12 +28,7 @@ from repro.experiments.setup import (
     build_zookeeper_deployment,
 )
 from repro.perfmodel.devices import TOFINO
-from repro.workloads.clients import (
-    NetChainLoadClient,
-    ZooKeeperLoadClient,
-    measure_netchain_load,
-    measure_zookeeper_load,
-)
+from repro.workloads.clients import LoadClient, measure_load
 from repro.workloads.generators import KeyValueWorkload, WorkloadConfig
 
 
@@ -113,8 +108,8 @@ def netchain_throughput(num_servers: int = 4,
                                                    value_size=value_size,
                                                    write_ratio=write_ratio,
                                                    seed=seed + i))
-        clients.append(NetChainLoadClient(agent, workload, concurrency=concurrency))
-    measurement = measure_netchain_load(clients, warmup=warmup, duration=duration)
+        clients.append(LoadClient(agent, workload, concurrency=concurrency))
+    measurement = measure_load(clients, warmup=warmup, duration=duration)
     return ThroughputResult(system=f"NetChain({num_servers})",
                             qps=measurement.scaled_qps(deployment.scale),
                             value_size=value_size, store_size=store_size,
@@ -137,15 +132,14 @@ def zookeeper_throughput(num_clients: int = 100,
         deployment = build_zookeeper_deployment(scale=scale, store_size=store_size,
                                                 value_size=value_size, loss_rate=loss_rate,
                                                 seed=seed)
-    clients: List[ZooKeeperLoadClient] = []
+    clients: List[LoadClient] = []
     for i in range(num_clients):
         workload = KeyValueWorkload(WorkloadConfig(store_size=store_size,
                                                    value_size=value_size,
                                                    write_ratio=write_ratio,
                                                    seed=seed + i))
-        session = deployment.new_client(i)
-        clients.append(ZooKeeperLoadClient(session, workload, concurrency=1))
-    measurement = measure_zookeeper_load(clients, warmup=warmup, duration=duration)
+        clients.append(LoadClient(deployment.new_kv_client(i), workload, concurrency=1))
+    measurement = measure_load(clients, warmup=warmup, duration=duration)
     return ThroughputResult(system="ZooKeeper",
                             qps=measurement.scaled_qps(deployment.scale),
                             value_size=value_size, store_size=store_size,
@@ -185,9 +179,9 @@ def zookeeper_loss_degradation(loss_rates,
                                                        value_size=64,
                                                        write_ratio=write_ratio,
                                                        seed=seed + i))
-            clients.append(ZooKeeperLoadClient(deployment.new_client(i), workload,
-                                               concurrency=1))
-        measurement = measure_zookeeper_load(clients, warmup=warmup, duration=duration)
+            clients.append(LoadClient(deployment.new_kv_client(i), workload,
+                                      concurrency=1))
+        measurement = measure_load(clients, warmup=warmup, duration=duration)
         rates[loss_rate] = measurement.success_qps
     baseline = rates.get(0.0) or max(rates.values())
     if baseline <= 0:

@@ -80,13 +80,18 @@ class Simulator:
         """Schedule ``callback`` at an absolute simulation time."""
         return self.schedule(max(0.0, time - self._now), callback)
 
-    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None,
+            stop_when: Optional[Callable[[], bool]] = None) -> None:
         """Run the event loop.
 
         Args:
             until: stop once the clock would pass this time (the event at
                 exactly ``until`` still runs).
             max_events: safety valve for runaway simulations.
+            stop_when: checked after every event; when it returns true the
+                loop stops *at the current event's timestamp* instead of
+                fast-forwarding the clock to ``until``.  This is how
+                futures wait for a reply without distorting simulated time.
         """
         self._running = True
         executed = 0
@@ -103,6 +108,9 @@ class Simulator:
             event.callback()
             self._processed += 1
             executed += 1
+            if stop_when is not None and stop_when():
+                self._running = False
+                return
             if max_events is not None and executed >= max_events:
                 break
         else:

@@ -3,9 +3,9 @@
 * :mod:`repro.workloads.generators` -- key-value workload descriptions:
   key distributions, read/write mixes, value sizes, store sizes -- the knobs
   of Figures 9(a)-(d).
-* :mod:`repro.workloads.clients` -- closed-loop and open-loop load drivers
-  for NetChain agents and for the ZooKeeper baseline, plus throughput
-  measurement helpers.
+* :mod:`repro.workloads.clients` -- the backend-generic closed-loop load
+  driver over the :class:`repro.core.client.KVClient` protocol, plus
+  throughput measurement helpers.
 """
 
 from repro.workloads.generators import (
@@ -16,10 +16,9 @@ from repro.workloads.generators import (
     zipf_probabilities,
 )
 from repro.workloads.clients import (
-    NetChainLoadClient,
-    ZooKeeperLoadClient,
-    measure_netchain_load,
-    measure_zookeeper_load,
+    LoadClient,
+    LoadMeasurement,
+    measure_load,
 )
 
 __all__ = [
@@ -28,8 +27,7 @@ __all__ = [
     "Operation",
     "OpType",
     "zipf_probabilities",
-    "NetChainLoadClient",
-    "ZooKeeperLoadClient",
-    "measure_netchain_load",
-    "measure_zookeeper_load",
+    "LoadClient",
+    "LoadMeasurement",
+    "measure_load",
 ]

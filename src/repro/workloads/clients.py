@@ -7,6 +7,11 @@ evaluation generates load -- DPDK client processes for NetChain and 100
 Curator client processes for ZooKeeper (Section 8.1) -- and it makes the
 measured saturation throughput insensitive to the exact concurrency level
 once the bottleneck resource is saturated.
+
+There is one load client, :class:`LoadClient`, driven through the
+backend-agnostic :class:`repro.core.client.KVClient` protocol; pass it a
+NetChain agent or a :class:`repro.baselines.zk_client.ZooKeeperKVClient`
+and the same code path exercises either system.
 """
 
 from __future__ import annotations
@@ -14,19 +19,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
-from repro.core.agent import NetChainAgent, QueryResult
-from repro.baselines.zk_client import ZooKeeperClient, ZkResult
+from repro.core.client import KVClient, KVResult
 from repro.netsim.stats import IntervalCounter, LatencyRecorder, ThroughputTimeSeries
 from repro.workloads.generators import KeyValueWorkload, OpType
 
 
-class NetChainLoadClient:
-    """Closed-loop load generator driving one NetChain agent."""
+class LoadClient:
+    """Closed-loop load generator driving one :class:`KVClient`."""
 
-    def __init__(self, agent: NetChainAgent, workload: KeyValueWorkload,
+    def __init__(self, client: KVClient, workload: KeyValueWorkload,
                  concurrency: int = 16,
                  time_series: Optional[ThroughputTimeSeries] = None) -> None:
-        self.agent = agent
+        self.client = client
         self.workload = workload
         self.concurrency = concurrency
         self.completions = IntervalCounter()
@@ -36,6 +40,10 @@ class NetChainLoadClient:
         self.time_series = time_series
         self.running = False
         self.failed_queries = 0
+
+    @property
+    def sim(self):
+        return self.client.sim
 
     def start(self) -> None:
         """Begin issuing queries (call before running the simulator)."""
@@ -52,78 +60,21 @@ class NetChainLoadClient:
             return
         operation = self.workload.next_operation()
         if operation.op is OpType.WRITE:
-            self.agent.write(operation.key, operation.value, callback=self._on_done)
+            self.client.write(operation.key, operation.value).then(self._on_done)
         else:
-            self.agent.read(operation.key, callback=self._on_done)
+            self.client.read(operation.key).then(self._on_done)
 
-    def _on_done(self, result: QueryResult) -> None:
-        now = self.agent.sim.now
+    def _on_done(self, result: KVResult) -> None:
+        now = self.sim.now
         self.completions.record(now)
         if result.ok:
             self.successes.record(now)
             if self.time_series is not None:
                 self.time_series.record(now)
-            if result.op.name.startswith("READ"):
+            if result.is_read:
                 self.read_latency.record(result.latency)
             else:
                 self.write_latency.record(result.latency)
-        else:
-            self.failed_queries += 1
-        self._issue()
-
-
-class ZooKeeperLoadClient:
-    """Closed-loop load generator driving one ZooKeeper client session."""
-
-    def __init__(self, client: ZooKeeperClient, workload: KeyValueWorkload,
-                 concurrency: int = 1, path_prefix: str = "/kv/",
-                 time_series: Optional[ThroughputTimeSeries] = None) -> None:
-        self.client = client
-        self.workload = workload
-        self.concurrency = concurrency
-        self.path_prefix = path_prefix
-        self.completions = IntervalCounter()
-        self.successes = IntervalCounter()
-        self.read_latency = LatencyRecorder()
-        self.write_latency = LatencyRecorder()
-        self.time_series = time_series
-        self.running = False
-        self.failed_queries = 0
-
-    def _path(self, key: str) -> str:
-        return f"{self.path_prefix}{key}"
-
-    def start(self) -> None:
-        """Begin issuing requests."""
-        self.running = True
-        for _ in range(self.concurrency):
-            self._issue()
-
-    def stop(self) -> None:
-        self.running = False
-
-    def _issue(self) -> None:
-        if not self.running:
-            return
-        operation = self.workload.next_operation()
-        if operation.op is OpType.WRITE:
-            self.client.set_async(self._path(operation.key), operation.value,
-                                  callback=lambda r: self._on_done(r, is_write=True))
-        else:
-            self.client.get_async(self._path(operation.key),
-                                  callback=lambda r: self._on_done(r, is_write=False))
-
-    def _on_done(self, result: ZkResult, is_write: bool) -> None:
-        now = self.client.sim.now
-        self.completions.record(now)
-        if result.ok:
-            self.successes.record(now)
-            if self.time_series is not None:
-                self.time_series.record(now)
-            if is_write:
-                self.write_latency.record(result.latency)
-            else:
-                self.read_latency.record(result.latency)
         else:
             self.failed_queries += 1
         self._issue()
@@ -144,7 +95,12 @@ class LoadMeasurement:
         return self.success_qps * scale
 
 
-def _measure(sim, clients: List, warmup: float, duration: float) -> LoadMeasurement:
+def measure_load(clients: List[LoadClient], warmup: float,
+                 duration: float) -> LoadMeasurement:
+    """Run load clients and measure the steady-state window."""
+    if not clients:
+        raise ValueError("need at least one load client")
+    sim = clients[0].sim
     start = sim.now
     for client in clients:
         client.start()
@@ -164,19 +120,3 @@ def _measure(sim, clients: List, warmup: float, duration: float) -> LoadMeasurem
                            mean_read_latency=read_lat.mean(),
                            mean_write_latency=write_lat.mean(),
                            window=duration)
-
-
-def measure_netchain_load(clients: List[NetChainLoadClient], warmup: float,
-                          duration: float) -> LoadMeasurement:
-    """Run NetChain load clients and measure the steady-state window."""
-    if not clients:
-        raise ValueError("need at least one load client")
-    return _measure(clients[0].agent.sim, clients, warmup, duration)
-
-
-def measure_zookeeper_load(clients: List[ZooKeeperLoadClient], warmup: float,
-                           duration: float) -> LoadMeasurement:
-    """Run ZooKeeper load clients and measure the steady-state window."""
-    if not clients:
-        raise ValueError("need at least one load client")
-    return _measure(clients[0].client.sim, clients, warmup, duration)

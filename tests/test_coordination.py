@@ -7,6 +7,7 @@ import pytest
 from repro.core.coordination import (
     Barrier,
     ConfigurationStore,
+    CoordinationError,
     DistributedLock,
     GroupMembership,
     LockManager,
@@ -97,6 +98,66 @@ def test_barrier_requires_all_parties(coord_cluster):
 def test_barrier_rejects_zero_parties(coord_cluster):
     with pytest.raises(ValueError):
         Barrier(coord_cluster.agent("H0"), "barrier:1", parties=0)
+
+
+# --------------------------------------------------------------------- #
+# Error paths.
+# --------------------------------------------------------------------- #
+
+def test_lock_cas_conflict_retry_accounting(coord_cluster):
+    """A contended lock records every CAS attempt that lost the race."""
+    lock1 = DistributedLock(coord_cluster.agent("H0"), "lock:a", owner="c1")
+    lock2 = DistributedLock(coord_cluster.agent("H1"), "lock:a", owner="c2")
+    assert lock1.try_acquire()
+    assert not lock2.acquire(max_attempts=4)
+    assert lock2.attempts == 4
+    assert lock2.cas_conflicts == 4
+    assert lock1.cas_conflicts == 0
+    lock1.release()
+    assert lock2.acquire(max_attempts=2)
+    assert lock2.cas_conflicts == 4  # the winning attempt adds no conflict
+
+
+def test_barrier_cas_conflict_retries_arrival(coord_cluster):
+    """An arrival that loses the increment race retries and still lands."""
+    winner = Barrier(coord_cluster.agent("H0"), "barrier:1", parties=2)
+    loser = Barrier(coord_cluster.agent("H1"), "barrier:1", parties=2)
+    # Interleave deterministically: after the loser reads the count but
+    # before its CAS, the winner arrives and bumps the value.
+    real_count = loser._count
+    sneaked = []
+
+    def racing_count() -> int:
+        value = real_count()
+        if not sneaked:
+            sneaked.append(True)
+            winner.arrive()
+        return value
+
+    loser._count = racing_count
+    assert loser.arrive() == 2
+    assert loser.cas_conflicts == 1
+    assert winner.cas_conflicts == 0
+    assert loser.is_complete()
+
+
+def test_barrier_with_missing_participant_times_out(coord_cluster):
+    barrier = Barrier(coord_cluster.agent("H0"), "barrier:1", parties=3)
+    assert barrier.arrive() == 1
+    with pytest.raises(CoordinationError, match="did not complete"):
+        barrier.wait(poll_interval=1e-3, max_polls=10)
+
+
+def test_non_owner_release_is_rejected_async(coord_cluster):
+    """The async interface also refuses a non-owner release."""
+    owner = DistributedLock(coord_cluster.agent("H0"), "lock:b", owner="c1")
+    thief = DistributedLock(coord_cluster.agent("H1"), "lock:b", owner="c2")
+    assert owner.try_acquire()
+    outcomes = []
+    thief.release_async(outcomes.append)
+    coord_cluster.run(until=coord_cluster.sim.now + 0.01)
+    assert outcomes and outcomes[0].acquired  # release did not take effect
+    assert owner.holder() == b"c1"
 
 
 def test_configuration_store_set_get_cas(coord_cluster):

@@ -6,10 +6,10 @@ import pytest
 
 from repro.workloads import (
     KeyValueWorkload,
-    NetChainLoadClient,
+    LoadClient,
     OpType,
     WorkloadConfig,
-    measure_netchain_load,
+    measure_load,
     zipf_probabilities,
 )
 from tests.conftest import make_cluster
@@ -82,8 +82,8 @@ def test_closed_loop_client_measures_throughput_and_latency():
     cluster.controller.populate([f"k{i:08d}" for i in range(20)])
     workload = KeyValueWorkload(WorkloadConfig(store_size=20, key_prefix="k",
                                                write_ratio=0.5, seed=0))
-    client = NetChainLoadClient(cluster.agent("H0"), workload, concurrency=4)
-    measurement = measure_netchain_load([client], warmup=0.01, duration=0.05)
+    client = LoadClient(cluster.agent("H0"), workload, concurrency=4)
+    measurement = measure_load([client], warmup=0.01, duration=0.05)
     assert measurement.success_qps > 0
     assert measurement.mean_read_latency > 0
     assert measurement.mean_write_latency > 0
@@ -94,7 +94,7 @@ def test_load_client_stop_halts_new_queries():
     cluster = make_cluster()
     cluster.controller.populate([f"k{i:08d}" for i in range(5)])
     workload = KeyValueWorkload(WorkloadConfig(store_size=5, key_prefix="k"))
-    client = NetChainLoadClient(cluster.agent("H0"), workload, concurrency=2)
+    client = LoadClient(cluster.agent("H0"), workload, concurrency=2)
     client.start()
     cluster.run(until=cluster.sim.now + 0.02)
     client.stop()
@@ -106,4 +106,4 @@ def test_load_client_stop_halts_new_queries():
 
 def test_measure_requires_clients():
     with pytest.raises(ValueError):
-        measure_netchain_load([], warmup=0.0, duration=0.1)
+        measure_load([], warmup=0.0, duration=0.1)

@@ -235,6 +235,8 @@ def test_leader_failure_elects_new_leader_and_continues():
     result = client.create("/after", b"2")
     assert result.ok
     assert ensemble.servers[1].tree.exists("/after")
+    # The follower applies the commit asynchronously after the client reply.
+    topo.run(until=topo.sim.now + 0.1)
     assert ensemble.servers[2].tree.exists("/after")
 
 
