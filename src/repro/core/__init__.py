@@ -46,7 +46,17 @@ from repro.core.coordination import (
 from repro.core.invariants import (
     check_chain_invariant,
     check_value_agreement,
+    invariant_observer,
+    sample_chain_invariants,
     ClientObservationChecker,
+)
+from repro.core.detector import DetectorConfig, FailureDetector
+from repro.core.history import (
+    History,
+    HistoryOp,
+    LinearizabilityReport,
+    RecordingClient,
+    check_linearizable,
 )
 from repro.core.cluster import NetChainCluster, ClusterConfig
 from repro.core.hybrid import HybridStore, HybridPolicy
@@ -83,7 +93,16 @@ __all__ = [
     "GroupMembership",
     "check_chain_invariant",
     "check_value_agreement",
+    "invariant_observer",
+    "sample_chain_invariants",
     "ClientObservationChecker",
+    "DetectorConfig",
+    "FailureDetector",
+    "History",
+    "HistoryOp",
+    "LinearizabilityReport",
+    "RecordingClient",
+    "check_linearizable",
     "NetChainCluster",
     "ClusterConfig",
     "HybridStore",

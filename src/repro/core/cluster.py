@@ -13,7 +13,9 @@ from typing import Dict, List, Optional
 
 from repro.core.agent import AgentConfig, NetChainAgent
 from repro.core.controller import ControllerConfig, NetChainController
+from repro.core.detector import DetectorConfig, FailureDetector
 from repro.netsim.engine import Simulator
+from repro.netsim.faults import FaultInjector, FaultSchedule
 from repro.netsim.link import LinkConfig
 from repro.netsim.topology import Topology, build_testbed
 from repro.perfmodel.devices import scaled_dpdk_host_config, scaled_switch_config
@@ -75,6 +77,8 @@ class NetChainCluster:
         self.agents: Dict[str, NetChainAgent] = {}
         for name, host in topology.hosts.items():
             self.agents[name] = NetChainAgent(host, self.controller, config=agent_config)
+        self._fault_injector: Optional[FaultInjector] = None
+        self.detector: Optional[FailureDetector] = None
 
     # ------------------------------------------------------------------ #
     # Convenience accessors.
@@ -116,6 +120,46 @@ class NetChainCluster:
     def total_completed(self) -> int:
         """Queries completed across all agents."""
         return sum(agent.completed for agent in self.agents.values())
+
+    def faults(self, seed: Optional[int] = None) -> FaultInjector:
+        """The cluster's fault injector (created on first use).
+
+        The default seed is the cluster seed, so a whole scenario replays
+        from the single :class:`ClusterConfig.seed` knob.  Asking for a
+        different seed once the injector exists is an error -- its RNG
+        streams are already derived, so the request could not be honored.
+        """
+        if self._fault_injector is None:
+            self._fault_injector = FaultInjector(
+                self.topology, seed=self.config.seed if seed is None else seed)
+        elif seed is not None and seed != self._fault_injector.seed:
+            raise ValueError(
+                f"fault injector already created with seed "
+                f"{self._fault_injector.seed}; cannot reseed to {seed}")
+        return self._fault_injector
+
+    def fault_schedule(self, seed: Optional[int] = None,
+                       poll_interval: float = 1e-3) -> FaultSchedule:
+        """A new :class:`FaultSchedule` over the cluster's injector."""
+        return FaultSchedule(self.faults(seed), poll_interval=poll_interval)
+
+    def start_failure_detector(self, config: Optional[DetectorConfig] = None
+                               ) -> FailureDetector:
+        """Start the control-plane failure detector (idempotent per cluster).
+
+        With a detector running, injected faults (fail-stop, gray failure,
+        partitions that cut a switch off) trigger failover and recovery by
+        themselves -- no test or experiment calls the controller directly.
+        Passing a config when a detector already runs replaces it (the old
+        one is stopped); passing none reuses the existing detector.
+        """
+        if self.detector is not None and config is not None:
+            self.detector.stop()
+            self.detector = None
+        if self.detector is None:
+            self.detector = FailureDetector(self.controller, config=config)
+        self.detector.start()
+        return self.detector
 
     def fail_switch(self, name: str, at: float, new_switch: Optional[str] = None,
                     recover: bool = True, detection_delay: float = 1.0,

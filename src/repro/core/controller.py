@@ -92,9 +92,15 @@ class RecoveryReport:
 
     failed_switch: str
     groups_recovered: int = 0
+    #: Groups restored by shrinking the chain to its live members because no
+    #: disjoint replacement switch was available.
+    groups_shrunk: int = 0
+    #: Groups skipped because no live chain member held their state.
+    groups_skipped: int = 0
     items_copied: int = 0
     started_at: float = 0.0
     finished_at: float = 0.0
+    aborted: bool = False
     replacements: Dict[int, str] = field(default_factory=dict)
 
 
@@ -135,6 +141,10 @@ class NetChainController:
         #: Keys registered per virtual group (used to scope state sync).
         self.keys_by_vgroup: Dict[int, Set[bytes]] = {}
         self.failed_switches: Set[str] = set()
+        #: Switches whose failure recovery (Algorithm 3) is in progress;
+        #: guards against double-started recoveries and against membership
+        #: flapping while chains are being spliced.
+        self.recovering: Set[str] = set()
         self.events: List[Tuple[float, str]] = []
         self.recovery_reports: List[RecoveryReport] = []
         install_shortest_path_routes(topology)
@@ -303,18 +313,36 @@ class NetChainController:
         queries) are dropped by the neighbours' stop rules.  The returned
         report is filled in as the (simulated-time) recovery progresses.
         """
+        if failed in self.recovering:
+            # A second recovery request for a switch already being recovered
+            # (e.g. a re-firing failure detector): report it as a no-op.
+            self._log(f"failure recovery of {failed} already in progress")
+            report = RecoveryReport(failed_switch=failed, started_at=self.sim.now,
+                                    finished_at=self.sim.now)
+            return report
         report = RecoveryReport(failed_switch=failed, started_at=self.sim.now)
         self.recovery_reports.append(report)
+        self.recovering.add(failed)
         groups = self.affected_vgroups(failed)
         self._log(f"failure recovery of {failed}: {len(groups)} virtual groups")
-        live = [s for s in self.members if s not in self.failed_switches and s != failed]
-        if not live:
+        if not self._live_switches(failed):
+            self.recovering.discard(failed)
             raise RuntimeError("no live switches available for recovery")
 
         def recover_next(index: int) -> None:
             if index >= len(groups):
                 report.finished_at = self.sim.now
+                self.recovering.discard(failed)
                 self._log(f"failure recovery of {failed} complete")
+                return
+            # Re-derive liveness per group: further switches may have failed
+            # while earlier groups were being synchronized.
+            live = self._live_switches(failed)
+            if not live:
+                report.aborted = True
+                report.finished_at = self.sim.now
+                self.recovering.discard(failed)
+                self._log(f"failure recovery of {failed} aborted: no live switches")
                 return
             vgroup = groups[index]
             self._recover_group(failed, vgroup, new_switch, live, report,
@@ -323,15 +351,20 @@ class NetChainController:
         recover_next(0)
         return report
 
+    def _live_switches(self, failed: str) -> List[str]:
+        return [s for s in self.members if s not in self.failed_switches and s != failed]
+
     def _choose_replacement(self, chain: List[str], preferred: Optional[str],
-                            live: List[str]) -> str:
-        if preferred is not None and preferred not in chain:
+                            live: List[str]) -> Optional[str]:
+        """A live switch not already on the chain, or ``None`` when the
+        membership is too small for a disjoint replacement (the chain is
+        then shrunk to its live members instead of splicing a duplicate)."""
+        if (preferred is not None and preferred not in chain
+                and preferred in live):
             return preferred
         candidates = [s for s in live if s not in chain]
         if not candidates:
-            # Fewer switches than needed for a disjoint replacement: reuse a
-            # live chain member (degenerate but keeps small testbeds working).
-            candidates = [s for s in live]
+            return None
         return self.rng.choice(candidates)
 
     def _recover_group(self, failed: str, vgroup: int, preferred: Optional[str],
@@ -345,20 +378,20 @@ class NetChainController:
         idx = chain.index(failed)
         is_tail = idx == len(chain) - 1
         is_head = idx == 0
-        new_name = self._choose_replacement(chain, preferred, live)
         failed_ip = self.switch_ip(failed)
-        new_ip = self.switch_ip(new_name)
-        # Reference switch: the failed switch's successor, or its predecessor
-        # when the tail failed (Section 5.2, "Handling special cases").
         live_chain = [s for s in chain if s != failed and s not in self.failed_switches]
         if not live_chain:
+            # No live replica holds this group's state; nothing to copy
+            # from.  Leave the group to a later recovery (e.g. after a
+            # reintroduction) instead of wedging the whole run.
+            report.groups_skipped += 1
+            self._log(f"vgroup {vgroup}: no live replica, skipped")
             on_done()
             return
-        if not is_tail:
-            following = [s for s in chain[idx + 1:] if s in live_chain]
-            ref_name = following[0] if following else live_chain[-1]
-        else:
-            ref_name = live_chain[-1]
+        new_name = self._choose_replacement(chain, preferred, live)
+        if new_name is None:
+            self._shrink_group(failed, vgroup, chain, live_chain, report, on_done)
+            return
         keys = sorted(self.keys_by_vgroup.get(vgroup, set()))
         total_items = len(keys)
         sync_time = total_items / self.config.sync_items_per_sec + self.config.per_group_overhead
@@ -368,6 +401,12 @@ class NetChainController:
                      if s.name in self.programs]
         rule_delay = self.config.rule_install_latency
         stop_rules: List[Tuple[NetChainSwitchProgram, RedirectRule]] = []
+
+        def cleanup_and_skip() -> None:
+            for program, rule in stop_rules:
+                program.remove_rule(rule)
+            report.groups_skipped += 1
+            on_done()
 
         def step1_presync() -> None:
             # Step 1: pre-synchronization; availability unaffected.
@@ -385,6 +424,33 @@ class NetChainController:
             self.sim.schedule(rule_delay + stop_time, do_state_copy)
 
         def do_state_copy() -> None:
+            # Re-validate against failures that happened during the stop
+            # window: both the reference switch and the chosen replacement
+            # may have failed since this group's recovery started.
+            nonlocal new_name
+            current_live = [s for s in chain if s != failed
+                            and s not in self.failed_switches]
+            if not current_live:
+                self._log(f"vgroup {vgroup}: reference switches lost mid-recovery")
+                cleanup_and_skip()
+                return
+            if not is_tail:
+                following = [s for s in chain[idx + 1:] if s in current_live]
+                ref_name = following[0] if following else current_live[-1]
+            else:
+                ref_name = current_live[-1]
+            if new_name in self.failed_switches:
+                fresh_live = self._live_switches(failed)
+                new_name = self._choose_replacement(chain, None, fresh_live)
+                if new_name is None:
+                    self._log(f"vgroup {vgroup}: replacement lost mid-recovery, "
+                              f"shrinking chain")
+                    for program, rule in stop_rules:
+                        program.remove_rule(rule)
+                    self._shrink_group(failed, vgroup, chain, current_live,
+                                       report, on_done)
+                    return
+                self._log(f"vgroup {vgroup}: replacement re-chosen -> {new_name}")
             # Copy the group's items from the reference switch to the new one.
             ref_store = self.stores[ref_name]
             new_store = self.stores[new_name]
@@ -397,6 +463,7 @@ class NetChainController:
             # Phase 2: activation.  The new switch starts processing and the
             # neighbours forward this group's queries to it, with a higher
             # priority than the fast-failover rule.
+            new_ip = self.switch_ip(new_name)
             if is_head:
                 self.sessions[vgroup] += 1
                 self.programs[new_name].set_head_session(vgroup, self.sessions[vgroup])
@@ -410,6 +477,27 @@ class NetChainController:
                     program.remove_rule(rule)
                 new_chain = list(chain)
                 new_chain[idx] = new_name
+                # Commit-point re-check: the replacement may have failed in
+                # the activation window.  Never commit a chain that routes
+                # through a known-failed switch -- fall back to the live
+                # members, which hold the state.
+                live_now = [s for s in new_chain if s not in self.failed_switches]
+                if len(live_now) < len(new_chain):
+                    if not live_now:
+                        report.groups_skipped += 1
+                        self._log(f"vgroup {vgroup}: all members lost at "
+                                  f"activation, skipped")
+                        on_done()
+                        return
+                    self.chain_table[vgroup] = ChainInfo(vgroup, live_now)
+                    vnode = self.ring.vnodes.get(vgroup)
+                    if vnode is not None and vnode.switch == failed:
+                        self.ring.reassign_vnode(vgroup, live_now[0])
+                    report.groups_shrunk += 1
+                    self._log(f"vgroup {vgroup}: replacement {new_name} lost "
+                              f"at activation, chain -> {live_now}")
+                    on_done()
+                    return
                 self.chain_table[vgroup] = ChainInfo(vgroup, new_chain)
                 vnode = self.ring.vnodes.get(vgroup)
                 if vnode is not None and vnode.switch == failed:
@@ -422,6 +510,38 @@ class NetChainController:
             self.sim.schedule(2 * rule_delay, finish)
 
         step1_presync()
+
+    def _shrink_group(self, failed: str, vgroup: int, chain: List[str],
+                      live_chain: List[str], report: RecoveryReport,
+                      on_done: Callable[[], None]) -> None:
+        """Restore a group by shrinking its chain to the live members.
+
+        Used when the membership has no disjoint replacement switch left:
+        the live members already hold the state (fast failover kept them
+        serving), so the controller simply rewrites the chain table to the
+        ``f``-node chain after one rule-install latency.  The group runs
+        with one fewer replica until a reintroduced switch allows a future
+        recovery to restore ``f+1``.
+        """
+        def finish() -> None:
+            if chain[0] == failed:
+                # The failed switch headed this group: make sure the new
+                # head's session orders after everything it issued (a
+                # prior fast failover normally already did this; bumping
+                # again is harmless because versions only need to grow).
+                self.sessions[vgroup] += 1
+                self.programs[live_chain[0]].set_head_session(
+                    vgroup, self.sessions[vgroup])
+            self.chain_table[vgroup] = ChainInfo(vgroup, list(live_chain))
+            vnode = self.ring.vnodes.get(vgroup)
+            if vnode is not None and vnode.switch == failed:
+                self.ring.reassign_vnode(vgroup, live_chain[0])
+            report.groups_shrunk += 1
+            self._log(f"shrunk vgroup {vgroup}: {failed} removed, "
+                      f"chain -> {live_chain}")
+            on_done()
+
+        self.sim.schedule(self.config.rule_install_latency, finish)
 
     # ------------------------------------------------------------------ #
     # Planned reconfigurations (Section 5, last paragraph).

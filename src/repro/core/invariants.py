@@ -91,6 +91,51 @@ def check_value_agreement(stores: Sequence[SwitchKVStore], keys: Iterable,
     return violations
 
 
+def sample_chain_invariants(controller, raise_on_violation: bool = True) -> List[str]:
+    """Check Invariant 1 and value agreement over every virtual group.
+
+    Intended as a whole-system sample at fault boundaries: the fault
+    injector calls this (through an observer) every time it fires an event,
+    so a schedule that breaks the chain protocol is caught at the moment of
+    the fault rather than at the end of the run.  Failed switches and
+    not-yet-spliced replacements are excluded, matching what clients can
+    observe.
+    """
+    violations: List[str] = []
+    for vgroup, info in controller.chain_table.items():
+        keys = controller.keys_by_vgroup.get(vgroup)
+        if not keys:
+            continue
+        stores = [controller.stores[name] for name in info.switches
+                  if name not in controller.failed_switches
+                  and name in controller.stores]
+        if len(stores) < 2:
+            continue
+        violations.extend(check_chain_invariant(stores, keys,
+                                                raise_on_violation=raise_on_violation))
+        violations.extend(check_value_agreement(stores, keys,
+                                                raise_on_violation=raise_on_violation))
+    return violations
+
+
+def invariant_observer(controller, violations: Optional[List[str]] = None):
+    """An observer for :attr:`repro.netsim.faults.FaultInjector.observers`
+    that samples the chain invariants at every fault event.
+
+    When ``violations`` is given, findings are collected there instead of
+    raising, so tests can assert emptiness after the run.
+    """
+    raise_on_violation = violations is None
+
+    def observe(_event) -> None:
+        found = sample_chain_invariants(controller,
+                                        raise_on_violation=raise_on_violation)
+        if violations is not None:
+            violations.extend(found)
+
+    return observe
+
+
 @dataclass
 class ClientObservationChecker:
     """Tracks the versions a client observes and enforces monotonicity.

@@ -24,7 +24,12 @@ from repro.experiments.latency import (
     netchain_latency_curve,
     zookeeper_latency_curve,
 )
-from repro.experiments.failures import FailureTimeline, failure_experiment
+from repro.experiments.failures import (
+    FailureTimeline,
+    FaultScenarioResult,
+    failure_experiment,
+    run_fault_scenario,
+)
 from repro.experiments.transactions import (
     TransactionResult,
     netchain_transactions,
@@ -46,7 +51,9 @@ __all__ = [
     "netchain_latency_curve",
     "zookeeper_latency_curve",
     "FailureTimeline",
+    "FaultScenarioResult",
     "failure_experiment",
+    "run_fault_scenario",
     "TransactionResult",
     "netchain_transactions",
     "zookeeper_transactions",

@@ -25,6 +25,12 @@ from repro.netsim.packet import (
     NETCHAIN_UDP_PORT,
 )
 from repro.netsim.link import Link, LinkConfig
+from repro.netsim.faults import (
+    FaultEvent,
+    FaultInjector,
+    FaultSchedule,
+    LinkFaultModel,
+)
 from repro.netsim.node import Node, Port
 from repro.netsim.switch import Switch, SwitchConfig
 from repro.netsim.host import Host, HostConfig
@@ -41,6 +47,10 @@ __all__ = [
     "NETCHAIN_UDP_PORT",
     "Link",
     "LinkConfig",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultSchedule",
+    "LinkFaultModel",
     "Node",
     "Port",
     "Switch",

@@ -17,6 +17,7 @@ from typing import Optional, TYPE_CHECKING
 
 from repro.netsim.packet import Packet
 from repro.netsim.node import Port
+from repro.netsim.stats import LinkStats
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.netsim.engine import Simulator
@@ -57,8 +58,30 @@ class Link:
         self.rng = rng or random.Random(0)
         self.delivered = 0
         self.dropped = 0
+        #: Per-cause delivery/drop accounting (see :class:`LinkStats`).
+        self.stats = LinkStats()
+        #: Administrative/fault state: a downed link drops every packet
+        #: (counted in ``stats.dropped_down``) instead of delivering.
+        self.up = True
+        #: Optional fault model installed by :mod:`repro.netsim.faults`;
+        #: anything with an ``on_transmit(packet) -> FaultVerdict`` method.
+        self.faults = None
         port_a.link = self
         port_b.link = self
+
+    def set_down(self) -> None:
+        """Take the link down; subsequent packets are dropped and counted."""
+        self.up = False
+
+    def set_up(self) -> None:
+        """Bring the link back up."""
+        self.up = True
+
+    @property
+    def name(self) -> str:
+        """Stable ``a-b`` label used in fault traces and stats reports."""
+        ends = sorted([self.port_a.node.name, self.port_b.node.name])
+        return f"{ends[0]}-{ends[1]}"
 
     def other_end(self, port: Port) -> Port:
         """The port at the opposite end from ``port``."""
@@ -76,19 +99,40 @@ class Link:
     def transmit(self, packet: Packet, from_port: Port) -> None:
         """Carry ``packet`` from ``from_port`` to the opposite port."""
         dst_port = self.other_end(from_port)
+        if not self.up:
+            self.dropped += 1
+            self.stats.dropped_down += 1
+            return
         cfg = self.config
         if cfg.loss_rate > 0 and self.rng.random() < cfg.loss_rate:
             self.dropped += 1
+            self.stats.dropped_loss += 1
             return
         latency = cfg.delay
         if cfg.bandwidth_bps:
             latency += packet.size_bytes() * 8.0 / cfg.bandwidth_bps
         if cfg.reorder_jitter > 0:
             latency += self.rng.uniform(0.0, cfg.reorder_jitter)
+            self.stats.reordered += 1
+        if self.faults is not None:
+            verdict = self.faults.on_transmit(packet)
+            if verdict.drop:
+                self.dropped += 1
+                if verdict.reason == "corrupt":
+                    self.stats.dropped_corrupt += 1
+                else:
+                    self.stats.dropped_loss += 1
+                return
+            if verdict.extra_delay > 0:
+                latency += verdict.extra_delay
+                self.stats.delayed += 1
+            if verdict.reordered:
+                self.stats.reordered += 1
         self.sim.schedule(latency, lambda: self._deliver(packet, dst_port))
 
     def _deliver(self, packet: Packet, dst_port: Port) -> None:
         self.delivered += 1
+        self.stats.delivered += 1
         dst_port.node.deliver(packet, dst_port)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -14,6 +14,34 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 
+@dataclass
+class LinkStats:
+    """Per-link delivery/drop accounting, split by cause.
+
+    Fault injection (:mod:`repro.netsim.faults`) distinguishes *why* a
+    packet never arrived: an administratively/fault-downed link, the
+    probabilistic loss model, or corruption (dropped by the receiver's FCS
+    check).  Tests assert on these counters to prove a fault actually
+    fired, and experiments report them alongside throughput.
+    """
+
+    delivered: int = 0
+    #: Dropped because the link was down (fault-injected or partitioned).
+    dropped_down: int = 0
+    #: Dropped by the probabilistic loss model.
+    dropped_loss: int = 0
+    #: Dropped because the frame was corrupted in flight.
+    dropped_corrupt: int = 0
+    #: Deliveries that were given extra fault-model delay.
+    delayed: int = 0
+    #: Deliveries that were given reordering jitter.
+    reordered: int = 0
+
+    def total_dropped(self) -> int:
+        """Packets lost on this link for any reason."""
+        return self.dropped_down + self.dropped_loss + self.dropped_corrupt
+
+
 class LatencyRecorder:
     """Collects per-query latencies and reports summary statistics."""
 

@@ -110,8 +110,16 @@ class Switch(Node):
         self.dropped_no_route = 0
         self.dropped_injected = 0
         self.dropped_by_program = 0
+        self.dropped_not_serving = 0
         #: When ``True`` the switch silently discards everything (fail-stop).
         self.failed = False
+        #: Gray failure: when ``False`` the switch still performs L3 transit
+        #: forwarding but no longer runs its pipeline programs, so packets
+        #: addressed to the device itself (NetChain queries, control traffic)
+        #: are silently discarded.  This is the partial-failure mode the
+        #: fault injector uses to exercise failure *detection*: the device
+        #: looks alive to the underlay but is dead to the service.
+        self.serving = True
 
     # ------------------------------------------------------------------ #
     # Resource helpers used by data-plane programs.
@@ -181,6 +189,12 @@ class Switch(Node):
             return
         self.pipeline_passes += 1
         packet.pipeline_passes += 1
+        if not self.serving:
+            if packet.ip.dst_ip == self.ip:
+                self.dropped_not_serving += 1
+                return
+            self.forward(packet)
+            return
         for program in self.programs:
             action = program.process(self, packet, port)
             if action is PipelineAction.DROP:
@@ -220,8 +234,14 @@ class Switch(Node):
         """Fail-stop: the switch stops processing and forwarding packets."""
         self.failed = True
 
+    def fail_gray(self) -> None:
+        """Gray failure: keep forwarding transit traffic but stop serving
+        packets addressed to this device (pipeline programs are skipped)."""
+        self.serving = False
+
     def recover_device(self) -> None:
         """Bring the device back up (its NetChain state is *not* restored;
         the controller's failure-recovery protocol handles state)."""
         self.failed = False
+        self.serving = True
         self._busy_until = 0.0

@@ -16,20 +16,34 @@ and the same code path exercises either system.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.core.client import KVClient, KVResult
+from repro.core.history import History, HistoryOp
 from repro.netsim.stats import IntervalCounter, LatencyRecorder, ThroughputTimeSeries
 from repro.workloads.generators import KeyValueWorkload, OpType
 
+_client_names = itertools.count()
+
 
 class LoadClient:
-    """Closed-loop load generator driving one :class:`KVClient`."""
+    """Closed-loop load generator driving one :class:`KVClient`.
+
+    With a :class:`repro.core.history.History` attached, every invocation
+    and response is recorded for post-run consistency checking; with a
+    non-zero ``think_time`` each logical client waits that long between a
+    completion and the next issue, which turns the closed loop into a paced
+    load suitable for long failure timelines.
+    """
 
     def __init__(self, client: KVClient, workload: KeyValueWorkload,
                  concurrency: int = 16,
-                 time_series: Optional[ThroughputTimeSeries] = None) -> None:
+                 time_series: Optional[ThroughputTimeSeries] = None,
+                 history: Optional[History] = None,
+                 think_time: float = 0.0,
+                 name: Optional[str] = None) -> None:
         self.client = client
         self.workload = workload
         self.concurrency = concurrency
@@ -38,6 +52,9 @@ class LoadClient:
         self.read_latency = LatencyRecorder()
         self.write_latency = LatencyRecorder()
         self.time_series = time_series
+        self.history = history
+        self.think_time = think_time
+        self.name = name or f"load{next(_client_names)}"
         self.running = False
         self.failed_queries = 0
 
@@ -59,13 +76,22 @@ class LoadClient:
         if not self.running:
             return
         operation = self.workload.next_operation()
+        record: Optional[HistoryOp] = None
         if operation.op is OpType.WRITE:
-            self.client.write(operation.key, operation.value).then(self._on_done)
+            if self.history is not None:
+                record = self.history.invoke(self.name, "write", operation.key,
+                                             value=operation.value)
+            future = self.client.write(operation.key, operation.value)
         else:
-            self.client.read(operation.key).then(self._on_done)
+            if self.history is not None:
+                record = self.history.invoke(self.name, "read", operation.key)
+            future = self.client.read(operation.key)
+        future.then(lambda result: self._on_done(result, record))
 
-    def _on_done(self, result: KVResult) -> None:
+    def _on_done(self, result: KVResult, record: Optional[HistoryOp] = None) -> None:
         now = self.sim.now
+        if record is not None:
+            self.history.complete(record, result)
         self.completions.record(now)
         if result.ok:
             self.successes.record(now)
@@ -77,7 +103,10 @@ class LoadClient:
                 self.write_latency.record(result.latency)
         else:
             self.failed_queries += 1
-        self._issue()
+        if self.think_time > 0:
+            self.sim.schedule(self.think_time, self._issue)
+        else:
+            self._issue()
 
 
 @dataclass

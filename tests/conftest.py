@@ -2,10 +2,25 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.core import ClusterConfig, NetChainCluster
 from repro.core.controller import ControllerConfig
+
+
+def fault_seeds() -> list:
+    """Seeds the fault-scenario matrix (tests/test_faults_*) runs under.
+
+    Local runs default to a single seed to keep the tier-1 suite fast; CI
+    sets ``FAULT_SEEDS`` (comma-separated) to fan the same scenarios out
+    over a fixed seed matrix.
+    """
+    env = os.environ.get("FAULT_SEEDS", "").strip()
+    if env:
+        return [int(part) for part in env.replace(",", " ").split()]
+    return [0]
 
 
 def make_cluster(vnodes_per_switch: int = 4, store_slots: int = 2048,

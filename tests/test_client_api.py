@@ -170,6 +170,84 @@ def test_gather_propagates_timeout(backend):
         combined.result(deadline=0.05)
 
 
+def test_gather_with_one_failed_leg_still_resolves(backend):
+    backend.prepare_keys(["g-ok"])
+    client = backend.make_client()
+    results = gather([client.read("g-ok"),
+                      client.read("g-missing"),
+                      client.read("g-ok")]).result()
+    assert [r.ok for r in results] == [True, False, True]
+    assert results[1].not_found
+    assert results[1].error is not None
+
+
+def test_gather_with_all_legs_failed_resolves(backend):
+    backend.prepare_keys(["exists"])
+    client = backend.make_client()
+    results = gather([client.read(f"absent-{i}") for i in range(3)]).result()
+    assert all(not r.ok and r.not_found for r in results)
+
+
+def test_first_resolves_with_failure_outcomes(backend):
+    backend.prepare_keys(["f-ok"])
+    client = backend.make_client()
+    # A failure outcome is a resolution: first() must surface it rather
+    # than wait for a slower success.
+    never = KVFuture(client.sim, op="noop")
+    result = first([never, client.read("f-absent")]).result()
+    assert not result.ok and result.not_found
+    # All legs failing still resolves with the earliest failure.
+    result = first([client.read("f-absent"), client.read("f-absent2")]).result()
+    assert not result.ok
+
+
+def test_gather_and_first_validate_empty_input():
+    with pytest.raises(ValueError):
+        gather([])
+    with pytest.raises(ValueError):
+        first([])
+
+
+def test_gather_across_mixed_backends():
+    """One gather over futures from different backends (different
+    simulators): each simulator is driven separately; the combined future
+    resolves through callbacks alone and preserves input order."""
+    netchain = _netchain_backend()
+    zookeeper = _zookeeper_backend()
+    netchain.prepare_keys(["mix"])
+    zookeeper.prepare_keys(["mix"])
+    nc_client = netchain.make_client()
+    zk_client = zookeeper.make_client()
+    nc_future = nc_client.read("mix")
+    zk_future = zk_client.read("mix")
+    missing = zk_client.read("mix-absent")
+    combined = gather([nc_future, zk_future, missing])
+    nc_future.result()
+    assert not combined.done()  # the ZooKeeper legs are still in flight
+    zk_future.result()
+    missing.result()
+    assert combined.done()
+    results = combined.result()
+    assert [r.backend for r in results] == ["netchain", "zookeeper", "zookeeper"]
+    assert [r.ok for r in results] == [True, True, False]
+
+
+def test_first_across_mixed_backends_picks_earliest_resolved():
+    netchain = _netchain_backend()
+    zookeeper = _zookeeper_backend()
+    netchain.prepare_keys(["race"])
+    zookeeper.prepare_keys(["race"])
+    zk_future = zookeeper.make_client().read("race")
+    nc_future = netchain.make_client().read("race")
+    # result() drives the first future's simulator (NetChain here), whose
+    # microsecond read wins the race.
+    combined = first([nc_future, zk_future])
+    winner = combined.result()
+    assert winner.backend == "netchain"
+    zk_future.result()  # drain the other backend; the winner stands
+    assert combined.result().backend == "netchain"
+
+
 # --------------------------------------------------------------------- #
 # Sessions and batched pipelined submission.
 # --------------------------------------------------------------------- #

@@ -171,3 +171,123 @@ def test_recovery_of_head_bumps_session_again(cluster):
     cluster.run(until=cluster.sim.now + 60.0)
     for vgroup in headed:
         assert controller.sessions[vgroup] >= 2
+
+
+# --------------------------------------------------------------------- #
+# failure_recovery edge cases.
+# --------------------------------------------------------------------- #
+
+def make_minimal_cluster():
+    """A cluster whose membership equals the replication factor: losing any
+    switch leaves no disjoint replacement candidate."""
+    from repro.core import ClusterConfig, NetChainCluster
+    config = ClusterConfig(scale=1000.0, vnodes_per_switch=4, store_slots=2048)
+    controller_config = ControllerConfig(vnodes_per_switch=4, store_slots=2048,
+                                         sync_items_per_sec=2000.0)
+    return NetChainCluster(config, member_switches=["S0", "S1", "S2"],
+                           controller_config=controller_config)
+
+
+def test_recovery_without_replacement_candidate_shrinks_chains():
+    cluster = make_minimal_cluster()
+    controller = cluster.controller
+    keys = [f"k{i}" for i in range(20)]
+    controller.populate(keys)
+    agent = cluster.agent("H0")
+    for key in keys[:5]:
+        agent.write_sync(key, b"v")
+    cluster.topology.switches["S1"].fail()
+    controller.fast_failover("S1")
+    affected = len(controller.affected_vgroups("S1"))
+    report = controller.failure_recovery("S1")
+    cluster.run(until=cluster.sim.now + 30.0)
+    assert report.finished_at > 0
+    assert report.groups_recovered == 0
+    assert affected > 0 and report.groups_shrunk == affected
+    # Chains shrank to the two live members: no duplicates, no S1.
+    for info in controller.chain_table.values():
+        assert "S1" not in info.switches
+        assert len(info.switches) == len(set(info.switches)) == 2
+    # The shrunk chains still serve reads and writes.
+    for key in keys[:5]:
+        assert agent.read_sync(key, deadline=5.0).value == b"v"
+        assert agent.write_sync(key, b"after", deadline=5.0).ok
+
+
+def test_recovery_with_no_live_switches_raises():
+    cluster = make_minimal_cluster()
+    controller = cluster.controller
+    controller.populate(["k0"])
+    for name in ("S0", "S1", "S2"):
+        cluster.topology.switches[name].fail()
+        controller.fast_failover(name)
+    with pytest.raises(RuntimeError):
+        controller.failure_recovery("S1")
+    assert "S1" not in controller.recovering
+
+
+def test_duplicate_recovery_request_is_a_noop(cluster):
+    controller = cluster.controller
+    controller.populate([f"k{i}" for i in range(30)])
+    cluster.topology.switches["S1"].fail()
+    controller.fast_failover("S1")
+    first_report = controller.failure_recovery("S1", new_switch="S3")
+    # A second request while the first is in flight must not restart it.
+    second_report = controller.failure_recovery("S1", new_switch="S3")
+    assert second_report is not first_report
+    assert second_report.groups_recovered == 0
+    assert len(controller.recovery_reports) == 1
+    cluster.run(until=cluster.sim.now + 60.0)
+    assert first_report.finished_at > 0
+
+
+def test_second_failure_mid_recovery_completes_without_failed_chains(cluster):
+    controller = cluster.controller
+    keys = [f"k{i}" for i in range(40)]
+    controller.populate(keys)
+    cluster.topology.switches["S1"].fail()
+    controller.fast_failover("S1")
+    report = controller.failure_recovery("S1", new_switch="S3")
+
+    # While S1's groups are being synchronized, S2 fails as well.
+    def second_failure() -> None:
+        cluster.topology.switches["S2"].fail()
+        controller.handle_switch_failure("S2", recover=True)
+
+    cluster.sim.schedule(0.2, second_failure)
+    cluster.run(until=cluster.sim.now + 120.0)
+    assert report.finished_at > 0
+    assert "S1" not in controller.recovering
+    assert "S2" not in controller.recovering
+    assert controller.recovery_reports[-1].finished_at > 0
+    # No chain routes through either failed switch, and none has duplicates.
+    for info in controller.chain_table.values():
+        assert "S1" not in info.switches
+        assert "S2" not in info.switches
+        assert len(set(info.switches)) == len(info.switches)
+    # The survivors still serve.
+    agent = cluster.agent("H0")
+    for key in keys[:5]:
+        assert agent.write_sync(key, b"post", deadline=10.0).ok
+
+
+def test_replacement_failing_mid_recovery_is_rechosen(cluster):
+    controller = cluster.controller
+    keys = [f"k{i}" for i in range(40)]
+    controller.populate(keys)
+    cluster.topology.switches["S1"].fail()
+    controller.fast_failover("S1")
+    report = controller.failure_recovery("S1", new_switch="S3")
+
+    # The preferred replacement dies while the copies are in flight.
+    def kill_replacement() -> None:
+        cluster.topology.switches["S3"].fail()
+        controller.handle_switch_failure("S3", recover=True)
+
+    cluster.sim.schedule(0.2, kill_replacement)
+    cluster.run(until=cluster.sim.now + 120.0)
+    assert report.finished_at > 0
+    for info in controller.chain_table.values():
+        assert "S1" not in info.switches
+        assert "S3" not in info.switches
+        assert len(set(info.switches)) == len(info.switches)

@@ -1,0 +1,244 @@
+"""Unit tests for the fault-injection layer: link faults, partitions,
+gray failures, schedules, and their determinism guarantees."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.detector import DetectorConfig, FailureDetector
+from repro.netsim.engine import Simulator
+from repro.netsim.faults import (
+    FaultInjector,
+    FaultSchedule,
+    LinkFaultModel,
+    derive_rng,
+)
+from repro.netsim.host import HostConfig
+from repro.netsim.link import LinkConfig
+from repro.netsim.routing import install_shortest_path_routes
+from repro.netsim.topology import build_line, build_testbed
+from tests.conftest import make_cluster
+
+
+def make_topology():
+    topo = build_testbed(host_config=HostConfig(stack_delay=0.0, nic_pps=None),
+                         link_config=LinkConfig(bandwidth_bps=None))
+    install_shortest_path_routes(topo)
+    return topo
+
+
+# --------------------------------------------------------------------- #
+# Link down/up (satellite: downed links count drops instead of raising
+# or silently delivering).
+# --------------------------------------------------------------------- #
+
+def test_downed_link_counts_drops_instead_of_delivering():
+    topo = make_topology()
+    host = topo.hosts["H0"]
+    injector = FaultInjector(topo)
+    injector.link_down("H0", "S0")
+    host.send_udp(topo.switches["S0"].ip, 9999, payload="x", payload_bytes=10)
+    topo.run(until=0.01)
+    link = injector.link("H0", "S0")
+    assert link.stats.dropped_down == 1
+    assert link.stats.delivered == 0
+    assert link.dropped == 1
+    # Bringing it back up restores delivery.
+    injector.link_up("H0", "S0")
+    host.send_udp(topo.switches["S0"].ip, 9999, payload="x", payload_bytes=10)
+    topo.run(until=0.02)
+    assert link.stats.delivered == 1
+    assert link.stats.dropped_down == 1
+
+
+def test_link_fault_model_counts_loss_and_corruption_separately():
+    topo = make_topology()
+    host = topo.hosts["H0"]
+    injector = FaultInjector(topo, seed=3)
+    injector.set_link_faults("H0", "S0", loss_rate=0.5)
+    for _ in range(60):
+        host.send_udp(topo.switches["S0"].ip, 9999, payload="x", payload_bytes=10)
+    topo.run(until=0.01)
+    link = injector.link("H0", "S0")
+    assert link.stats.dropped_loss > 0
+    assert link.stats.delivered > 0
+    assert link.stats.dropped_corrupt == 0
+    injector.set_link_faults("H0", "S0", corrupt_rate=0.5)
+    for _ in range(60):
+        host.send_udp(topo.switches["S0"].ip, 9999, payload="x", payload_bytes=10)
+    topo.run(until=0.02)
+    assert link.stats.dropped_corrupt > 0
+    injector.clear_link_faults("H0", "S0")
+    assert link.faults is None
+
+
+def test_link_fault_model_is_seed_deterministic():
+    verdicts = []
+    for _ in range(2):
+        model = LinkFaultModel(random.Random(42), loss_rate=0.3,
+                               corrupt_rate=0.1, reorder_jitter=1e-6)
+        verdicts.append([(v.drop, v.reason, round(v.extra_delay, 12))
+                        for v in (model.on_transmit(None) for _ in range(200))])
+    assert verdicts[0] == verdicts[1]
+
+
+def test_derive_rng_children_are_independent_streams():
+    parent_a, parent_b = random.Random(7), random.Random(7)
+    child_a1, child_a2 = derive_rng(parent_a), derive_rng(parent_a)
+    child_b1, child_b2 = derive_rng(parent_b), derive_rng(parent_b)
+    # Same derivation order, same streams.
+    assert [child_a1.random() for _ in range(5)] == [child_b1.random() for _ in range(5)]
+    assert [child_a2.random() for _ in range(5)] == [child_b2.random() for _ in range(5)]
+    # Different children differ.
+    assert child_a1.random() != child_a2.random()
+
+
+# --------------------------------------------------------------------- #
+# Partitions.
+# --------------------------------------------------------------------- #
+
+def test_partition_cuts_only_cross_group_links_and_heals():
+    topo = make_topology()
+    injector = FaultInjector(topo)
+    cut = injector.partition({"S3"})
+    cut_names = sorted(link.name for link in cut)
+    assert cut_names == ["S0-S3", "S2-S3"]
+    assert all(not link.up for link in cut)
+    # Links inside the implicit rest-group stay up.
+    assert injector.link("S0", "S1").up
+    assert injector.link("H0", "S0").up
+    with pytest.raises(RuntimeError):
+        injector.partition({"S1"})
+    injector.heal_partition()
+    assert all(link.up for link in cut)
+    kinds = [event.kind for event in injector.trace]
+    assert kinds == ["partition", "partition_heal"]
+
+
+def test_partition_preserves_pre_existing_down_links():
+    topo = make_topology()
+    injector = FaultInjector(topo)
+    injector.link_down("S2", "S3")
+    injector.partition({"S3"})
+    injector.heal_partition()
+    # The heal only restores what the partition cut.
+    assert not injector.link("S2", "S3").up
+    assert injector.link("S0", "S3").up
+
+
+# --------------------------------------------------------------------- #
+# Gray failure.
+# --------------------------------------------------------------------- #
+
+def test_gray_failed_switch_forwards_transit_but_drops_addressed_packets():
+    topo = build_line(3, hosts_at={0: 1, 2: 1},
+                      host_config=HostConfig(stack_delay=0.0, nic_pps=None))
+    install_shortest_path_routes(topo)
+    injector = FaultInjector(topo)
+    injector.gray_fail_switch("S1")
+    h0, h2 = topo.hosts["H0_0"], topo.hosts["H2_0"]
+    received = []
+    h2.bind(7000, received.append)
+    # Transit through the gray switch still works...
+    h0.send_udp(h2.ip, 7000, payload="through", payload_bytes=10)
+    # ...but packets addressed to the gray switch itself are discarded.
+    h0.send_udp(topo.switches["S1"].ip, 7000, payload="at", payload_bytes=10)
+    topo.run(until=0.01)
+    assert len(received) == 1
+    assert topo.switches["S1"].dropped_not_serving == 1
+    injector.recover_switch("S1")
+    assert topo.switches["S1"].serving
+
+
+def test_detector_sees_gray_failure_and_cut_off_switch():
+    cluster = make_cluster()
+    detector = FailureDetector(cluster.controller)
+    assert detector.probe("S1")
+    cluster.topology.switches["S1"].fail_gray()
+    assert not detector.probe("S1")
+    cluster.topology.switches["S1"].recover_device()
+    assert detector.probe("S1")
+    FaultInjector(cluster.topology).partition({"S3"})
+    assert not detector.probe("S3")
+    assert detector.probe("S2")
+
+
+# --------------------------------------------------------------------- #
+# Schedules.
+# --------------------------------------------------------------------- #
+
+def test_schedule_arms_timed_and_trigger_events():
+    topo = make_topology()
+    injector = FaultInjector(topo, seed=1)
+    fired = []
+    schedule = (FaultSchedule(injector, poll_interval=1e-3)
+                .at(0.010, "link_down", "S0", "S1")
+                .after(0.020, "link_up", "S0", "S1")
+                .when(lambda: not injector.link("S0", "S1").up,
+                      lambda: fired.append(topo.sim.now), label="noticed"))
+    schedule.arm()
+    with pytest.raises(RuntimeError):
+        schedule.arm()
+    topo.run(until=0.05)
+    kinds = [(event.kind, round(event.time, 6)) for event in injector.trace]
+    assert ("link_down", 0.010) in kinds
+    assert ("link_up", 0.020) in kinds  # after() counts from arm time
+    # The trigger fired exactly once, while the link was down.
+    assert len(fired) == 1
+    assert 0.010 <= fired[0] <= 0.020
+
+
+def test_same_seed_schedules_replay_identical_traces():
+    def run_once(seed):
+        topo = make_topology()
+        injector = FaultInjector(topo, seed=seed)
+        (FaultSchedule(injector)
+         .at(0.005, "set_link_faults", "S0", "S1", loss_rate=0.4)
+         .at(0.010, "partition", {"S3"})
+         .at(0.015, "heal_partition")
+         .at(0.020, "fail_switch", "S2")
+         .arm())
+        host = topo.hosts["H0"]
+        for i in range(50):
+            topo.sim.schedule(i * 1e-3, lambda: host.send_udp(
+                topo.switches["S1"].ip, 9000, payload="p", payload_bytes=10))
+        topo.run(until=0.06)
+        return injector.trace_signature(), injector.drop_report()
+
+    trace_a, drops_a = run_once(9)
+    trace_b, drops_b = run_once(9)
+    assert trace_a == trace_b
+    assert drops_a == drops_b
+
+
+def test_detector_drives_failover_without_direct_controller_calls():
+    cluster = make_cluster()
+    keys = cluster.populate(20)
+    injector = cluster.faults()
+    cluster.fault_schedule().at(0.05, "fail_switch", "S1").arm()
+    detector = cluster.start_failure_detector(DetectorConfig(
+        probe_interval=20e-3, suspicion_threshold=1, auto_recover=False))
+    cluster.run(until=0.2)
+    assert "S1" in cluster.controller.failed_switches
+    assert detector.detections and detector.detections[0][1] == "S1"
+    # Detection happened within one probe interval of the injection.
+    assert 0.05 <= detector.detections[0][0] <= 0.05 + 20e-3 + 1e-9
+    # The cluster still serves after the detector-driven failover.
+    agent = cluster.agent("H0")
+    assert agent.write_sync(keys[0], b"post", deadline=5.0).ok
+
+
+def test_detector_reintroduces_healed_partition():
+    cluster = make_cluster()
+    cluster.populate(20)
+    cluster.fault_schedule().at(0.05, "partition", {"S3"}).at(
+        0.5, "heal_partition").arm()
+    detector = cluster.start_failure_detector(DetectorConfig(
+        probe_interval=20e-3, suspicion_threshold=2,
+        recovery_start_delay=0.0, reintroduce_threshold=2))
+    cluster.run(until=3.0)
+    assert ("S3" not in cluster.controller.failed_switches)
+    assert any(name == "S3" for _, name in detector.detections)
+    assert any(name == "S3" for _, name in detector.reintroductions)
