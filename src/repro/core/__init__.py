@@ -59,6 +59,14 @@ from repro.core.history import (
     check_linearizable,
 )
 from repro.core.cluster import NetChainCluster, ClusterConfig
+from repro.core.reconfig import (
+    MigrationCoordinator,
+    MigrationPlan,
+    MigrationReport,
+    ReconfigConfig,
+    ReconfigPlanner,
+    migrate,
+)
 from repro.core.hybrid import HybridStore, HybridPolicy
 
 __all__ = [
@@ -105,6 +113,12 @@ __all__ = [
     "check_linearizable",
     "NetChainCluster",
     "ClusterConfig",
+    "MigrationCoordinator",
+    "MigrationPlan",
+    "MigrationReport",
+    "ReconfigConfig",
+    "ReconfigPlanner",
+    "migrate",
     "HybridStore",
     "HybridPolicy",
 ]

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.client import KVClient, KVFuture, KVResult, KVTimeout, _raw_key
 from repro.core.protocol import (
@@ -34,6 +34,9 @@ from repro.core.protocol import (
     make_delete,
     make_read,
     make_write,
+    next_query_id,
+    normalize_key,
+    normalize_value,
 )
 from repro.netsim.host import Host
 from repro.netsim.packet import Packet
@@ -80,10 +83,23 @@ class AgentConfig:
 
 @dataclass
 class _Pending:
-    header: NetChainHeader
-    dst_ip: str
+    """One outstanding query.
+
+    The pending record stores the *operation*, not a frozen packet: every
+    transmission (first send and each retry) re-resolves the chain through
+    the directory, so a retry issued after a failover or a planned
+    migration is addressed to the current chain with the current epoch.
+    This mirrors a real client library refreshing its routing state and is
+    what keeps retries useful across reconfigurations.
+    """
+
+    op: OpCode
+    key: bytes
     callback: Optional[Callable[[QueryResult], None]]
     created_at: float
+    query_id: int
+    value: bytes = b""
+    cas_expected: Optional[bytes] = None
     future: Optional[KVFuture] = None
     op_name: str = ""
     retries: int = 0
@@ -131,28 +147,23 @@ class NetChainAgent(KVClient):
 
     def read(self, key, callback: Optional[Callable[[QueryResult], None]] = None) -> KVFuture:
         """Read the value of ``key``; the reply comes from the chain tail."""
-        chain_ips, vgroup = self.directory.chain_ips_for_key(key)
-        header = make_read(key, chain_ips, vgroup=vgroup)
-        return self._submit(header, dst_ip=chain_ips[-1], callback=callback, op_name="read")
+        return self._submit(OpCode.READ, key, callback=callback, op_name="read")
 
     def write(self, key, value, callback: Optional[Callable[[QueryResult], None]] = None) -> KVFuture:
         """Write ``value`` under ``key``; the query enters at the chain head."""
-        chain_ips, vgroup = self.directory.chain_ips_for_key(key)
-        header = make_write(key, value, chain_ips, vgroup=vgroup)
-        return self._submit(header, dst_ip=chain_ips[0], callback=callback, op_name="write")
+        return self._submit(OpCode.WRITE, key, value=normalize_value(value),
+                            callback=callback, op_name="write")
 
     def cas(self, key, expected, new_value,
             callback: Optional[Callable[[QueryResult], None]] = None) -> KVFuture:
         """Compare-and-swap, the primitive behind exclusive locks (Section 8.5)."""
-        chain_ips, vgroup = self.directory.chain_ips_for_key(key)
-        header = make_cas(key, expected, new_value, chain_ips, vgroup=vgroup)
-        return self._submit(header, dst_ip=chain_ips[0], callback=callback, op_name="cas")
+        return self._submit(OpCode.CAS, key, value=normalize_value(new_value),
+                            cas_expected=normalize_value(expected),
+                            callback=callback, op_name="cas")
 
     def delete(self, key, callback: Optional[Callable[[QueryResult], None]] = None) -> KVFuture:
         """Invalidate ``key`` in the data plane (control plane GC happens later)."""
-        chain_ips, vgroup = self.directory.chain_ips_for_key(key)
-        header = make_delete(key, chain_ips, vgroup=vgroup)
-        return self._submit(header, dst_ip=chain_ips[0], callback=callback, op_name="delete")
+        return self._submit(OpCode.DELETE, key, callback=callback, op_name="delete")
 
     def insert(self, key, value=b"",
                callback: Optional[Callable[[QueryResult], None]] = None) -> KVFuture:
@@ -244,25 +255,62 @@ class NetChainAgent(KVClient):
                         latency=result.latency, retries=result.retries,
                         backend=self.backend, raw=result)
 
-    def _submit(self, header: NetChainHeader, dst_ip: str,
-                callback: Optional[Callable[[QueryResult], None]],
-                op_name: str) -> KVFuture:
-        future = KVFuture(self.sim, op=op_name, key=header.key)
-        future.query_id = header.query_id
-        pending = _Pending(header=header, dst_ip=dst_ip, callback=callback,
-                           created_at=self.sim.now, future=future, op_name=op_name)
-        self._pending[header.query_id] = pending
+    def _route(self, key):
+        """(chain IPs, vgroup, epoch) for a key, from the directory.
+
+        Directories that predate chain epochs (custom test doubles) only
+        expose ``chain_ips_for_key``; their queries carry epoch 0, which
+        every switch accepts until an epoch is explicitly installed.
+        """
+        route = getattr(self.directory, "route_for_key", None)
+        if route is not None:
+            return route(key)
+        chain_ips, vgroup = self.directory.chain_ips_for_key(key)
+        return chain_ips, vgroup, 0
+
+    def _build_query(self, pending: _Pending) -> Tuple[NetChainHeader, str]:
+        chain_ips, vgroup, epoch = self._route(pending.key)
+        if pending.op == OpCode.READ:
+            header = make_read(pending.key, chain_ips, vgroup=vgroup, epoch=epoch)
+            dst_ip = chain_ips[-1]
+        elif pending.op == OpCode.CAS:
+            header = make_cas(pending.key, pending.cas_expected, pending.value,
+                              chain_ips, vgroup=vgroup, epoch=epoch)
+            dst_ip = chain_ips[0]
+        elif pending.op == OpCode.DELETE:
+            header = make_delete(pending.key, chain_ips, vgroup=vgroup, epoch=epoch)
+            dst_ip = chain_ips[0]
+        else:
+            header = make_write(pending.key, pending.value, chain_ips,
+                                vgroup=vgroup, epoch=epoch)
+            dst_ip = chain_ips[0]
+        header.query_id = pending.query_id
+        return header, dst_ip
+
+    def _submit(self, op: OpCode, key, value: bytes = b"",
+                cas_expected: Optional[bytes] = None,
+                callback: Optional[Callable[[QueryResult], None]] = None,
+                op_name: str = "") -> KVFuture:
+        raw_key = normalize_key(key)
+        query_id = next_query_id()
+        future = KVFuture(self.sim, op=op_name, key=raw_key)
+        future.query_id = query_id
+        pending = _Pending(op=op, key=raw_key, callback=callback,
+                           created_at=self.sim.now, query_id=query_id,
+                           value=value, cas_expected=cas_expected,
+                           future=future, op_name=op_name)
+        self._pending[query_id] = pending
         self._transmit(pending)
         return future
 
     def _transmit(self, pending: _Pending) -> None:
-        header = pending.header.copy()
-        packet = build_query_packet(self.host.ip, self.udp_port, pending.dst_ip, header,
+        header, dst_ip = self._build_query(pending)
+        packet = build_query_packet(self.host.ip, self.udp_port, dst_ip, header,
                                     created_at=pending.created_at)
         self.host.send(packet)
         timeout = self.config.retry_timeout
         pending.timer = self.sim.schedule(
-            timeout, lambda: self._on_timeout(pending.header.query_id))
+            timeout, lambda: self._on_timeout(pending.query_id))
 
     def _on_timeout(self, query_id: int) -> None:
         pending = self._pending.get(query_id)
@@ -273,7 +321,7 @@ class NetChainAgent(KVClient):
             pending.done = True
             self.timeouts += 1
             self.failed += 1
-            result = QueryResult(ok=False, op=pending.header.op, key=pending.header.key,
+            result = QueryResult(ok=False, op=pending.op, key=pending.key,
                                  timed_out=True, retries=pending.retries,
                                  latency=self.sim.now - pending.created_at)
             self._finish(pending, result)

@@ -138,6 +138,45 @@ class NetChainCluster:
                 f"{self._fault_injector.seed}; cannot reseed to {seed}")
         return self._fault_injector
 
+    # ------------------------------------------------------------------ #
+    # Elastic reconfiguration (hot-plug + live migration).
+    # ------------------------------------------------------------------ #
+
+    def add_switch(self, name: str, link_to: Optional[List[str]] = None,
+                   switch_config=None):
+        """Hot-plug a switch into the running cluster.
+
+        The device comes up with the cluster's scaled capacity, links to
+        ``link_to`` (default: the first and last current member, which
+        extends the testbed ring), gets underlay routes, and is provisioned
+        with the NetChain program and an empty store.  It serves no keys
+        until a migration (or failure recovery) commits groups onto it.
+        """
+        from repro.netsim.routing import reroute_around_failures
+        from repro.perfmodel.devices import scaled_switch_config
+
+        members = self.controller.members
+        if link_to is None:
+            link_to = [members[-1], members[0]] if len(members) > 1 else members[:1]
+        if switch_config is None:
+            switch_config = scaled_switch_config(self.config.scale)
+        switch = self.topology.attach_switch(name, link_to,
+                                             switch_config=switch_config,
+                                             link_config=LinkConfig())
+        reroute_around_failures(self.topology, self.controller.failed_switches)
+        self.controller.provision_switch(name)
+        return switch
+
+    def migrate(self, target_members: List[str], config=None):
+        """Plan and start a live migration to ``target_members``.
+
+        Returns the running :class:`repro.core.reconfig.MigrationCoordinator`;
+        advance the simulation until ``coordinator.done`` and inspect
+        ``coordinator.report``.
+        """
+        from repro.core.reconfig import migrate
+        return migrate(self.controller, target_members, config=config)
+
     def fault_schedule(self, seed: Optional[int] = None,
                        poll_interval: float = 1e-3) -> FaultSchedule:
         """A new :class:`FaultSchedule` over the cluster's injector."""

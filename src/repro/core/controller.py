@@ -138,6 +138,11 @@ class NetChainController:
         }
         #: Head session number per virtual group (Section 5.2).
         self.sessions: Dict[int, int] = {vgroup: 0 for vgroup in self.ring.vnodes}
+        #: Chain-configuration epoch per virtual group, stamped into query
+        #: headers by :meth:`route_for_key` and bumped by planned
+        #: reconfigurations so straggler queries addressed under a
+        #: superseded layout are dropped by the data plane.
+        self.epochs: Dict[int, int] = {vgroup: 0 for vgroup in self.ring.vnodes}
         #: Keys registered per virtual group (used to scope state sync).
         self.keys_by_vgroup: Dict[int, Set[bytes]] = {}
         self.failed_switches: Set[str] = set()
@@ -190,6 +195,13 @@ class NetChainController:
         info = self.chain_for_key(key)
         return [self.switch_ip(name) for name in info.switches], info.vgroup
 
+    def route_for_key(self, key) -> Tuple[List[str], int, int]:
+        """(chain IPs, virtual group, chain epoch) — the full routing state
+        agents stamp into each transmission of a query."""
+        info = self.chain_for_key(key)
+        ips = [self.switch_ip(name) for name in info.switches]
+        return ips, info.vgroup, self.epochs.get(info.vgroup, 0)
+
     # ------------------------------------------------------------------ #
     # Key management (control-plane insert / delete, Section 4.1).
     # ------------------------------------------------------------------ #
@@ -241,6 +253,117 @@ class NetChainController:
     def total_items(self) -> int:
         """Number of keys registered across all groups."""
         return sum(len(keys) for keys in self.keys_by_vgroup.values())
+
+    # ------------------------------------------------------------------ #
+    # Shared reconfiguration primitives.
+    #
+    # Failure recovery (Algorithm 3) and planned migration
+    # (:mod:`repro.core.reconfig`) are the same two-phase protocol applied
+    # to different membership changes; these primitives are the common
+    # machinery: state-copy timing, the copy itself, the head-session bump
+    # that orders a new head's writes after everything the old head issued,
+    # and the atomic chain-table/ring commit.
+    # ------------------------------------------------------------------ #
+
+    def sync_duration(self, num_items: int) -> float:
+        """Simulated time to synchronize ``num_items`` items of one group."""
+        return num_items / self.config.sync_items_per_sec + self.config.per_group_overhead
+
+    def copy_group_state(self, ref_name: str, dest_names: Sequence[str],
+                         keys: Sequence[bytes]) -> int:
+        """Copy a group's items from a reference switch to destinations.
+
+        Destinations that already hold a key are overwritten with the
+        reference state: during a freeze the reference holds the committed
+        truth, and squashing a never-acknowledged partial write on an
+        overlapping member is what keeps Invariant 1 across the commit.
+        Returns the number of items copied per destination.
+        """
+        items = self.stores[ref_name].export_items(keys)
+        for dest in dest_names:
+            if dest == ref_name:
+                continue
+            self.stores[dest].import_items(items)
+        return len(items)
+
+    def bump_group_session(self, vgroup: int, new_head: str,
+                           floor: int = 0) -> int:
+        """Advance a group's head session and install it on the new head.
+
+        ``floor`` lets a migration that re-homes keys from another group
+        start above that group's session as well.  Returns the new session.
+        """
+        self.sessions[vgroup] = max(self.sessions.get(vgroup, 0), floor) + 1
+        session = self.sessions[vgroup]
+        self.programs[new_head].set_head_session(vgroup, session)
+        return session
+
+    def bump_group_epoch(self, vgroup: int) -> int:
+        """Advance a group's chain epoch and install it on every program.
+
+        Installation is a control-plane broadcast: any switch that sees a
+        query stamped with an older epoch for this group drops it, so
+        stragglers addressed under the superseded chain cannot apply or
+        answer anywhere.
+        """
+        self.epochs[vgroup] = self.epochs.get(vgroup, 0) + 1
+        epoch = self.epochs[vgroup]
+        for program in self.programs.values():
+            program.set_vgroup_epoch(vgroup, epoch)
+        return epoch
+
+    def commit_chain(self, vgroup: int, chain: Sequence[str],
+                     moved_from: Optional[str] = None) -> None:
+        """Atomically swap one group's serving chain in the directory.
+
+        When ``moved_from`` owned the group's virtual node (it failed or is
+        leaving), the vnode is reassigned to the new head so ring-derived
+        lookups agree with the chain table.
+        """
+        self.chain_table[vgroup] = ChainInfo(vgroup, list(chain))
+        vnode = self.ring.vnodes.get(vgroup)
+        if moved_from is not None and vnode is not None and vnode.switch == moved_from:
+            self.ring.reassign_vnode(vgroup, chain[0])
+
+    # ------------------------------------------------------------------ #
+    # Elastic membership (hot-plug support for planned reconfiguration).
+    # ------------------------------------------------------------------ #
+
+    def provision_switch(self, name: str) -> None:
+        """Prepare a topology switch to store NetChain data: install the
+        program and an empty store, add it to the probed membership.
+
+        The switch serves no virtual group yet -- it joins chains only when
+        a :class:`repro.core.reconfig.MigrationCoordinator` commits groups
+        onto it (or failure recovery picks it as a replacement).
+        """
+        if name in self.members:
+            raise ValueError(f"{name!r} is already a member switch")
+        switch = self.topology.switches[name]
+        store_config = KVStoreConfig(slots=self.config.store_slots,
+                                     allow_recirculation=self.config.allow_recirculation)
+        program = self.programs.get(name)
+        if program is None or program.kvstore is None:
+            store = SwitchKVStore(switch, config=store_config)
+            program = NetChainSwitchProgram(switch, kvstore=store)
+            self.stores[name] = store
+            self.programs[name] = program
+            switch.install_program(program)
+        # A late joiner must know every group's current epoch, or it would
+        # accept stragglers that the rest of the fabric already rejects.
+        for vgroup, epoch in self.epochs.items():
+            if epoch:
+                program.set_vgroup_epoch(vgroup, epoch)
+        self.members.append(name)
+        self._log(f"provisioned {name} as a member switch")
+
+    def decommission_switch(self, name: str) -> None:
+        """Retire a member switch after migration drained it: it stops being
+        probed and chosen for recoveries but keeps forwarding as a plain
+        transit switch."""
+        if name in self.members:
+            self.members.remove(name)
+        self._log(f"decommissioned {name}")
 
     # ------------------------------------------------------------------ #
     # Fast failover (Algorithm 2).
@@ -393,8 +516,7 @@ class NetChainController:
             self._shrink_group(failed, vgroup, chain, live_chain, report, on_done)
             return
         keys = sorted(self.keys_by_vgroup.get(vgroup, set()))
-        total_items = len(keys)
-        sync_time = total_items / self.config.sync_items_per_sec + self.config.per_group_overhead
+        sync_time = self.sync_duration(len(keys))
         presync_time = sync_time * self.config.presync_fraction
         stop_time = sync_time - presync_time
         neighbors = [self.programs[s.name] for s in self.neighbor_switches(failed)
@@ -452,11 +574,7 @@ class NetChainController:
                     return
                 self._log(f"vgroup {vgroup}: replacement re-chosen -> {new_name}")
             # Copy the group's items from the reference switch to the new one.
-            ref_store = self.stores[ref_name]
-            new_store = self.stores[new_name]
-            items = ref_store.export_items(keys)
-            new_store.import_items(items)
-            report.items_copied += len(items)
+            report.items_copied += self.copy_group_state(ref_name, [new_name], keys)
             step2_phase2()
 
         def step2_phase2() -> None:
@@ -465,8 +583,7 @@ class NetChainController:
             # priority than the fast-failover rule.
             new_ip = self.switch_ip(new_name)
             if is_head:
-                self.sessions[vgroup] += 1
-                self.programs[new_name].set_head_session(vgroup, self.sessions[vgroup])
+                self.bump_group_session(vgroup, new_name)
             for program in neighbors:
                 rule = RedirectRule(match_dst_ip=failed_ip, kind="forward", priority=20,
                                     new_dst_ip=new_ip, vgroups={vgroup})
@@ -489,19 +606,13 @@ class NetChainController:
                                   f"activation, skipped")
                         on_done()
                         return
-                    self.chain_table[vgroup] = ChainInfo(vgroup, live_now)
-                    vnode = self.ring.vnodes.get(vgroup)
-                    if vnode is not None and vnode.switch == failed:
-                        self.ring.reassign_vnode(vgroup, live_now[0])
+                    self.commit_chain(vgroup, live_now, moved_from=failed)
                     report.groups_shrunk += 1
                     self._log(f"vgroup {vgroup}: replacement {new_name} lost "
                               f"at activation, chain -> {live_now}")
                     on_done()
                     return
-                self.chain_table[vgroup] = ChainInfo(vgroup, new_chain)
-                vnode = self.ring.vnodes.get(vgroup)
-                if vnode is not None and vnode.switch == failed:
-                    self.ring.reassign_vnode(vgroup, new_name)
+                self.commit_chain(vgroup, new_chain, moved_from=failed)
                 report.groups_recovered += 1
                 report.replacements[vgroup] = new_name
                 self._log(f"recovered vgroup {vgroup}: {failed} -> {new_name}")
@@ -529,13 +640,8 @@ class NetChainController:
                 # head's session orders after everything it issued (a
                 # prior fast failover normally already did this; bumping
                 # again is harmless because versions only need to grow).
-                self.sessions[vgroup] += 1
-                self.programs[live_chain[0]].set_head_session(
-                    vgroup, self.sessions[vgroup])
-            self.chain_table[vgroup] = ChainInfo(vgroup, list(live_chain))
-            vnode = self.ring.vnodes.get(vgroup)
-            if vnode is not None and vnode.switch == failed:
-                self.ring.reassign_vnode(vgroup, live_chain[0])
+                self.bump_group_session(vgroup, live_chain[0])
+            self.commit_chain(vgroup, live_chain, moved_from=failed)
             report.groups_shrunk += 1
             self._log(f"shrunk vgroup {vgroup}: {failed} removed, "
                       f"chain -> {live_chain}")

@@ -21,6 +21,11 @@ Extra fields beyond the figure:
   disruptions with virtual groups").
 * ``query_id`` -- a client-chosen identifier used to match replies and make
   retries idempotent from the client's point of view.
+* ``epoch`` -- the virtual group's chain-configuration number, stamped by
+  the directory when the query is built.  A switch whose installed epoch for
+  the group is newer drops the query (it was addressed under a superseded
+  chain layout), which is what makes the planned-reconfiguration commit
+  (``repro.core.reconfig``) safe against in-flight stragglers.
 * ``cas_expected`` -- the comparison operand for the compare-and-swap
   operation used to build exclusive locks (Section 8.5).
 """
@@ -49,6 +54,12 @@ KEY_BYTES = 16
 MAX_PROTOTYPE_VALUE_BYTES = 128
 
 _query_ids = itertools.count(1)
+
+
+def next_query_id() -> int:
+    """Allocate a globally unique query id (shared with header defaults, so
+    client-chosen ids never collide with implicitly numbered headers)."""
+    return next(_query_ids)
 
 
 class OpCode(IntEnum):
@@ -119,13 +130,14 @@ class NetChainHeader:
     session: int = 0
     chain: List[str] = field(default_factory=list)
     vgroup: int = 0
+    epoch: int = 0
     query_id: int = field(default_factory=lambda: next(_query_ids))
     status: QueryStatus = QueryStatus.OK
     cas_expected: Optional[bytes] = None
 
     # Wire layout: op(1) status(1) key(16) session(2) seq(4) vgroup(2)
-    # query_id(8) sc(1) chain(4*sc) value_len(2) value cas_len(2) cas.
-    _FIXED = struct.Struct("!BB16sHIHQB")
+    # epoch(2) query_id(8) sc(1) chain(4*sc) value_len(2) value cas_len(2) cas.
+    _FIXED = struct.Struct("!BB16sHIHHQB")
 
     @property
     def sc(self) -> int:
@@ -143,7 +155,7 @@ class NetChainHeader:
         """Serialize to the wire format."""
         out = bytearray(self._FIXED.pack(
             int(self.op), int(self.status), self.key, self.session, self.seq,
-            self.vgroup, self.query_id, len(self.chain)))
+            self.vgroup, self.epoch, self.query_id, len(self.chain)))
         for hop in self.chain:
             out += struct.pack("!I", ip_to_int(hop))
         out += struct.pack("!H", len(self.value))
@@ -156,7 +168,8 @@ class NetChainHeader:
     @classmethod
     def from_bytes(cls, data: bytes) -> "NetChainHeader":
         """Parse the wire format."""
-        op, status, key, session, seq, vgroup, query_id, sc = cls._FIXED.unpack_from(data, 0)
+        (op, status, key, session, seq, vgroup, epoch, query_id,
+         sc) = cls._FIXED.unpack_from(data, 0)
         offset = cls._FIXED.size
         chain = []
         for _ in range(sc):
@@ -174,7 +187,7 @@ class NetChainHeader:
         else:
             cas_expected = data[offset:offset + cas_len]
         return cls(op=OpCode(op), key=key, value=value, seq=seq, session=session,
-                   chain=chain, vgroup=vgroup, query_id=query_id,
+                   chain=chain, vgroup=vgroup, epoch=epoch, query_id=query_id,
                    status=QueryStatus(status), cas_expected=cas_expected)
 
     def copy(self) -> "NetChainHeader":
@@ -201,7 +214,8 @@ def build_query_packet(client_ip: str, client_port: int, dst_ip: str,
     return packet
 
 
-def make_read(key, chain_ips: List[str], vgroup: int = 0) -> NetChainHeader:
+def make_read(key, chain_ips: List[str], vgroup: int = 0,
+              epoch: int = 0) -> NetChainHeader:
     """Build a read query header.
 
     Read queries are addressed to the tail; the header carries the rest of
@@ -212,10 +226,11 @@ def make_read(key, chain_ips: List[str], vgroup: int = 0) -> NetChainHeader:
     """
     remaining = list(reversed(chain_ips[:-1]))
     return NetChainHeader(op=OpCode.READ, key=normalize_key(key), chain=remaining,
-                          vgroup=vgroup)
+                          vgroup=vgroup, epoch=epoch)
 
 
-def make_write(key, value, chain_ips: List[str], vgroup: int = 0) -> NetChainHeader:
+def make_write(key, value, chain_ips: List[str], vgroup: int = 0,
+               epoch: int = 0) -> NetChainHeader:
     """Build a write query header.
 
     Write queries are addressed to the head; the header carries the rest of
@@ -223,21 +238,24 @@ def make_write(key, value, chain_ips: List[str], vgroup: int = 0) -> NetChainHea
     """
     remaining = list(chain_ips[1:])
     return NetChainHeader(op=OpCode.WRITE, key=normalize_key(key),
-                          value=normalize_value(value), chain=remaining, vgroup=vgroup)
+                          value=normalize_value(value), chain=remaining,
+                          vgroup=vgroup, epoch=epoch)
 
 
-def make_cas(key, expected, new_value, chain_ips: List[str], vgroup: int = 0) -> NetChainHeader:
+def make_cas(key, expected, new_value, chain_ips: List[str], vgroup: int = 0,
+             epoch: int = 0) -> NetChainHeader:
     """Build a compare-and-swap query (write path, conditional on ``expected``)."""
     remaining = list(chain_ips[1:])
     return NetChainHeader(op=OpCode.CAS, key=normalize_key(key),
                           value=normalize_value(new_value),
                           cas_expected=normalize_value(expected),
-                          chain=remaining, vgroup=vgroup)
+                          chain=remaining, vgroup=vgroup, epoch=epoch)
 
 
-def make_delete(key, chain_ips: List[str], vgroup: int = 0) -> NetChainHeader:
+def make_delete(key, chain_ips: List[str], vgroup: int = 0,
+                epoch: int = 0) -> NetChainHeader:
     """Build a delete query header (data-plane invalidation; the control
     plane garbage-collects the slot, Section 4.1)."""
     remaining = list(chain_ips[1:])
     return NetChainHeader(op=OpCode.DELETE, key=normalize_key(key), chain=remaining,
-                          vgroup=vgroup)
+                          vgroup=vgroup, epoch=epoch)

@@ -50,17 +50,20 @@ class ConsistentHashRing:
         if len(switches) < replication:
             raise ValueError(
                 f"need at least {replication} switches for chains of length {replication}")
+        if len(set(switches)) != len(switches):
+            raise ValueError(f"duplicate switch names in {list(switches)!r}")
         self.switch_names: List[str] = list(switches)
         self.vnodes_per_switch = vnodes_per_switch
         self.replication = replication
         self.rng = random.Random(seed)
         self.vnodes: Dict[int, VirtualNode] = {}
-        next_id = 0
+        self._next_vnode_id = 0
         for switch in self.switch_names:
             for i in range(vnodes_per_switch):
                 position = _hash64(f"{switch}#vnode{i}".encode())
-                self.vnodes[next_id] = VirtualNode(next_id, switch, position)
-                next_id += 1
+                self.vnodes[self._next_vnode_id] = VirtualNode(
+                    self._next_vnode_id, switch, position)
+                self._next_vnode_id += 1
         self._rebuild_index()
 
     def _rebuild_index(self) -> None:
@@ -73,9 +76,14 @@ class ConsistentHashRing:
     # ------------------------------------------------------------------ #
 
     def key_position(self, key) -> int:
-        """Ring position of a key."""
+        """Ring position of a key.
+
+        Byte keys are canonicalized by stripping the trailing NUL padding of
+        the 16-byte wire encoding, so a key hashes to the same position
+        whether a caller passes the original string or the padded raw key.
+        """
         if isinstance(key, bytes):
-            raw = key
+            raw = key.rstrip(b"\x00")
         else:
             raw = str(key).encode("utf-8")
         return _hash64(raw)
@@ -120,14 +128,20 @@ class ConsistentHashRing:
         """The virtual group (= primary virtual node id) of a key."""
         return self.primary_vnode_for_key(key).vnode_id
 
-    def chain_for_vgroup(self, vgroup: int, replication: Optional[int] = None) -> List[str]:
-        """The chain serving a virtual group."""
+    def chain_for_vgroup(self, vgroup: int, replication: Optional[int] = None,
+                         exclude: Optional[Sequence[str]] = None) -> List[str]:
+        """The chain serving a virtual group.
+
+        ``exclude`` skips switches (e.g. known-failed ones) during the walk,
+        which is how planned reconfigurations derive a live target chain.
+        """
         replication = replication or self.replication
+        excluded = set(exclude or ())
         vnode = self.vnodes[vgroup]
         chain: List[str] = []
         seen = set()
         for candidate in self.successor_vnodes(vnode.position):
-            if candidate.switch in seen:
+            if candidate.switch in seen or candidate.switch in excluded:
                 continue
             chain.append(candidate.switch)
             seen.add(candidate.switch)
@@ -151,6 +165,88 @@ class ConsistentHashRing:
             if switch in self.chain_for_vgroup(vgroup, replication):
                 result.append(vgroup)
         return sorted(result)
+
+    # ------------------------------------------------------------------ #
+    # Elastic membership (used by the reconfiguration planner).
+    # ------------------------------------------------------------------ #
+
+    def clone(self) -> "ConsistentHashRing":
+        """An independent copy (same vnode ids/positions and RNG seed state
+        re-derived from scratch is NOT required -- the clone is only used to
+        derive target layouts, never to make random choices)."""
+        copy = ConsistentHashRing.__new__(ConsistentHashRing)
+        copy.switch_names = list(self.switch_names)
+        copy.vnodes_per_switch = self.vnodes_per_switch
+        copy.replication = self.replication
+        copy.rng = random.Random(0)
+        copy.vnodes = {vid: VirtualNode(v.vnode_id, v.switch, v.position)
+                       for vid, v in self.vnodes.items()}
+        copy._next_vnode_id = self._next_vnode_id
+        copy._rebuild_index()
+        return copy
+
+    def add_switch(self, switch: str, vnodes: Optional[int] = None) -> List[int]:
+        """Add a switch with its own virtual nodes, leaving every existing
+        virtual node untouched (stable incremental rebalancing).
+
+        Vnode positions hash from the switch name exactly as at construction
+        time, so adding then removing a switch restores the original key
+        mapping.  Returns the new vnode ids (= new virtual groups).
+        """
+        if switch in self.switch_names:
+            raise ValueError(f"duplicate switch name {switch!r}")
+        count = vnodes if vnodes is not None else self.vnodes_per_switch
+        self.switch_names.append(switch)
+        new_ids: List[int] = []
+        for i in range(count):
+            position = _hash64(f"{switch}#vnode{i}".encode())
+            vnode_id = self._next_vnode_id
+            self._next_vnode_id += 1
+            self.vnodes[vnode_id] = VirtualNode(vnode_id, switch, position)
+            new_ids.append(vnode_id)
+        self._rebuild_index()
+        return new_ids
+
+    def remove_switch(self, switch: str) -> List[int]:
+        """Remove a switch and its virtual nodes; other vnodes are untouched
+        (keys of the removed segments flow to their ring successors).
+
+        Returns the removed vnode ids.
+        """
+        if switch not in self.switch_names:
+            raise ValueError(f"unknown switch {switch!r}")
+        if len(self.switch_names) - 1 < self.replication:
+            raise ValueError(
+                f"removing {switch!r} leaves {len(self.switch_names) - 1} switches, "
+                f"fewer than the replication factor {self.replication}")
+        self.switch_names.remove(switch)
+        removed = [vid for vid, vnode in self.vnodes.items() if vnode.switch == switch]
+        for vid in removed:
+            del self.vnodes[vid]
+        self._rebuild_index()
+        return sorted(removed)
+
+    def insert_vnode(self, vnode: VirtualNode) -> None:
+        """Install one externally-built virtual node (per-group commit of a
+        planned scale-out: the coordinator flips one segment at a time)."""
+        if vnode.vnode_id in self.vnodes:
+            raise ValueError(f"vnode id {vnode.vnode_id} already on the ring")
+        if vnode.switch not in self.switch_names:
+            self.switch_names.append(vnode.switch)
+        self.vnodes[vnode.vnode_id] = VirtualNode(vnode.vnode_id, vnode.switch,
+                                                  vnode.position)
+        self._next_vnode_id = max(self._next_vnode_id, vnode.vnode_id + 1)
+        self._rebuild_index()
+
+    def remove_vnode(self, vnode_id: int) -> VirtualNode:
+        """Remove one virtual node (per-group commit of a planned scale-in);
+        its segment's keys flow to the ring successor."""
+        vnode = self.vnodes.pop(vnode_id)
+        if not any(v.switch == vnode.switch for v in self.vnodes.values()):
+            if vnode.switch in self.switch_names:
+                self.switch_names.remove(vnode.switch)
+        self._rebuild_index()
+        return vnode
 
     # ------------------------------------------------------------------ #
     # Reconfiguration (used by the controller during failure recovery).

@@ -92,6 +92,11 @@ class ProgramStats:
     redirects: int = 0
     dropped_by_rule: int = 0
     recirculations: int = 0
+    #: Queries dropped because their header carried a superseded chain epoch
+    #: (stragglers addressed under a pre-reconfiguration layout).
+    dropped_stale_epoch: int = 0
+    #: Writes dropped during a per-vgroup migration freeze window.
+    dropped_frozen: int = 0
 
 
 class NetChainSwitchProgram(PipelineProgram):
@@ -109,6 +114,15 @@ class NetChainSwitchProgram(PipelineProgram):
         #: a new head, Section 5.2).
         self.head_sessions: Dict[int, int] = {}
         self.rules: List[RedirectRule] = []
+        #: Chain-configuration epoch installed per virtual group.  Queries
+        #: whose header carries an older epoch are dropped (they were built
+        #: against a superseded chain layout); the client's retry re-resolves
+        #: the directory and comes back with the current epoch.
+        self.vgroup_epochs: Dict[int, int] = {}
+        #: Virtual groups whose writes are frozen (phase 1 of a planned
+        #: migration: state is being synchronized to the target chain).
+        #: Reads keep flowing -- the frozen state cannot change.
+        self.frozen_write_vgroups: Set[int] = set()
         self.stats = ProgramStats()
         #: When False the switch ignores NetChain queries entirely (used by
         #: the controller before a replacement switch is activated).
@@ -146,6 +160,18 @@ class NetChainSwitchProgram(PipelineProgram):
     def set_head_session(self, vgroup: int, session: int) -> None:
         """Set the session number used when this switch heads ``vgroup``."""
         self.head_sessions[vgroup] = session
+
+    def set_vgroup_epoch(self, vgroup: int, epoch: int) -> None:
+        """Install a chain-configuration epoch; older-epoch queries drop."""
+        self.vgroup_epochs[vgroup] = epoch
+
+    def freeze_vgroup_writes(self, vgroup: int) -> None:
+        """Stop applying writes for one virtual group (migration phase 1)."""
+        self.frozen_write_vgroups.add(vgroup)
+
+    def unfreeze_vgroup_writes(self, vgroup: int) -> None:
+        """Lift a migration write freeze."""
+        self.frozen_write_vgroups.discard(vgroup)
 
     # ------------------------------------------------------------------ #
     # Pipeline entry point.
@@ -214,6 +240,20 @@ class NetChainSwitchProgram(PipelineProgram):
         if not header.is_request():
             # A reply addressed to the switch itself is a protocol error;
             # drop it rather than loop.
+            return PipelineAction.DROP
+        # Reconfiguration guards, checked before the store lookup so a
+        # straggler addressed under a superseded chain layout drops even
+        # after its keys were garbage-collected here (replying NOT_FOUND
+        # would be an inconsistent definite answer).
+        installed_epoch = self.vgroup_epochs.get(header.vgroup)
+        if installed_epoch is not None and header.epoch < installed_epoch:
+            self.stats.dropped_stale_epoch += 1
+            return PipelineAction.DROP
+        if (header.vgroup in self.frozen_write_vgroups
+                and header.op != OpCode.READ):
+            # Migration phase 1: the group's state is being synchronized;
+            # writes drop and the client's retry lands after the commit.
+            self.stats.dropped_frozen += 1
             return PipelineAction.DROP
         if self.kvstore is None:
             # A transit-only switch (no storage role) addressed directly:

@@ -30,6 +30,12 @@ from repro.experiments.failures import (
     failure_experiment,
     run_fault_scenario,
 )
+from repro.experiments.elasticity import (
+    ElasticityTimeline,
+    ReconfigScenarioResult,
+    elasticity_experiment,
+    run_reconfig_scenario,
+)
 from repro.experiments.transactions import (
     TransactionResult,
     netchain_transactions,
@@ -54,6 +60,10 @@ __all__ = [
     "FaultScenarioResult",
     "failure_experiment",
     "run_fault_scenario",
+    "ElasticityTimeline",
+    "ReconfigScenarioResult",
+    "elasticity_experiment",
+    "run_reconfig_scenario",
     "TransactionResult",
     "netchain_transactions",
     "zookeeper_transactions",

@@ -1,0 +1,337 @@
+"""Elasticity experiments: online scale-out/scale-in under live traffic.
+
+The paper evaluates NetChain's scalability with a static model (Figure
+9(f): throughput grows linearly with the number of switches); this module
+measures the *dynamic* side of the same claim with the reconfiguration
+subsystem (:mod:`repro.core.reconfig`): how a running cluster behaves
+while switches join or leave.
+
+Two drivers:
+
+* :func:`run_reconfig_scenario` -- the consistency harness, mirroring
+  :func:`repro.experiments.failures.run_fault_scenario`: paced recorded
+  load on every host, one or more planned membership changes (optionally
+  combined with a fault schedule, e.g. fail-stopping the joining switch
+  mid-migration), chain invariants sampled at every migration commit and
+  fault boundary, and a per-key linearizability check over the recorded
+  history.  Everything derives from one seed and replays byte-identically.
+
+* :func:`elasticity_experiment` -- the scale-out timeline: throughput
+  before/during/after growing the membership, with per-group freeze
+  windows and the volume of moved keys, which is the operational cost the
+  paper's "scale-free" claim hides.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.controller import ControllerConfig
+from repro.core.detector import DetectorConfig
+from repro.core.history import History, LinearizabilityReport, check_linearizable
+from repro.core.invariants import invariant_observer, sample_chain_invariants
+from repro.core.reconfig import MigrationCoordinator, MigrationReport, ReconfigConfig
+from repro.experiments.failures import history_key
+from repro.experiments.setup import NetChainDeployment, build_netchain_deployment
+from repro.netsim.faults import FaultEvent, FaultSchedule
+from repro.netsim.stats import ThroughputTimeSeries
+from repro.workloads.clients import LoadClient
+from repro.workloads.generators import KeyValueWorkload, WorkloadConfig
+
+#: One planned membership change: (time, joins, leaves).
+MembershipChange = Tuple[float, Sequence[str], Sequence[str]]
+
+
+@dataclass
+class ReconfigScenarioResult:
+    """Outcome of one reconfiguration scenario under recorded load."""
+
+    seed: int
+    duration: float
+    completed_ops: int = 0
+    failed_ops: int = 0
+    #: The fault injector's replayable trace (empty without a schedule).
+    fault_trace: List[FaultEvent] = field(default_factory=list)
+    #: Invariant violations sampled at every migration commit, fault
+    #: boundary, and once at the end (empty == consistent).
+    invariant_violations: List[str] = field(default_factory=list)
+    history: Optional[History] = None
+    linearizability: Optional[LinearizabilityReport] = None
+    drop_report: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    deployment: Optional[NetChainDeployment] = None
+    #: One report per executed membership change, in order.
+    migrations: List[MigrationReport] = field(default_factory=list)
+    #: Keys that were unreadable at the end of the run (must be empty:
+    #: migration loses no keys).
+    lost_keys: List[str] = field(default_factory=list)
+
+    def trace_signature(self) -> List[Tuple[float, str, str, str]]:
+        return [event.signature() for event in self.fault_trace]
+
+    def migration_signature(self) -> List[Tuple[int, str, str, int]]:
+        """Hashable per-step outcome used by replay-identity assertions."""
+        return [(step.vgroup, step.kind, step.status, step.keys_moved)
+                for report in self.migrations for step in report.steps]
+
+    def consistent(self) -> bool:
+        if self.invariant_violations or self.lost_keys:
+            return False
+        if self.linearizability is None:
+            return True
+        return self.linearizability.ok and not self.linearizability.exhausted_keys()
+
+
+def run_reconfig_scenario(changes: Sequence[MembershipChange],
+                          seed: int = 0,
+                          duration: float = 3.0,
+                          num_clients: int = 3,
+                          concurrency: int = 2,
+                          think_time: float = 1e-3,
+                          store_size: int = 24,
+                          write_ratio: float = 0.4,
+                          virtual_groups: int = 2,
+                          sync_items_per_sec: float = 2000.0,
+                          reconfig_config: Optional[ReconfigConfig] = None,
+                          build_schedule=None,
+                          detector_config: Optional[DetectorConfig] = None,
+                          drain: float = 0.5,
+                          value_size: int = 32,
+                          link_new_to: Optional[List[str]] = None,
+                          ) -> ReconfigScenarioResult:
+    """Run planned membership changes under a recorded mixed workload.
+
+    ``changes`` is a list of ``(time, joins, leaves)``: at each ``time``
+    the listed switches are hot-plugged (joins) and a live migration to the
+    new membership starts.  ``build_schedule(schedule, cluster)`` may add a
+    fault schedule on top, exactly as in
+    :func:`repro.experiments.failures.run_fault_scenario` -- fail-stopping
+    a switch mid-migration is the interesting combination.
+
+    Everything stochastic derives from ``seed``; two runs with the same
+    arguments produce identical fault traces, migration step outcomes and
+    operation histories.
+    """
+    controller_config = ControllerConfig(replication=3,
+                                         vnodes_per_switch=virtual_groups,
+                                         store_slots=max(1024, store_size + 64),
+                                         sync_items_per_sec=sync_items_per_sec,
+                                         seed=seed)
+    deployment = build_netchain_deployment(scale=1000.0, store_size=store_size,
+                                           value_size=value_size,
+                                           vnodes_per_switch=virtual_groups,
+                                           retry_timeout=200e-6,
+                                           controller_config=controller_config,
+                                           seed=seed)
+    cluster = deployment.cluster
+    controller = cluster.controller
+    injector = cluster.faults(seed)
+    result = ReconfigScenarioResult(seed=seed, duration=duration)
+    observer = invariant_observer(controller, result.invariant_violations)
+    injector.observers.append(observer)
+
+    initial: Dict[bytes, Optional[bytes]] = {}
+    for key in deployment.keys:
+        info = controller.chain_for_key(key)
+        item = controller.stores[info.switches[-1]].read(key)
+        initial[history_key(key)] = (item.value if item is not None and item.valid
+                                     else None)
+
+    history = History(cluster.sim)
+    clients: List[LoadClient] = []
+    host_names = sorted(cluster.agents)
+    for index in range(num_clients):
+        tag = f"c{index}"
+        workload = KeyValueWorkload(
+            WorkloadConfig(store_size=store_size, value_size=value_size,
+                           write_ratio=write_ratio, unique_values=True),
+            rng=random.Random((seed << 8) + index + 1), tag=tag)
+        agent = cluster.agent(host_names[index % len(host_names)])
+        clients.append(LoadClient(agent, workload, concurrency=concurrency,
+                                  history=history, think_time=think_time,
+                                  name=tag))
+
+    if build_schedule is not None:
+        import inspect
+        if len(inspect.signature(build_schedule).parameters) >= 2:
+            schedule: Optional[FaultSchedule] = build_schedule(
+                cluster.fault_schedule(), cluster)
+        else:
+            schedule = build_schedule(cluster.fault_schedule())
+        schedule.arm()
+    else:
+        schedule = None
+    cluster.start_failure_detector(detector_config or DetectorConfig(
+        probe_interval=50e-3, suspicion_threshold=2))
+
+    coordinators: List[MigrationCoordinator] = []
+
+    def start_change(joins: Sequence[str], leaves: Sequence[str]) -> None:
+        for name in joins:
+            if name not in cluster.topology.switches:
+                cluster.add_switch(name, link_to=link_new_to)
+        target = [m for m in controller.ring.switch_names if m not in leaves]
+        target += [j for j in joins if j not in target and j not in leaves]
+        coordinator = cluster.migrate(target, config=reconfig_config)
+        coordinator.observers.append(
+            lambda _step: result.invariant_violations.extend(
+                sample_chain_invariants(controller, raise_on_violation=False)))
+        coordinators.append(coordinator)
+        result.migrations.append(coordinator.report)
+
+    for at, joins, leaves in changes:
+        cluster.sim.schedule_at(
+            at, lambda j=list(joins), l=list(leaves): start_change(j, l))
+
+    for client in clients:
+        client.start()
+    cluster.run(until=duration)
+    for client in clients:
+        client.stop()
+    cluster.run(until=duration + drain)
+    cluster.detector.stop()
+    if schedule is not None:
+        schedule.cancel()
+
+    result.completed_ops = len(history.completed_ops())
+    result.failed_ops = sum(client.failed_queries for client in clients)
+    result.fault_trace = list(injector.trace)
+    result.drop_report = injector.drop_report()
+    result.history = history
+    result.deployment = deployment
+    injector.observers.remove(observer)
+
+    result.invariant_violations.extend(
+        sample_chain_invariants(controller, raise_on_violation=False))
+    # Zero lost keys: every key registered in the directory is readable
+    # from its current chain tail.
+    for key in deployment.keys:
+        vgroup = controller.ring.vgroup_for_key(key)
+        info = controller.chain_table.get(vgroup)
+        store = controller.stores.get(info.switches[-1]) if info is not None else None
+        item = store.read(key) if store is not None else None
+        if item is None:
+            result.lost_keys.append(key)
+    result.linearizability = check_linearizable(history, initial=initial)
+    return result
+
+
+# --------------------------------------------------------------------- #
+# The scale-out timeline.
+# --------------------------------------------------------------------- #
+
+@dataclass
+class ElasticityTimeline:
+    """Throughput and migration cost of one planned membership change."""
+
+    joins: List[str]
+    leaves: List[str]
+    scale: float
+    #: (time, queries-per-second in simulated units) per bin.
+    series: List[Tuple[float, float]] = field(default_factory=list)
+    migration_started: float = 0.0
+    migration_finished: float = 0.0
+    before_qps: float = 0.0
+    during_qps: float = 0.0
+    after_qps: float = 0.0
+    keys_moved: int = 0
+    items_copied: int = 0
+    total_freeze_time: float = 0.0
+    max_freeze_window: float = 0.0
+    groups_migrated: int = 0
+    report: Optional[MigrationReport] = None
+
+    def scaled(self, qps: float) -> float:
+        return qps * self.scale
+
+    def during_drop_fraction(self) -> float:
+        """Fractional throughput dip while the migration ran."""
+        if self.before_qps <= 0:
+            return 0.0
+        return max(0.0, 1.0 - self.during_qps / self.before_qps)
+
+
+def elasticity_experiment(joins: Sequence[str] = ("S4", "S5", "S6", "S7"),
+                          leaves: Sequence[str] = (),
+                          store_size: int = 200,
+                          write_ratio: float = 0.5,
+                          scale: float = 4000.0,
+                          migrate_at: float = 1.0,
+                          run_after: float = 1.0,
+                          virtual_groups: int = 4,
+                          sync_items_per_sec: float = 20000.0,
+                          concurrency: int = 16,
+                          bin_width: float = 0.1,
+                          seed: int = 0,
+                          max_duration: float = 60.0,
+                          reconfig_config: Optional[ReconfigConfig] = None,
+                          ) -> ElasticityTimeline:
+    """Grow (or shrink) the cluster under closed-loop load and measure the
+    cost: throughput before/during/after, keys moved, freeze windows."""
+    controller_config = ControllerConfig(replication=3,
+                                         vnodes_per_switch=virtual_groups,
+                                         store_slots=max(1024, store_size + 64),
+                                         sync_items_per_sec=sync_items_per_sec,
+                                         seed=seed)
+    from repro.experiments.throughput import adaptive_retry_timeout
+    deployment = build_netchain_deployment(scale=scale, store_size=store_size,
+                                           vnodes_per_switch=virtual_groups,
+                                           retry_timeout=adaptive_retry_timeout(
+                                               concurrency, scale),
+                                           controller_config=controller_config,
+                                           seed=seed)
+    cluster = deployment.cluster
+    timeline = ElasticityTimeline(joins=list(joins), leaves=list(leaves),
+                                  scale=scale)
+    series = ThroughputTimeSeries(bin_width=bin_width)
+    workload = KeyValueWorkload(WorkloadConfig(store_size=store_size, value_size=64,
+                                               write_ratio=write_ratio, seed=seed))
+    client = LoadClient(cluster.agent("H0"), workload, concurrency=concurrency,
+                        time_series=series)
+
+    coordinators: List[MigrationCoordinator] = []
+
+    def start_migration() -> None:
+        for name in joins:
+            if name not in cluster.topology.switches:
+                cluster.add_switch(name)
+        target = [m for m in cluster.controller.ring.switch_names
+                  if m not in leaves]
+        target += [j for j in joins if j not in target and j not in leaves]
+        coordinators.append(cluster.migrate(target, config=reconfig_config))
+
+    cluster.sim.schedule_at(migrate_at, start_migration)
+    client.start()
+    now = 0.0
+    while now < max_duration:
+        now = min(now + 0.5, max_duration)
+        cluster.run(until=now)
+        if coordinators and coordinators[0].done:
+            break
+    report = coordinators[0].report if coordinators else None
+    # A migration that did not finish within max_duration must not rewind
+    # the clock (finished_at is still 0.0) or report post-migration stats.
+    completed = report is not None and report.done
+    end = report.finished_at if completed else now
+    cluster.run(until=max(end + run_after, cluster.sim.now))
+    client.stop()
+    cluster.run(until=max(end + run_after + 0.05, cluster.sim.now))
+
+    timeline.series = series.series()
+    if completed:
+        timeline.report = report
+        timeline.migration_started = report.started_at
+        timeline.migration_finished = report.finished_at
+        timeline.keys_moved = report.total_keys_moved()
+        timeline.items_copied = report.total_items_copied()
+        timeline.total_freeze_time = report.total_freeze_time()
+        timeline.max_freeze_window = report.max_freeze_window()
+        timeline.groups_migrated = len(report.committed_steps())
+        timeline.before_qps = client.successes.rate_between(
+            migrate_at * 0.5, migrate_at)
+        timeline.during_qps = client.successes.rate_between(
+            report.started_at, max(report.finished_at, report.started_at + 1e-9))
+        timeline.after_qps = client.successes.rate_between(
+            end + 0.2, end + run_after)
+    return timeline

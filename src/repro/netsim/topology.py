@@ -74,6 +74,20 @@ class Topology:
         self.graph.add_edge(a.name, b.name)
         return link
 
+    def attach_switch(self, name: str, neighbors: Iterable[str],
+                      switch_config: Optional[SwitchConfig] = None,
+                      link_config: Optional[LinkConfig] = None) -> Switch:
+        """Hot-plug a switch into a (possibly running) simulation: create
+        the device and wire it to existing nodes in one call.
+
+        The caller still owns routing (recompute shortest paths) and any
+        control-plane onboarding; this only performs the physical bring-up.
+        """
+        switch = self.add_switch(name, config=switch_config)
+        for neighbor in neighbors:
+            self.add_link(switch, self.node(neighbor), config=link_config)
+        return switch
+
     # ------------------------------------------------------------------ #
     # Lookup helpers.
     # ------------------------------------------------------------------ #

@@ -153,6 +153,78 @@ def test_planned_removal_and_reintroduction(cluster):
     assert controller.programs["S3"].active
 
 
+def test_remove_switch_keeps_serving_through_failover(cluster):
+    """Planned removal behaves exactly like a fast failover: the removed
+    switch's chains keep answering with the remaining members."""
+    controller = cluster.controller
+    keys = [f"k{i}" for i in range(30)]
+    controller.populate(keys)
+    agent = cluster.agent("H0")
+    for key in keys[:10]:
+        assert agent.write_sync(key, b"pre").ok
+    served_by_s1 = [key for key in keys
+                    if "S1" in controller.chain_for_key(key).switches]
+    assert served_by_s1, "expected S1 to serve some chains"
+    controller.remove_switch("S1")
+    cluster.run(until=cluster.sim.now + 0.1)
+    # Failover rules landed on S1's physical neighbours only.
+    s1_ip = controller.switch_ip("S1")
+    for name in ("S0", "S2"):
+        assert any(r.match_dst_ip == s1_ip and r.kind == "failover"
+                   for r in controller.programs[name].rules)
+    # Reads and writes still work, including on chains that contained S1.
+    for key in keys[:10]:
+        assert agent.read_sync(key).value == b"pre"
+    for key in served_by_s1[:5]:
+        assert agent.write_sync(key, b"post").ok
+        assert agent.read_sync(key).value == b"post"
+
+
+def test_remove_switch_is_idempotent(cluster):
+    controller = cluster.controller
+    controller.remove_switch("S3")
+    controller.remove_switch("S3")
+    cluster.run(until=cluster.sim.now + 0.1)
+    assert "S3" in controller.failed_switches
+    failover_rules = [r for program in controller.programs.values()
+                      for r in program.rules if r.kind == "failover"]
+    # One rule per neighbour (S2 and S0), not doubled by the second call.
+    assert len(failover_rules) == 2
+
+
+def test_reintroduced_switch_becomes_recovery_candidate(cluster):
+    """After removal + reintroduction, the switch is empty but eligible:
+    the next failure recovery may splice it back into chains."""
+    controller = cluster.controller
+    controller.populate([f"k{i}" for i in range(20)])
+    controller.remove_switch("S3")
+    controller.reintroduce_switch("S3")
+    assert "S3" not in controller.failed_switches
+    # Now S1 fails; S3 is the only disjoint replacement candidate.
+    cluster.topology.switches["S1"].fail()
+    controller.handle_switch_failure("S1", recover=True)
+    cluster.run(until=cluster.sim.now + 60.0)
+    report = controller.recovery_reports[-1]
+    assert report.finished_at > 0
+    assert report.groups_recovered > 0
+    # Chains that did not already contain S3 spliced it in (chains that
+    # did pick the other live switch, so several replacements can appear).
+    assert "S3" in set(report.replacements.values())
+    assert any("S3" in info.switches for info in controller.chain_table.values())
+
+
+def test_reintroduce_clears_device_failure_and_reroutes(cluster):
+    controller = cluster.controller
+    cluster.topology.switches["S3"].fail()
+    controller.fast_failover("S3")
+    controller.reintroduce_switch("S3")
+    assert not cluster.topology.switches["S3"].failed
+    assert controller.programs["S3"].active
+    # The underlay routes through S3 again (S0 -> S3 direct hop restored).
+    from repro.netsim.routing import path_between
+    assert path_between(cluster.topology, "S0", "S3") == ["S0", "S3"]
+
+
 def test_events_log_records_reconfigurations(cluster):
     controller = cluster.controller
     cluster.topology.switches["S1"].fail()

@@ -19,7 +19,7 @@ SEEDS = fault_seeds()
 
 
 def assert_consistent(result):
-    __tracebackhint__ = True
+    __tracebackhide__ = True
     assert not result.invariant_violations, result.invariant_violations[:3]
     assert not result.linearizability.exhausted_keys()
     assert result.linearizability.ok, result.linearizability.summary()

@@ -100,3 +100,33 @@ def test_replication_larger_than_switches_rejected_at_lookup():
 def test_key_position_accepts_bytes_and_str():
     ring = ConsistentHashRing(SWITCHES)
     assert ring.key_position("abc") == ring.key_position(b"abc")
+
+
+def test_duplicate_switch_names_rejected():
+    with pytest.raises(ValueError):
+        ConsistentHashRing(["S0", "S1", "S2", "S1"], replication=3)
+    ring = ConsistentHashRing(SWITCHES, vnodes_per_switch=2)
+    with pytest.raises(ValueError):
+        ring.add_switch("S2")
+
+
+def test_replication_equals_switch_count():
+    """The tightest legal membership: every chain uses every switch."""
+    ring = ConsistentHashRing(SWITCHES, vnodes_per_switch=5, replication=4)
+    for i in range(100):
+        chain = ring.chain_for_key(f"key{i}")
+        assert sorted(chain) == sorted(SWITCHES)
+    for vgroup in ring.vnodes:
+        assert sorted(ring.chain_for_vgroup(vgroup)) == sorted(SWITCHES)
+    # One switch fewer than replication is rejected outright.
+    with pytest.raises(ValueError):
+        ConsistentHashRing(SWITCHES[:3], replication=4)
+
+
+def test_chain_for_vgroup_exclusion_skips_switches():
+    ring = ConsistentHashRing(SWITCHES, vnodes_per_switch=5, replication=3)
+    for vgroup in ring.vnodes:
+        chain = ring.chain_for_vgroup(vgroup, exclude=["S1"])
+        assert "S1" not in chain
+        assert len(chain) == 3
+        assert len(set(chain)) == 3
