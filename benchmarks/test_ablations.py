@@ -12,6 +12,10 @@ design arguments on the same simulated substrate:
 * **Sequence-number ordering** (Section 4.3): disabling the ordering check
   (an ablated switch program) lets reordered writes leave replicas
   inconsistent, which the shipped protocol never does.
+
+Every deployment is built through the declarative backend registry
+(:mod:`repro.deploy`), so the three systems under comparison differ only
+in the spec's ``backend`` field.
 """
 
 from __future__ import annotations
@@ -19,43 +23,41 @@ from __future__ import annotations
 import random
 
 from bench_utils import record_result
-from repro.baselines import PrimaryBackupCluster, ServerChainCluster
-from repro.core import ClusterConfig, NetChainCluster
-from repro.core.controller import ControllerConfig
 from repro.core.protocol import QueryStatus
-from repro.netsim.host import HostConfig
+from repro.deploy import DeploymentSpec, build_deployment
 from repro.netsim.link import LinkConfig
-from repro.netsim.routing import install_shortest_path_routes
 from repro.netsim.switch import PipelineAction
-from repro.netsim.topology import build_testbed
+
+#: The per-hop host stack of the server-hosted baselines in this ablation.
+SERVER_STACK_DELAY = 40e-6
 
 
-def make_cluster(seed: int = 0) -> NetChainCluster:
-    """A small testbed cluster (mirrors the unit-test helper)."""
-    return NetChainCluster(
-        ClusterConfig(store_slots=2048, vnodes_per_switch=4, seed=seed),
-        controller_config=ControllerConfig(store_slots=2048, vnodes_per_switch=4,
-                                           seed=seed))
+def make_netchain(seed: int = 0):
+    """A small testbed deployment (mirrors the unit-test helper)."""
+    return build_deployment(DeploymentSpec(
+        backend="netchain", store_slots=2048, vnodes_per_switch=4, seed=seed))
 
 
-def _server_hosts(stack_delay=40e-6):
-    topo = build_testbed(host_config=HostConfig(stack_delay=stack_delay, nic_pps=None))
-    install_shortest_path_routes(topo)
-    return topo, [topo.hosts[f"H{i}"] for i in range(4)]
+def make_server_baseline(backend: str, seed: int = 0):
+    """A server-hosted baseline: 3 replicas + 1 client host, kernel stacks."""
+    return build_deployment(DeploymentSpec(
+        backend=backend, replication=3, num_hosts=4, seed=seed,
+        options={"stack_delay": SERVER_STACK_DELAY}))
 
 
 def test_ablation_chain_vs_primary_backup_messages(benchmark):
     def run():
-        topo, hosts = _server_hosts()
-        chain = ServerChainCluster(hosts[:3])
-        pb = PrimaryBackupCluster(hosts[:3])
-        chain_client = chain.client(hosts[3])
-        pb_client = pb.client(hosts[3])
-        chain_latency = sum(chain_client.write("k", b"v").latency for _ in range(20)) / 20
-        pb_latency = sum(pb_client.write("k", b"v").latency for _ in range(20)) / 20
+        chain = make_server_baseline("server-chain")
+        pb = make_server_baseline("primary-backup")
+        chain_client = chain.clients(1)[0]
+        pb_client = pb.clients(1)[0]
+        chain_latency = sum(chain_client.write("k", b"v").result().latency
+                            for _ in range(20)) / 20
+        pb_latency = sum(pb_client.write("k", b"v").result().latency
+                         for _ in range(20)) / 20
         return {
-            "chain_messages": chain.messages_per_write(),
-            "pb_messages": pb.messages_per_write(),
+            "chain_messages": chain.cluster.messages_per_write(),
+            "pb_messages": pb.cluster.messages_per_write(),
             "chain_latency_us": chain_latency * 1e6,
             "pb_latency_us": pb_latency * 1e6,
         }
@@ -75,20 +77,20 @@ def test_ablation_chain_vs_primary_backup_messages(benchmark):
 def test_ablation_in_network_vs_server_chain_latency(benchmark):
     def run():
         # Server-hosted chain replication over kernel-TCP hosts.
-        topo, hosts = _server_hosts(stack_delay=40e-6)
-        server_chain = ServerChainCluster(hosts[:3])
-        client = server_chain.client(hosts[3])
-        server_latency = sum(client.write(f"k{i}", b"v").latency for i in range(20)) / 20
+        server_chain = make_server_baseline("server-chain")
+        client = server_chain.clients(1)[0]
+        server_latency = sum(client.write(f"k{i}", b"v").result().latency
+                             for i in range(20)) / 20
         # The same chain inside the switches, DPDK client.
-        cluster = make_cluster()
-        cluster.populate(20)
-        agent = cluster.agent("H0")
+        deployment = make_netchain()
+        deployment.cluster.populate(20)
+        agent = deployment.clients(1)[0]
         netchain_samples = []
         for i in range(20):
             netchain_samples.append(agent.write_sync(f"k{i:08d}", b"v").latency)
             # Per-query latency on an idle client: let the scaled NIC finish
             # serializing this query before issuing the next.
-            cluster.run(until=cluster.sim.now + 1e-3)
+            deployment.run(until=deployment.sim.now + 1e-3)
         netchain_latency = sum(netchain_samples) / len(netchain_samples)
         return {"server_us": server_latency * 1e6, "netchain_us": netchain_latency * 1e6}
 
@@ -110,7 +112,7 @@ def test_ablation_sequence_numbers_prevent_inconsistency(benchmark):
     def run():
         outcomes = {}
         for ordered in (True, False):
-            cluster = make_cluster(seed=7)
+            cluster = make_netchain(seed=7).cluster
             # Aggressive reordering between hops: far larger than the ~50 us
             # spacing at which the (scaled) client emits writes.
             for link in cluster.topology.links:

@@ -14,17 +14,19 @@ Run:  python examples/coordination_primitives.py
 
 from __future__ import annotations
 
-from repro.core import ClusterConfig, NetChainCluster
 from repro.core.coordination import (
     Barrier,
     ConfigurationStore,
     DistributedLock,
     GroupMembership,
 )
+from repro.deploy import DeploymentSpec, build_deployment
 
 
 def main() -> None:
-    cluster = NetChainCluster(ClusterConfig(store_slots=2048, vnodes_per_switch=8))
+    deployment = build_deployment(DeploymentSpec(
+        backend="netchain", store_slots=2048, vnodes_per_switch=8))
+    cluster = deployment.cluster
     controller = cluster.controller
     # Pre-create the keys the recipes use (inserts are control-plane ops).
     controller.populate(["cfg:replicas", "cfg:leader", "lock:shard-7",
@@ -76,8 +78,8 @@ def main() -> None:
     # ------------------------------------------------------------------ #
 
     print("\n== Same lock recipe on the ZooKeeper baseline ==")
-    from repro.experiments import build_zookeeper_deployment
-    deployment = build_zookeeper_deployment(store_size=0, unlimited_capacity=True)
+    deployment = build_deployment(DeploymentSpec(
+        backend="zookeeper", store_size=0, unlimited_capacity=True))
     deployment.ensemble.preload({"/kv/lock:shard-7": b""})
     zk_a = DistributedLock(deployment.new_kv_client(0), "lock:shard-7", owner="worker-A")
     zk_b = DistributedLock(deployment.new_kv_client(1), "lock:shard-7", owner="worker-B")

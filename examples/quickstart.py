@@ -14,16 +14,20 @@ Run:  python examples/quickstart.py
 
 from __future__ import annotations
 
-from repro.core import ClusterConfig, NetChainCluster
+from repro.deploy import DeploymentSpec, build_deployment
 
 
 def main() -> None:
-    # A NetChain deployment: 4 Tofino-like switches in a ring, 4 client
-    # hosts, chains of 3 switches (f+1 = 3 tolerates 2 failures with the
-    # help of the controller's reconfiguration protocol).  scale=1 keeps
-    # the full device capacities so per-query latency matches the paper.
-    cluster = NetChainCluster(ClusterConfig(scale=1.0, store_slots=4096,
-                                            vnodes_per_switch=8))
+    # A NetChain deployment, declaratively: 4 Tofino-like switches in a
+    # ring, 4 client hosts, chains of 3 switches (f+1 = 3 tolerates 2
+    # failures with the help of the controller's reconfiguration
+    # protocol).  scale=1 keeps the full device capacities so per-query
+    # latency matches the paper.  Swapping `backend` for "zookeeper",
+    # "server-chain", "primary-backup" or "hybrid" builds the comparison
+    # systems with the same client protocol.
+    deployment = build_deployment(DeploymentSpec(
+        backend="netchain", scale=1.0, store_slots=4096, vnodes_per_switch=8))
+    cluster = deployment.cluster
     controller = cluster.controller
     session = cluster.session("H0")
 

@@ -17,6 +17,9 @@ Sub-packages:
 * :mod:`repro.workloads`   -- workload generators and load-driving clients.
 * :mod:`repro.apps`        -- applications (the 2PL transaction benchmark).
 * :mod:`repro.perfmodel`   -- device constants (Table 1) and analytic models.
+* :mod:`repro.deploy`      -- declarative deployment specs, the pluggable
+  backend registry (netchain / zookeeper / server-chain / primary-backup /
+  hybrid) and the scenario runner.
 * :mod:`repro.experiments` -- drivers that regenerate every figure and table
   of the paper's evaluation.
 

@@ -23,8 +23,15 @@ from repro.baselines.zk_client import (
     ZkLock,
     ZkResult,
 )
-from repro.baselines.chain_server import ServerChainReplica, ServerChainCluster
-from repro.baselines.primary_backup import PrimaryBackupCluster
+from repro.baselines.chain_server import (
+    ServerChainCluster,
+    ServerChainKVClient,
+    ServerChainReplica,
+)
+from repro.baselines.primary_backup import (
+    PrimaryBackupCluster,
+    PrimaryBackupKVClient,
+)
 
 __all__ = [
     "DataTree",
@@ -40,5 +47,7 @@ __all__ = [
     "ZkResult",
     "ServerChainReplica",
     "ServerChainCluster",
+    "ServerChainKVClient",
     "PrimaryBackupCluster",
+    "PrimaryBackupKVClient",
 ]

@@ -15,15 +15,17 @@ import itertools
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.baselines.server_kv import ServerBaselineKVClient
 from repro.netsim.host import Host
 from repro.netsim.tcp import TcpConnection, TcpConfig, TcpEndpoint
 
 _request_ids = itertools.count(1)
+_client_ids = itertools.count(1)
 
 
 @dataclass
 class ChainResult:
-    """Outcome of a read or write against the server chain."""
+    """Outcome of one operation against the server chain."""
 
     ok: bool
     op: str
@@ -31,6 +33,10 @@ class ChainResult:
     value: bytes = b""
     version: int = 0
     latency: float = 0.0
+    #: A compare-and-swap lost (expected value did not match at the head).
+    cas_failed: bool = False
+    #: A delete targeted a key the chain never stored.
+    not_found: bool = False
 
 
 class ServerChainReplica:
@@ -56,16 +62,23 @@ class ServerChainReplica:
         endpoint.on_message = self.handle_message
 
     def handle_message(self, message: Dict[str, Any]) -> None:
-        """Process a read, write or forwarded write."""
+        """Process a read, a (possibly forwarded) write/cas, or a delete."""
         self.messages_processed += 1
         op = message["op"]
         if op == "read":
             value, version = self.store.get(message["key"], (b"", 0))
             self._reply(message, value=value, version=version)
-        elif op == "write":
-            version = self.store.get(message["key"], (b"", 0))[1] + 1
-            if "version" in message:
-                version = message["version"]
+        elif op in ("write", "cas"):
+            stored_value, stored_version = self.store.get(message["key"], (b"", 0))
+            if op == "cas" and "version" not in message:
+                # Head of the chain: evaluate the comparison once; an
+                # accepted CAS propagates down the chain exactly like a
+                # write (the resolved version travels with it).
+                if stored_value != message.get("expected", b""):
+                    self._reply(message, ok=False, cas_failed=True,
+                                value=stored_value, version=stored_version)
+                    return
+            version = message.get("version", stored_version + 1)
             self.store[message["key"]] = (message["value"], version)
             if self.next_endpoint is not None:
                 forwarded = dict(message)
@@ -73,6 +86,15 @@ class ServerChainReplica:
                 self.next_endpoint.send(forwarded, self.message_bytes)
             else:
                 self._reply(message, value=message["value"], version=version)
+        elif op == "delete":
+            if "existed" not in message:
+                message = dict(message)
+                message["existed"] = message["key"] in self.store
+            self.store.pop(message["key"], None)
+            if self.next_endpoint is not None:
+                self.next_endpoint.send(dict(message), self.message_bytes)
+            else:
+                self._reply(message, not_found=not message["existed"])
 
     def _reply(self, message: Dict[str, Any], **fields: Any) -> None:
         endpoint = self.client_endpoints.get(message["client"])
@@ -91,7 +113,9 @@ class ServerChainClient:
         self.host = host
         self.sim = host.sim
         self.cluster = cluster
-        self.name = f"chain-client-{host.name}"
+        # The name keys the per-client reply endpoints on the replicas, so
+        # several clients on one host must not collide.
+        self.name = f"chain-client-{host.name}-{next(_client_ids)}"
         self._pending: Dict[int, Dict[str, Any]] = {}
         self.completed = 0
         self.latencies: List[float] = []
@@ -114,17 +138,36 @@ class ServerChainClient:
                     callback: Optional[Callable[[ChainResult], None]] = None) -> int:
         return self._submit("write", key, value, self._head_endpoint, callback)
 
+    def cas_async(self, key: str, expected: bytes, new_value: bytes,
+                  callback: Optional[Callable[[ChainResult], None]] = None) -> int:
+        return self._submit("cas", key, new_value, self._head_endpoint, callback,
+                            expected=expected)
+
+    def delete_async(self, key: str,
+                     callback: Optional[Callable[[ChainResult], None]] = None) -> int:
+        return self._submit("delete", key, b"", self._head_endpoint, callback)
+
     def read(self, key: str, deadline: float = 5.0) -> ChainResult:
         return self._sync(lambda cb: self.read_async(key, cb), deadline)
 
     def write(self, key: str, value: bytes, deadline: float = 5.0) -> ChainResult:
         return self._sync(lambda cb: self.write_async(key, value, cb), deadline)
 
+    def cas(self, key: str, expected: bytes, new_value: bytes,
+            deadline: float = 5.0) -> ChainResult:
+        return self._sync(lambda cb: self.cas_async(key, expected, new_value, cb),
+                          deadline)
+
+    def delete(self, key: str, deadline: float = 5.0) -> ChainResult:
+        return self._sync(lambda cb: self.delete_async(key, cb), deadline)
+
     def _submit(self, op: str, key: str, value: bytes, endpoint: TcpEndpoint,
-                callback: Optional[Callable[[ChainResult], None]]) -> int:
+                callback: Optional[Callable[[ChainResult], None]],
+                **extra: Any) -> int:
         request_id = next(_request_ids)
         message = {"kind": "request", "request_id": request_id, "op": op, "key": key,
                    "value": value, "client": self.name}
+        message.update(extra)
         self._pending[request_id] = {"callback": callback, "op": op, "key": key,
                                      "sent_at": self.sim.now}
         endpoint.send(message, self.cluster.message_bytes)
@@ -151,7 +194,9 @@ class ServerChainClient:
         self.latencies.append(latency)
         result = ChainResult(ok=message.get("ok", False), op=pending["op"],
                              key=pending["key"], value=message.get("value", b""),
-                             version=message.get("version", 0), latency=latency)
+                             version=message.get("version", 0), latency=latency,
+                             cas_failed=message.get("cas_failed", False),
+                             not_found=message.get("not_found", False))
         if pending["callback"] is not None:
             pending["callback"](result)
 
@@ -183,7 +228,24 @@ class ServerChainCluster:
         """Create a client attached to this chain."""
         return ServerChainClient(host, self)
 
+    def kv_client(self, host: Host) -> "ServerChainKVClient":
+        """A client adapted to the unified :class:`KVClient` protocol."""
+        return ServerChainKVClient(self.client(host))
+
+    def preload(self, items: Dict[str, bytes]) -> None:
+        """Bulk-load keys on every replica without simulating the writes."""
+        for key, value in items.items():
+            for replica in self.replicas:
+                replica.store[key] = (value, 1)
+
     def messages_per_write(self) -> int:
         """Messages a write costs end to end: n forwards + 1 reply
         (Section 2.2: n+1 for chain replication)."""
         return len(self.replicas) + 1
+
+
+class ServerChainKVClient(ServerBaselineKVClient):
+    """The unified :class:`~repro.core.client.KVClient` protocol over a
+    chain client (see :class:`ServerBaselineKVClient`)."""
+
+    backend = "server-chain"

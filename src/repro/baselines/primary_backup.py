@@ -13,15 +13,17 @@ import itertools
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.baselines.server_kv import ServerBaselineKVClient
 from repro.netsim.host import Host
 from repro.netsim.tcp import TcpConnection, TcpConfig, TcpEndpoint
 
 _request_ids = itertools.count(1)
+_client_ids = itertools.count(1)
 
 
 @dataclass
 class PBResult:
-    """Outcome of a primary-backup read or write."""
+    """Outcome of a primary-backup operation."""
 
     ok: bool
     op: str
@@ -29,6 +31,10 @@ class PBResult:
     value: bytes = b""
     version: int = 0
     latency: float = 0.0
+    #: A compare-and-swap lost (expected value did not match at the primary).
+    cas_failed: bool = False
+    #: A delete targeted a key the primary never stored.
+    not_found: bool = False
 
 
 class _Backup:
@@ -45,7 +51,10 @@ class _Backup:
     def handle_message(self, message: Dict[str, Any]) -> None:
         if message.get("op") != "update":
             return
-        self.store[message["key"]] = (message["value"], message["version"])
+        if message.get("delete"):
+            self.store.pop(message["key"], None)
+        else:
+            self.store[message["key"]] = (message["value"], message["version"])
         self.updates_applied += 1
         if self.primary_endpoint is not None:
             self.primary_endpoint.send({"op": "ack", "request_id": message["request_id"],
@@ -75,15 +84,31 @@ class _Primary:
             value, version = self.store.get(message["key"], (b"", 0))
             self._reply(message["client"], message["request_id"], "read", message["key"],
                         value, version)
-        elif op == "write":
-            version = self.store.get(message["key"], (b"", 0))[1] + 1
-            self.store[message["key"]] = (message["value"], version)
+        elif op in ("write", "cas", "delete"):
+            stored_value, stored_version = self.store.get(message["key"], (b"", 0))
+            if op == "cas" and stored_value != message.get("expected", b""):
+                self._reply(message["client"], message["request_id"], "cas",
+                            message["key"], stored_value, stored_version,
+                            ok=False, cas_failed=True)
+                return
+            not_found = False
+            if op == "delete":
+                not_found = message["key"] not in self.store
+                self.store.pop(message["key"], None)
+                version = stored_version
+                value = b""
+            else:
+                version = stored_version + 1
+                value = message["value"]
+                self.store[message["key"]] = (value, version)
             self.pending_writes[message["request_id"]] = {
-                "message": message, "version": version,
+                "message": message, "version": version, "value": value,
+                "not_found": not_found,
                 "awaiting": set(range(len(self.backup_endpoints))),
             }
             update = {"op": "update", "request_id": message["request_id"],
-                      "key": message["key"], "value": message["value"], "version": version}
+                      "key": message["key"], "value": value, "version": version,
+                      "delete": op == "delete"}
             for endpoint in self.backup_endpoints:
                 endpoint.send(update, self.message_bytes)
                 self.messages_sent += 1
@@ -102,16 +127,20 @@ class _Primary:
         if pending is None:
             return
         message = pending["message"]
-        self._reply(message["client"], request_id, "write", message["key"],
-                    message["value"], pending["version"])
+        self._reply(message["client"], request_id, message["op"], message["key"],
+                    pending["value"], pending["version"],
+                    not_found=pending["not_found"])
 
     def _reply(self, client: str, request_id: int, op: str, key: str,
-               value: bytes, version: int) -> None:
+               value: bytes, version: int, ok: bool = True,
+               cas_failed: bool = False, not_found: bool = False) -> None:
         endpoint = self.client_endpoints.get(client)
         if endpoint is None:
             return
-        endpoint.send({"kind": "reply", "request_id": request_id, "ok": True, "op": op,
-                       "key": key, "value": value, "version": version}, self.message_bytes)
+        endpoint.send({"kind": "reply", "request_id": request_id, "ok": ok, "op": op,
+                       "key": key, "value": value, "version": version,
+                       "cas_failed": cas_failed, "not_found": not_found},
+                      self.message_bytes)
         self.messages_sent += 1
 
 
@@ -143,6 +172,17 @@ class PrimaryBackupCluster:
     def client(self, host: Host) -> "PrimaryBackupClient":
         return PrimaryBackupClient(host, self)
 
+    def kv_client(self, host: Host) -> "PrimaryBackupKVClient":
+        """A client adapted to the unified :class:`KVClient` protocol."""
+        return PrimaryBackupKVClient(self.client(host))
+
+    def preload(self, items: Dict[str, bytes]) -> None:
+        """Bulk-load keys on the primary and every backup directly."""
+        for key, value in items.items():
+            self.primary.store[key] = (value, 1)
+            for backup in self.backups:
+                backup.store[key] = (value, 1)
+
 
 class PrimaryBackupClient:
     """A client that talks to the primary for both reads and writes."""
@@ -151,7 +191,9 @@ class PrimaryBackupClient:
         self.host = host
         self.sim = host.sim
         self.cluster = cluster
-        self.name = f"pb-client-{host.name}"
+        # The name keys the per-client reply endpoint at the primary, so
+        # several clients on one host must not collide.
+        self.name = f"pb-client-{host.name}-{next(_client_ids)}"
         conn = TcpConnection(host, cluster.primary.host, config=cluster.tcp_config)
         cluster.primary.accept_client(self.name, conn.endpoint(cluster.primary.host))
         self._endpoint = conn.endpoint(host)
@@ -167,19 +209,38 @@ class PrimaryBackupClient:
                     callback: Optional[Callable[[PBResult], None]] = None) -> int:
         return self._submit("write", key, value, callback)
 
+    def cas_async(self, key: str, expected: bytes, new_value: bytes,
+                  callback: Optional[Callable[[PBResult], None]] = None) -> int:
+        return self._submit("cas", key, new_value, callback, expected=expected)
+
+    def delete_async(self, key: str,
+                     callback: Optional[Callable[[PBResult], None]] = None) -> int:
+        return self._submit("delete", key, b"", callback)
+
     def read(self, key: str, deadline: float = 5.0) -> PBResult:
         return self._sync(lambda cb: self.read_async(key, cb), deadline)
 
     def write(self, key: str, value: bytes, deadline: float = 5.0) -> PBResult:
         return self._sync(lambda cb: self.write_async(key, value, cb), deadline)
 
+    def cas(self, key: str, expected: bytes, new_value: bytes,
+            deadline: float = 5.0) -> PBResult:
+        return self._sync(lambda cb: self.cas_async(key, expected, new_value, cb),
+                          deadline)
+
+    def delete(self, key: str, deadline: float = 5.0) -> PBResult:
+        return self._sync(lambda cb: self.delete_async(key, cb), deadline)
+
     def _submit(self, op: str, key: str, value: bytes,
-                callback: Optional[Callable[[PBResult], None]]) -> int:
+                callback: Optional[Callable[[PBResult], None]],
+                **extra: Any) -> int:
         request_id = next(_request_ids)
         self._pending[request_id] = {"callback": callback, "op": op, "key": key,
                                      "sent_at": self.sim.now}
-        self._endpoint.send({"op": op, "request_id": request_id, "key": key, "value": value,
-                             "client": self.name}, self.cluster.message_bytes)
+        message = {"op": op, "request_id": request_id, "key": key, "value": value,
+                   "client": self.name}
+        message.update(extra)
+        self._endpoint.send(message, self.cluster.message_bytes)
         return request_id
 
     def _sync(self, submit, deadline: float) -> PBResult:
@@ -203,6 +264,14 @@ class PrimaryBackupClient:
         self.latencies.append(latency)
         result = PBResult(ok=message.get("ok", False), op=pending["op"], key=pending["key"],
                           value=message.get("value", b""), version=message.get("version", 0),
-                          latency=latency)
+                          latency=latency, cas_failed=message.get("cas_failed", False),
+                          not_found=message.get("not_found", False))
         if pending["callback"] is not None:
             pending["callback"](result)
+
+
+class PrimaryBackupKVClient(ServerBaselineKVClient):
+    """The unified :class:`~repro.core.client.KVClient` protocol over a
+    primary-backup client (see :class:`ServerBaselineKVClient`)."""
+
+    backend = "primary-backup"

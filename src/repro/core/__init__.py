@@ -67,7 +67,7 @@ from repro.core.reconfig import (
     ReconfigPlanner,
     migrate,
 )
-from repro.core.hybrid import HybridStore, HybridPolicy
+from repro.core.hybrid import HybridStore, HybridPolicy, HybridKVClient
 
 __all__ = [
     "KVClient",
@@ -121,4 +121,5 @@ __all__ = [
     "migrate",
     "HybridStore",
     "HybridPolicy",
+    "HybridKVClient",
 ]

@@ -17,13 +17,18 @@ from repro.core.detector import DetectorConfig, FailureDetector
 from repro.netsim.engine import Simulator
 from repro.netsim.faults import FaultInjector, FaultSchedule
 from repro.netsim.link import LinkConfig
-from repro.netsim.topology import Topology, build_testbed
-from repro.perfmodel.devices import scaled_dpdk_host_config, scaled_switch_config
+from repro.netsim.topology import Topology
+from repro.perfmodel.devices import scaled_testbed
 
 
 @dataclass
 class ClusterConfig:
-    """Deployment parameters for a simulated NetChain cluster."""
+    """Deployment parameters for a simulated NetChain cluster.
+
+    Invalid parameter combinations raise :class:`ValueError` at
+    construction time, so a bad config fails where it was written instead
+    of deep inside chain building or the simulation.
+    """
 
     #: Scale factor applied to all device capacities (see DESIGN.md).
     scale: float = 1000.0
@@ -42,6 +47,25 @@ class ClusterConfig:
     #: Random seed.
     seed: int = 0
 
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise ValueError(f"scale must be positive, got {self.scale}")
+        if self.num_hosts < 1:
+            raise ValueError(f"num_hosts must be at least 1, got {self.num_hosts}")
+        if self.replication < 1:
+            raise ValueError(
+                f"replication (chain length) must be at least 1, got {self.replication}")
+        if self.vnodes_per_switch < 1:
+            raise ValueError(
+                f"vnodes_per_switch must be at least 1, got {self.vnodes_per_switch}")
+        if self.store_slots < 1:
+            raise ValueError(f"store_slots must be at least 1, got {self.store_slots}")
+        if self.retry_timeout <= 0:
+            raise ValueError(
+                f"retry_timeout must be positive, got {self.retry_timeout}")
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+
 
 class NetChainCluster:
     """A ready-to-use NetChain deployment on the 4-switch testbed."""
@@ -53,13 +77,8 @@ class NetChainCluster:
         self.config = config or ClusterConfig()
         cfg = self.config
         if topology is None:
-            topology = build_testbed(
-                switch_config=scaled_switch_config(cfg.scale),
-                host_config=scaled_dpdk_host_config(cfg.scale),
-                link_config=LinkConfig(),
-                num_hosts=cfg.num_hosts,
-                seed=cfg.seed,
-            )
+            topology = scaled_testbed(scale=cfg.scale, num_hosts=cfg.num_hosts,
+                                      seed=cfg.seed)
         self.topology = topology
         if controller_config is None:
             controller_config = ControllerConfig(
@@ -68,6 +87,13 @@ class NetChainCluster:
                 store_slots=cfg.store_slots,
                 seed=cfg.seed,
             )
+        members = member_switches if member_switches is not None \
+            else sorted(topology.switches)
+        if controller_config.replication > len(members):
+            raise ValueError(
+                f"replication (chain length) {controller_config.replication} exceeds "
+                f"the {len(members)} member switches {sorted(members)}; shrink the "
+                f"chain or add switches")
         self.controller = NetChainController(topology, member_switches=member_switches,
                                              config=controller_config)
         # One shared config for every agent: it is read-only to the agents
@@ -108,7 +134,8 @@ class NetChainCluster:
         Mirrors the evaluation's "store size" parameter (Section 8.1).
         Returns the key names.
         """
-        keys = [f"{key_prefix}{i:08d}" for i in range(num_keys)]
+        from repro.workloads.generators import standard_key_names
+        keys = standard_key_names(num_keys, key_prefix)
         value = bytes(value_size)
         self.controller.populate(keys, default_value=value)
         return keys

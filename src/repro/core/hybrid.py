@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Set
 
 from repro.core.agent import NetChainAgent, QueryResult
+from repro.core.client import KVClient, KVFuture, KVResult
 from repro.core.protocol import MAX_PROTOTYPE_VALUE_BYTES, QueryStatus, normalize_value
 
 
@@ -131,6 +132,11 @@ class HybridStore:
         self.stats = HybridStats()
         self._network_keys: Set[bytes] = set()
         self._read_counts: Dict[bytes, int] = {}
+        #: Keys with an asynchronous promotion in flight (HybridKVClient).
+        self._promoting: Set[bytes] = set()
+        #: Server-tier write generation per key; an async promotion aborts
+        #: when the generation moved underneath it (HybridKVClient).
+        self._server_write_gen: Dict[bytes, int] = {}
 
     # ------------------------------------------------------------------ #
     # Placement bookkeeping.
@@ -147,6 +153,10 @@ class HybridStore:
     def _promote(self, key, value: bytes) -> None:
         raw = _raw(key)
         self.agent.insert_sync(key, value)
+        # The key now lives in the network tier only: leaving the server
+        # copy behind would let a later fallback read serve a stale value
+        # once network writes move past it.
+        self.backend.delete(key)
         self._network_keys.add(raw)
         self.stats.promotions += 1
 
@@ -238,3 +248,222 @@ class HybridStore:
         result = self.agent.cas_sync(key, expected, new_value)
         self.stats.network_writes += 1
         return result.ok and result.status == QueryStatus.OK
+
+
+class HybridKVClient(KVClient):
+    """The asynchronous :class:`~repro.core.client.KVClient` face of a
+    :class:`HybridStore`.
+
+    The synchronous :class:`HybridStore` API drives the simulator from
+    inside each call, which closed-loop load clients and scenarios must
+    not do (the event loop is already running).  This client applies the
+    same tiering policy purely with futures: network-tier operations ride
+    the agent's futures, server-tier operations apply immediately and
+    resolve after a modelled server round trip, and popularity promotions
+    run in the background.  A promotion aborts itself when a server-tier
+    write races it (the write-generation guard), so the two tiers never
+    disagree about a key's latest value.
+
+    Several clients (one per host agent) can share one store: placement,
+    read counts and statistics all live on the store.
+    """
+
+    backend = "hybrid"
+
+    def __init__(self, store: HybridStore, agent: Optional[NetChainAgent] = None,
+                 server_delay: float = 80e-6) -> None:
+        """``server_delay`` models the server tier's round trip (two kernel
+        stack traversals); the in-process dict lookup itself is free."""
+        self.store = store
+        self.agent = agent or store.agent
+        self.sim = self.agent.sim
+        self.server_delay = server_delay
+
+    # -- helpers --------------------------------------------------------- #
+
+    def _bump_gen(self, raw: bytes) -> None:
+        self.store._server_write_gen[raw] = \
+            self.store._server_write_gen.get(raw, 0) + 1
+
+    def _server_result(self, future: KVFuture, op: str, raw: bytes, *,
+                       ok: bool, value: bytes = b"", not_found: bool = False,
+                       error: Optional[str] = None) -> None:
+        started = self.sim.now
+
+        def finish() -> None:
+            future.resolve(KVResult(ok=ok, op=op, key=raw, value=value,
+                                    not_found=not_found, error=error,
+                                    latency=self.sim.now - started,
+                                    backend=self.backend))
+
+        self.sim.schedule(self.server_delay, finish)
+
+    def _promote_async(self, key, raw: bytes, value: bytes) -> None:
+        store = self.store
+        store._promoting.add(raw)
+        generation = store._server_write_gen.get(raw, 0)
+
+        def on_insert(result: KVResult) -> None:
+            store._promoting.discard(raw)
+            if not result.ok:
+                return
+            if store._server_write_gen.get(raw, 0) != generation:
+                # A server-tier write raced the promotion: the freshly
+                # installed network copy is stale.  Drop it.
+                self.agent.delete(key).then(
+                    lambda _r: self.agent.directory.garbage_collect(key))
+                return
+            # Tier exclusivity: remove the server copy so a fallback read
+            # after a network failure cannot serve (or re-promote) a value
+            # that network writes have since moved past.
+            store.backend.delete(key)
+            store._network_keys.add(raw)
+            store._read_counts.pop(raw, None)
+            store.stats.promotions += 1
+
+        self.agent.insert(key, value).then(on_insert)
+
+    # -- the five protocol operations ------------------------------------ #
+
+    def read(self, key) -> KVFuture:
+        raw = _raw(key)
+        store = self.store
+        future = KVFuture(self.sim, op="read", key=raw)
+
+        def server_read() -> None:
+            value = store.backend.read(key)
+            store.stats.server_reads += 1
+            self._server_result(future, "read", raw, ok=value is not None,
+                                value=value or b"", not_found=value is None,
+                                error=None if value is not None else "key_not_found")
+            if value is None:
+                return
+            count = store._read_counts.get(raw, 0) + 1
+            store._read_counts[raw] = count
+            if (count >= store.policy.promote_after_reads
+                    and store.policy.fits_in_network(value)
+                    and raw not in store._promoting):
+                self._promote_async(key, raw, value)
+
+        if store.in_network(key):
+            def on_net(result: KVResult) -> None:
+                if result.ok:
+                    store.stats.network_reads += 1
+                    future.resolve(result)
+                else:
+                    # Not actually resident (e.g. pinned but never written).
+                    store._network_keys.discard(raw)
+                    server_read()
+            self.agent.read(key).then(on_net)
+        else:
+            server_read()
+        return future
+
+    def write(self, key, value) -> KVFuture:
+        raw = _raw(key)
+        value = normalize_value(value)
+        store = self.store
+        future = KVFuture(self.sim, op="write", key=raw)
+        fits = store.policy.fits_in_network(value)
+
+        if store.policy.is_pinned(key) and not fits:
+            future.resolve(KVResult(ok=False, op="write", key=raw,
+                                    error="pinned key's value exceeds the "
+                                          "network tier limit",
+                                    backend=self.backend))
+            return future
+
+        def server_write() -> None:
+            self._bump_gen(raw)
+            store.backend.write(key, value)
+            store.stats.server_writes += 1
+            self._server_result(future, "write", raw, ok=True, value=value)
+
+        def network_install() -> None:
+            def on_insert(result: KVResult) -> None:
+                if result.ok:
+                    # Tier exclusivity: drop any pre-pin server copy.
+                    store.backend.delete(key)
+                    store._network_keys.add(raw)
+                    store.stats.network_writes += 1
+                future.resolve(result)
+            self.agent.insert(key, value).then(on_insert)
+
+        if store.in_network(key):
+            if fits:
+                def on_write(result: KVResult) -> None:
+                    if result.ok:
+                        store._network_keys.add(raw)
+                        store.stats.network_writes += 1
+                        future.resolve(result)
+                    elif result.not_found:
+                        network_install()
+                    else:
+                        future.resolve(result)
+                self.agent.write(key, value).then(on_write)
+            else:
+                # The value outgrew the pipeline limit: demote.
+                self._bump_gen(raw)
+                store.backend.write(key, value)
+                store.stats.server_writes += 1
+                started = self.sim.now
+
+                def on_delete(_result: KVResult) -> None:
+                    self.agent.directory.garbage_collect(key)
+                    store._network_keys.discard(raw)
+                    store.stats.demotions += 1
+                    future.resolve(KVResult(ok=True, op="write", key=raw,
+                                            value=value,
+                                            latency=self.sim.now - started,
+                                            backend=self.backend))
+                self.agent.delete(key).then(on_delete)
+        elif store.policy.is_pinned(key) and fits:
+            network_install()
+        else:
+            server_write()
+        return future
+
+    def cas(self, key, expected, new_value) -> KVFuture:
+        raw = _raw(key)
+        store = self.store
+        future = KVFuture(self.sim, op="cas", key=raw)
+        if not store.in_network(key):
+            future.resolve(KVResult(ok=False, op="cas", key=raw,
+                                    error="cas requires a network-resident key",
+                                    backend=self.backend))
+            return future
+
+        def on_cas(result: KVResult) -> None:
+            store.stats.network_writes += 1
+            future.resolve(result)
+
+        self.agent.cas(key, expected, new_value).then(on_cas)
+        return future
+
+    def delete(self, key) -> KVFuture:
+        raw = _raw(key)
+        store = self.store
+        future = KVFuture(self.sim, op="delete", key=raw)
+        self._bump_gen(raw)
+        server_deleted = store.backend.delete(key)
+        store._read_counts.pop(raw, None)
+        if raw in store._network_keys:
+            def on_delete(result: KVResult) -> None:
+                self.agent.directory.garbage_collect(key)
+                store._network_keys.discard(raw)
+                deleted = result.ok or server_deleted
+                future.resolve(KVResult(ok=deleted, op="delete", key=raw,
+                                        not_found=not deleted,
+                                        latency=result.latency,
+                                        backend=self.backend, raw=result.raw))
+            self.agent.delete(key).then(on_delete)
+        else:
+            self._server_result(future, "delete", raw, ok=server_deleted,
+                                not_found=not server_deleted,
+                                error=None if server_deleted else "key_not_found")
+        return future
+
+    def insert(self, key, value=b"") -> KVFuture:
+        """Placement-aware create: pinned small values go to the network
+        tier, everything else to the servers (same rule as writes)."""
+        return self.write(key, value)

@@ -1,0 +1,64 @@
+"""Declarative deployments and scenarios over one pluggable backend registry.
+
+The paper's evaluation sweeps one workload over NetChain, ZooKeeper and
+server-based chain variants.  This package makes that matrix a first-class
+object:
+
+* :class:`DeploymentSpec` -- a declarative description of a deployment
+  (topology scale, membership, preloaded store, fault schedule, seed).
+* :class:`Backend` / :func:`register_backend` -- the pluggable registry;
+  ``netchain``, ``zookeeper``, ``server-chain``, ``primary-backup`` and
+  ``hybrid`` are registered on import.
+* :func:`build_deployment` -- spec in, :class:`Deployment` out: a
+  simulator, unified-protocol clients, a fault injector, capability
+  flags and a teardown.
+* :func:`run_scenario` -- compose any backend with any workload,
+  declarative fault schedule and history/linearizability checks.
+
+Every future workload/backend combination is a config change, not a new
+builder.
+"""
+
+from repro.deploy.spec import DeploymentSpec
+from repro.deploy.base import (
+    Backend,
+    Capabilities,
+    Deployment,
+    available_backends,
+    build_deployment,
+    get_backend,
+    register_backend,
+)
+from repro.deploy.backends import (
+    HybridDeployment,
+    NetChainDeployment,
+    PrimaryBackupDeployment,
+    ServerChainDeployment,
+    ZooKeeperDeployment,
+)
+from repro.deploy.scenario import (
+    ScenarioChecks,
+    ScenarioResult,
+    WorkloadSpec,
+    run_scenario,
+)
+
+__all__ = [
+    "DeploymentSpec",
+    "Backend",
+    "Capabilities",
+    "Deployment",
+    "available_backends",
+    "build_deployment",
+    "get_backend",
+    "register_backend",
+    "NetChainDeployment",
+    "ZooKeeperDeployment",
+    "ServerChainDeployment",
+    "PrimaryBackupDeployment",
+    "HybridDeployment",
+    "ScenarioChecks",
+    "ScenarioResult",
+    "WorkloadSpec",
+    "run_scenario",
+]

@@ -1,0 +1,197 @@
+"""The deployment protocol and the pluggable backend registry.
+
+Every way of running a key-value service in this repository -- the
+in-network NetChain cluster, the ZooKeeper ensemble, the server-hosted
+chain and primary-backup baselines, and the hybrid network/server tiering
+-- is packaged as a :class:`Backend` that turns one declarative
+:class:`~repro.deploy.spec.DeploymentSpec` into a :class:`Deployment`.
+Deployments all expose the same surface: the simulator, clients speaking
+the unified :class:`repro.core.client.KVClient` protocol, a fault
+injector, capability flags and a ``teardown``.  Everything downstream
+(scenario runner, experiments, benchmarks, examples) composes against
+this surface, so a new backend or workload combination is a config
+change, not a new builder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.client import KVClient
+from repro.deploy.spec import DeploymentSpec
+from repro.netsim.faults import FaultInjector, FaultSchedule
+
+
+@dataclass(frozen=True)
+class Capabilities:
+    """What a deployment can do, for scenario/check gating.
+
+    Checks and schedules consult these flags instead of special-casing
+    backend names: a scenario that wants live reconfiguration simply
+    requires ``supports_reconfig`` and runs on anything that sets it.
+    """
+
+    #: Live membership changes with key migration (:mod:`repro.core.reconfig`).
+    supports_reconfig: bool = False
+    #: Server-pushed change notifications (ZooKeeper watches).
+    supports_watch: bool = False
+    #: Atomic compare-and-swap.
+    supports_cas: bool = True
+    #: Distinct create operation (control-plane insert on NetChain).
+    supports_insert: bool = True
+    #: Seeded fault injection over the deployment's topology.
+    supports_fault_injection: bool = True
+    #: Throughput numbers are scaled back by ``deployment.scale``.
+    scaled_throughput: bool = True
+
+    def as_dict(self) -> Dict[str, bool]:
+        return {name: getattr(self, name) for name in (
+            "supports_reconfig", "supports_watch", "supports_cas",
+            "supports_insert", "supports_fault_injection", "scaled_throughput")}
+
+
+class Deployment:
+    """The common surface of a built deployment.
+
+    Concrete deployments (one class per backend) fill in the attributes
+    and override the client factory; the base class provides the shared
+    fault-injection plumbing and bookkeeping.
+    """
+
+    #: Set by subclasses / the builder.
+    backend_name: str = "kv"
+    capabilities: Capabilities = Capabilities()
+    spec: Optional[DeploymentSpec] = None
+    #: Preloaded key names (subclasses assign their own list).
+    keys: List[str] = ()  # type: ignore[assignment]
+    #: Scale factor for mapping measured throughput to absolute units.
+    scale: float = 1.0
+
+    # -- simulation ------------------------------------------------------ #
+
+    # Subclasses provide ``sim`` (a property) and ``topology`` (a field or
+    # property); the base class deliberately defines neither, so dataclass
+    # subclasses can declare them as fields.
+
+    def run(self, until: float) -> None:
+        """Advance the simulation to absolute time ``until``."""
+        self.sim.run(until=until)
+
+    # -- clients --------------------------------------------------------- #
+
+    def clients(self, count: Optional[int] = None) -> List[KVClient]:
+        """``count`` clients speaking the unified :class:`KVClient` protocol.
+
+        ``None`` asks for the backend's natural client population (one per
+        client host, typically); larger counts are served by additional
+        sessions, spread round-robin over hosts/servers.
+        """
+        raise NotImplementedError
+
+    def client(self, index: int = 0) -> KVClient:
+        """One client (see :meth:`clients`)."""
+        return self.clients(index + 1)[index]
+
+    # -- faults ---------------------------------------------------------- #
+
+    _fault_injector: Optional[FaultInjector] = None
+
+    @property
+    def fault_injector(self) -> FaultInjector:
+        """The deployment's seeded fault injector (created on first use)."""
+        if self._fault_injector is None:
+            seed = self.spec.seed if self.spec is not None else 0
+            self._fault_injector = FaultInjector(self.topology, seed=seed)
+        return self._fault_injector
+
+    def fault_schedule(self, poll_interval: float = 1e-3) -> FaultSchedule:
+        """A new un-armed :class:`FaultSchedule` over the injector."""
+        return FaultSchedule(self.fault_injector, poll_interval=poll_interval)
+
+    def start_fault_reaction(self, options: Dict) -> None:
+        """Start whatever control-plane machinery reacts to injected
+        faults (a failure detector, a health prober).
+
+        Called by the scenario runner after arming a spec's fault
+        schedule; the default is a no-op so backends without reaction
+        machinery need nothing.  ``options`` is the spec's backend
+        options (e.g. ``detector_config``).
+        """
+
+    # -- state ----------------------------------------------------------- #
+
+    def initial_values(self) -> Dict[bytes, Optional[bytes]]:
+        """Preloaded ``key -> value`` as raw bytes (linearizability initial
+        state).  Defaults to ``value_size`` zero bytes per preloaded key."""
+        if self.spec is None:
+            return {}
+        value = bytes(self.spec.value_size)
+        return {key.encode("utf-8"): value for key in self.keys}
+
+    def teardown(self) -> None:
+        """Stop background machinery (detectors, schedules).
+
+        Deployments are simulated objects, so there is nothing to free;
+        teardown exists so scenarios leave no probes or schedules running
+        when several deployments share a test process.
+        """
+
+
+class Backend:
+    """A registered way of building deployments from specs."""
+
+    #: Registry key; subclasses override.
+    name: str = "kv"
+    capabilities: Capabilities = Capabilities()
+
+    def check(self, spec: DeploymentSpec) -> None:
+        """Raise :class:`ValueError` for spec combinations this backend
+        cannot build.  Called before :meth:`build`; the default accepts
+        everything the generic :meth:`DeploymentSpec.validate` accepts."""
+
+    def build(self, spec: DeploymentSpec) -> Deployment:
+        """Build a deployment; every stochastic choice derives from
+        ``spec.seed``."""
+        raise NotImplementedError
+
+
+# --------------------------------------------------------------------- #
+# The registry.
+# --------------------------------------------------------------------- #
+
+_REGISTRY: Dict[str, Backend] = {}
+
+
+def register_backend(backend: Backend) -> Backend:
+    """Register (or replace) a backend under ``backend.name``."""
+    if not backend.name:
+        raise ValueError("a backend needs a non-empty name")
+    _REGISTRY[backend.name] = backend
+    return backend
+
+
+def get_backend(name: str) -> Backend:
+    """Look up a registered backend; raises with the available names."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(f"unknown backend {name!r}; registered: "
+                         f"{', '.join(sorted(_REGISTRY)) or '(none)'}") from None
+
+
+def available_backends() -> List[str]:
+    """Registered backend names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def build_deployment(spec: DeploymentSpec) -> Deployment:
+    """Validate ``spec`` and build it with its backend."""
+    spec.validate()
+    backend = get_backend(spec.backend)
+    backend.check(spec)
+    deployment = backend.build(spec)
+    deployment.spec = spec
+    deployment.backend_name = backend.name
+    deployment.capabilities = backend.capabilities
+    return deployment

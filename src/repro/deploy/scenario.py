@@ -1,0 +1,260 @@
+"""The scenario runner: one workload, any backend, declarative checks.
+
+The paper's evaluation is a matrix -- one workload swept over NetChain,
+ZooKeeper and server-based variants.  :func:`run_scenario` is that matrix
+as a function: it builds any registered backend from a
+:class:`~repro.deploy.spec.DeploymentSpec`, drives closed-loop recorded
+load through the unified :class:`repro.core.client.KVClient` protocol,
+arms the spec's declarative fault schedule, and applies history and
+linearizability checks at the end.  Everything stochastic derives from
+``spec.seed``, so a scenario replays byte-identically: the same spec,
+workload and seed produce the same operation history on every run.
+
+Usage::
+
+    spec = DeploymentSpec(backend="netchain", store_size=32, seed=7)
+    result = run_scenario(spec, WorkloadSpec(duration=0.5, write_ratio=0.5))
+    assert result.ok(), result.failures
+    for name in available_backends():            # the whole matrix
+        run_scenario(spec.with_backend(name), WorkloadSpec(duration=0.5))
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.core.history import History, LinearizabilityReport, check_linearizable
+from repro.deploy.base import Capabilities, Deployment, build_deployment
+from repro.deploy.spec import DeploymentSpec
+from repro.netsim.faults import FaultEvent, FaultSchedule
+from repro.workloads.clients import LoadClient
+from repro.workloads.generators import KeyValueWorkload, WorkloadConfig
+
+
+@dataclass
+class WorkloadSpec:
+    """Declarative description of the load a scenario drives."""
+
+    #: Logical closed-loop clients (spread over the deployment's hosts).
+    num_clients: int = 2
+    #: Outstanding queries per client.
+    concurrency: int = 2
+    #: Fraction of operations that are writes.
+    write_ratio: float = 0.5
+    #: Pause between a completion and the next issue (0 = closed loop).
+    think_time: float = 0.0
+    #: Zipf skew of key popularity (0 = uniform).
+    zipf_theta: float = 0.0
+    #: Seconds of simulated load before the measurement window.
+    warmup: float = 0.0
+    #: Seconds of measured simulated load.
+    duration: float = 0.5
+    #: Seconds to let outstanding queries drain after the window.
+    drain: float = 0.25
+    #: Distinguishable values per write (required for linearizability).
+    unique_values: bool = True
+
+    def validate(self) -> "WorkloadSpec":
+        if self.num_clients < 1:
+            raise ValueError(f"num_clients must be >= 1, got {self.num_clients}")
+        if self.concurrency < 1:
+            raise ValueError(f"concurrency must be >= 1, got {self.concurrency}")
+        if not 0.0 <= self.write_ratio <= 1.0:
+            raise ValueError(f"write_ratio must be in [0, 1], got {self.write_ratio}")
+        if self.duration <= 0:
+            raise ValueError(f"duration must be positive, got {self.duration}")
+        if self.warmup < 0 or self.drain < 0 or self.think_time < 0:
+            raise ValueError("warmup, drain and think_time must be >= 0")
+        return self
+
+
+@dataclass
+class ScenarioChecks:
+    """Which checks to apply to a finished scenario."""
+
+    #: Check the recorded history for per-key linearizability.
+    linearizability: bool = True
+    #: Require at least one *successful* operation per load client (a
+    #: wedged or all-failing client must not hide behind the others).
+    require_progress: bool = True
+    #: Fail when more than this fraction of completed operations failed
+    #: (1.0 disables the threshold; ``require_progress`` still rejects
+    #: clients with zero successes).
+    max_failed_fraction: float = 1.0
+    #: Extra checks: ``callable(result) -> None | str`` (a string is a
+    #: failure message).
+    custom: List[Callable[["ScenarioResult"], Optional[str]]] = \
+        field(default_factory=list)
+
+
+@dataclass
+class ScenarioResult:
+    """Outcome of one scenario run."""
+
+    spec: DeploymentSpec
+    workload: WorkloadSpec
+    backend: str
+    capabilities: Capabilities
+    completed_ops: int = 0
+    failed_ops: int = 0
+    #: Completed / successful rates over the measurement window (simulated
+    #: units; multiply by ``scale`` -> ``scaled_qps``).
+    qps: float = 0.0
+    success_qps: float = 0.0
+    scaled_qps: float = 0.0
+    mean_read_latency: float = 0.0
+    mean_write_latency: float = 0.0
+    history: Optional[History] = None
+    linearizability: Optional[LinearizabilityReport] = None
+    #: The injector's replayable trace (empty without a fault schedule).
+    fault_trace: List[FaultEvent] = field(default_factory=list)
+    #: Human-readable check failures (empty == all checks passed).
+    failures: List[str] = field(default_factory=list)
+    #: The deployment the scenario ran on (clients, cluster, topology).
+    deployment: Optional[Deployment] = None
+
+    def ok(self) -> bool:
+        """All requested checks passed."""
+        return not self.failures
+
+    def signature(self) -> List[Tuple]:
+        """A hashable per-operation trace for replay-identity assertions.
+
+        Two runs of the same spec+workload+seed must produce *identical*
+        signatures -- operation order, values, outcomes and timestamps.
+        """
+        if self.history is None:
+            return []
+        return [(op.client, op.op, op.key, op.value, op.output, op.ok,
+                 op.invoked_at, op.returned_at) for op in self.history.ops]
+
+
+def run_scenario(spec: DeploymentSpec,
+                 workload: Optional[WorkloadSpec] = None,
+                 checks: Optional[ScenarioChecks] = None,
+                 deployment: Optional[Deployment] = None) -> ScenarioResult:
+    """Run one workload against one deployment spec and check the outcome.
+
+    Args:
+        spec: the declarative deployment (validated eagerly).
+        workload: the load to drive; defaults to a small mixed workload.
+        checks: which checks to apply; defaults to linearizability +
+            progress.
+        deployment: reuse an already-built deployment instead of building
+            ``spec`` (the spec is still used for seeds and fault events).
+    """
+    workload = (workload or WorkloadSpec()).validate()
+    checks = checks or ScenarioChecks()
+    if spec.store_size < 1:
+        raise ValueError(
+            "run_scenario needs a preloaded store (store_size >= 1): the "
+            "workload targets the preloaded keys, so an empty store would "
+            "measure nothing but KEY_NOT_FOUND failures")
+    if deployment is None:
+        deployment = build_deployment(spec)
+    sim = deployment.sim
+
+    history: Optional[History] = History(sim) if checks.linearizability else None
+    initial = deployment.initial_values() if checks.linearizability else None
+
+    clients = deployment.clients(workload.num_clients)
+    load_clients: List[LoadClient] = []
+    for index, client in enumerate(clients):
+        tag = f"c{index}"
+        generator = KeyValueWorkload(
+            WorkloadConfig(store_size=spec.store_size,
+                           value_size=spec.value_size,
+                           write_ratio=workload.write_ratio,
+                           zipf_theta=workload.zipf_theta,
+                           key_prefix=spec.key_prefix,
+                           unique_values=workload.unique_values),
+            rng=random.Random((spec.seed << 8) + index + 1), tag=tag)
+        load_clients.append(LoadClient(client, generator,
+                                       concurrency=workload.concurrency,
+                                       history=history,
+                                       think_time=workload.think_time,
+                                       name=tag))
+
+    schedule: Optional[FaultSchedule] = None
+    if spec.faults:
+        if not deployment.capabilities.supports_fault_injection:
+            raise ValueError(f"backend {deployment.backend_name!r} does not "
+                             f"support fault injection")
+        schedule = deployment.fault_schedule()
+        for event in spec.faults:
+            schedule.at(event[0], event[1], *event[2:])
+        schedule.arm()
+        deployment.start_fault_reaction(spec.options)
+
+    start = sim.now
+    window_start = start + workload.warmup
+    window_end = window_start + workload.duration
+    for load_client in load_clients:
+        load_client.start()
+    sim.run(until=window_end)
+    for load_client in load_clients:
+        load_client.stop()
+    sim.run(until=window_end + workload.drain)
+    if schedule is not None:
+        schedule.cancel()
+
+    result = ScenarioResult(spec=spec, workload=workload,
+                            backend=deployment.backend_name,
+                            capabilities=deployment.capabilities,
+                            history=history, deployment=deployment)
+    result.completed_ops = sum(c.completions.total() for c in load_clients)
+    result.failed_ops = sum(c.failed_queries for c in load_clients)
+    result.qps = sum(c.completions.rate_between(window_start, window_end)
+                     for c in load_clients)
+    result.success_qps = sum(c.successes.rate_between(window_start, window_end)
+                             for c in load_clients)
+    result.scaled_qps = result.success_qps * (
+        deployment.scale if deployment.capabilities.scaled_throughput else 1.0)
+    read_samples: List[float] = []
+    write_samples: List[float] = []
+    for load_client in load_clients:
+        read_samples.extend(load_client.read_latency.samples)
+        write_samples.extend(load_client.write_latency.samples)
+    if read_samples:
+        result.mean_read_latency = sum(read_samples) / len(read_samples)
+    if write_samples:
+        result.mean_write_latency = sum(write_samples) / len(write_samples)
+    if schedule is not None:
+        result.fault_trace = list(schedule.injector.trace)
+
+    # -- checks ---------------------------------------------------------- #
+
+    if checks.require_progress:
+        # Per-client and success-based, not aggregate completions: a
+        # wedged client, or one whose every operation fails, must not
+        # hide behind the other clients' throughput.
+        for load_client in load_clients:
+            if load_client.successes.total() == 0:
+                result.failures.append(
+                    f"client {load_client.name} completed no successful "
+                    f"operations")
+    # completed_ops counts every completion, failed ones included, so it
+    # is the denominator -- not completed + failed, which double-counts.
+    if (result.completed_ops
+            and result.failed_ops / result.completed_ops > checks.max_failed_fraction):
+        result.failures.append(
+            f"{result.failed_ops}/{result.completed_ops} operations failed "
+            f"(max_failed_fraction={checks.max_failed_fraction})")
+    if checks.linearizability and history is not None:
+        report = check_linearizable(history, initial=initial)
+        result.linearizability = report
+        if not report.ok:
+            result.failures.append(report.summary())
+        elif report.exhausted_keys():
+            result.failures.append(
+                f"linearizability check exhausted on "
+                f"{[r.key for r in report.exhausted_keys()]}")
+    for check in checks.custom:
+        message = check(result)
+        if message:
+            result.failures.append(message)
+
+    deployment.teardown()
+    return result

@@ -1,0 +1,132 @@
+"""The declarative deployment specification.
+
+A :class:`DeploymentSpec` is a plain, serializable description of one
+deployment of *any* registered backend: topology scale, membership sizes,
+preloaded store, loss rate, a declarative fault schedule, and a single
+seed from which every stochastic choice in the deployment derives.  The
+same spec (same seed) always builds the same deployment; sweeping the
+evaluation matrix is editing fields, not writing a new builder.
+
+Backend-specific knobs that do not generalize (a custom
+``ControllerConfig``, the hybrid tier policy, the ZooKeeper commit delay)
+ride in ``options``; each backend documents the keys it reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Tuple
+
+
+@dataclass
+class DeploymentSpec:
+    """Declarative description of one deployment on the simulated testbed.
+
+    Attributes:
+        backend: registered backend name (``netchain``, ``zookeeper``,
+            ``server-chain``, ``primary-backup``, ``hybrid``).
+        scale: the scale model's capacity divisor (see DESIGN.md).
+        num_hosts: client/server machines attached to the testbed.
+        replication: chain length / ensemble size / replica count --
+            whatever "number of replicas" means for the backend.
+        vnodes_per_switch: virtual groups per switch (NetChain-family).
+        store_size: keys preloaded before the workload starts.
+        value_size: size of every preloaded value, in bytes.
+        store_slots: per-switch key slots; ``None`` sizes them from
+            ``store_size``.
+        loss_rate: uniform packet-loss probability on every link.
+        retry_timeout: client retry timeout (NetChain-family).
+        unlimited_capacity: drop the scaled capacity ceilings
+            (latency-bound experiments).
+        seed: the single seed every stochastic choice derives from.
+        key_prefix: prefix of the preloaded key names.
+        extra_keys: additional keys to preload (e.g. lock keys).
+        faults: declarative fault schedule, one ``(at, action, *args)``
+            tuple per event, armed on the deployment's fault injector
+            when a scenario runs (e.g. ``(0.5, "fail_switch", "S1")``).
+        options: backend-specific knobs (documented per backend).
+    """
+
+    backend: str = "netchain"
+    scale: float = 1000.0
+    num_hosts: int = 4
+    replication: int = 3
+    vnodes_per_switch: int = 4
+    store_size: int = 0
+    value_size: int = 64
+    store_slots: Optional[int] = None
+    loss_rate: float = 0.0
+    retry_timeout: float = 500e-6
+    unlimited_capacity: bool = False
+    seed: int = 0
+    key_prefix: str = "k"
+    extra_keys: List[str] = field(default_factory=list)
+    faults: List[Tuple] = field(default_factory=list)
+    options: Dict[str, Any] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # Validation (eager: fail where the spec was written).
+    # ------------------------------------------------------------------ #
+
+    def validate(self) -> "DeploymentSpec":
+        """Raise :class:`ValueError` on an invalid spec; returns ``self``.
+
+        Backend-specific constraints (e.g. replication versus member
+        count) are checked by the backend's own ``check()`` when the
+        deployment is built; this method covers everything a spec can get
+        wrong on its own.
+        """
+        if not self.backend:
+            raise ValueError("spec needs a backend name")
+        if self.scale <= 0:
+            raise ValueError(f"scale must be positive, got {self.scale}")
+        if self.num_hosts < 1:
+            raise ValueError(f"num_hosts must be at least 1, got {self.num_hosts}")
+        if self.replication < 1:
+            raise ValueError(
+                f"replication must be at least 1, got {self.replication}")
+        if self.vnodes_per_switch < 1:
+            raise ValueError(f"vnodes_per_switch must be at least 1, "
+                             f"got {self.vnodes_per_switch}")
+        if self.store_size < 0:
+            raise ValueError(f"store_size must be >= 0, got {self.store_size}")
+        if self.value_size < 0:
+            raise ValueError(f"value_size must be >= 0, got {self.value_size}")
+        if self.store_slots is not None and self.store_slots < self.store_size:
+            raise ValueError(
+                f"store_slots ({self.store_slots}) cannot hold store_size "
+                f"({self.store_size}) keys")
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1), got {self.loss_rate}")
+        if self.retry_timeout <= 0:
+            raise ValueError(
+                f"retry_timeout must be positive, got {self.retry_timeout}")
+        for event in self.faults:
+            if len(event) < 2:
+                raise ValueError(f"fault events are (at, action, *args) tuples, "
+                                 f"got {event!r}")
+            at, action = event[0], event[1]
+            if not isinstance(action, str):
+                raise ValueError(f"fault action must be a string, got {action!r}")
+            if at < 0:
+                raise ValueError(f"fault time must be >= 0, got {at}")
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Convenience.
+    # ------------------------------------------------------------------ #
+
+    def with_backend(self, backend: str, **overrides) -> "DeploymentSpec":
+        """A copy of this spec targeting another backend.
+
+        This is how one scenario sweeps the backend matrix: the workload
+        knobs stay identical and only the backend (plus any
+        backend-specific overrides) changes.
+        """
+        return replace(self, backend=backend, **overrides)
+
+    def key_names(self) -> List[str]:
+        """The preloaded key names (prefix + index, plus ``extra_keys``)."""
+        from repro.workloads.generators import standard_key_names
+        return standard_key_names(self.store_size, self.key_prefix) \
+            + list(self.extra_keys)

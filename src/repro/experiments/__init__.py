@@ -7,6 +7,15 @@ calls these drivers and prints the same rows/series the paper reports;
 EXPERIMENTS.md records the paper-vs-measured comparison.
 """
 
+from repro.deploy import (
+    DeploymentSpec,
+    ScenarioChecks,
+    ScenarioResult,
+    WorkloadSpec,
+    available_backends,
+    build_deployment,
+    run_scenario,
+)
 from repro.experiments.setup import (
     NetChainDeployment,
     ZooKeeperDeployment,
@@ -45,6 +54,13 @@ from repro.experiments.scalability import scalability_experiment
 from repro.experiments.tables import table1
 
 __all__ = [
+    "DeploymentSpec",
+    "ScenarioChecks",
+    "ScenarioResult",
+    "WorkloadSpec",
+    "available_backends",
+    "build_deployment",
+    "run_scenario",
     "NetChainDeployment",
     "ZooKeeperDeployment",
     "build_netchain_deployment",

@@ -33,8 +33,8 @@ from repro.core.detector import DetectorConfig
 from repro.core.history import History, LinearizabilityReport, check_linearizable
 from repro.core.invariants import invariant_observer, sample_chain_invariants
 from repro.core.reconfig import MigrationCoordinator, MigrationReport, ReconfigConfig
+from repro.deploy import DeploymentSpec, NetChainDeployment, build_deployment
 from repro.experiments.failures import history_key
-from repro.experiments.setup import NetChainDeployment, build_netchain_deployment
 from repro.netsim.faults import FaultEvent, FaultSchedule
 from repro.netsim.stats import ThroughputTimeSeries
 from repro.workloads.clients import LoadClient
@@ -118,12 +118,11 @@ def run_reconfig_scenario(changes: Sequence[MembershipChange],
                                          store_slots=max(1024, store_size + 64),
                                          sync_items_per_sec=sync_items_per_sec,
                                          seed=seed)
-    deployment = build_netchain_deployment(scale=1000.0, store_size=store_size,
-                                           value_size=value_size,
-                                           vnodes_per_switch=virtual_groups,
-                                           retry_timeout=200e-6,
-                                           controller_config=controller_config,
-                                           seed=seed)
+    deployment = build_deployment(DeploymentSpec(
+        backend="netchain", scale=1000.0, store_size=store_size,
+        value_size=value_size, vnodes_per_switch=virtual_groups,
+        retry_timeout=200e-6, seed=seed,
+        options={"controller_config": controller_config}))
     cluster = deployment.cluster
     controller = cluster.controller
     injector = cluster.faults(seed)
@@ -275,12 +274,11 @@ def elasticity_experiment(joins: Sequence[str] = ("S4", "S5", "S6", "S7"),
                                          sync_items_per_sec=sync_items_per_sec,
                                          seed=seed)
     from repro.experiments.throughput import adaptive_retry_timeout
-    deployment = build_netchain_deployment(scale=scale, store_size=store_size,
-                                           vnodes_per_switch=virtual_groups,
-                                           retry_timeout=adaptive_retry_timeout(
-                                               concurrency, scale),
-                                           controller_config=controller_config,
-                                           seed=seed)
+    deployment = build_deployment(DeploymentSpec(
+        backend="netchain", scale=scale, store_size=store_size,
+        vnodes_per_switch=virtual_groups,
+        retry_timeout=adaptive_retry_timeout(concurrency, scale), seed=seed,
+        options={"controller_config": controller_config}))
     cluster = deployment.cluster
     timeline = ElasticityTimeline(joins=list(joins), leaves=list(leaves),
                                   scale=scale)

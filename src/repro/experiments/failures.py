@@ -39,7 +39,7 @@ from repro.core.controller import ControllerConfig
 from repro.core.detector import DetectorConfig, FailureDetector
 from repro.core.history import History, LinearizabilityReport, check_linearizable
 from repro.core.invariants import invariant_observer
-from repro.experiments.setup import NetChainDeployment, build_netchain_deployment
+from repro.deploy import DeploymentSpec, NetChainDeployment, build_deployment
 from repro.netsim.faults import FaultEvent, FaultSchedule
 from repro.netsim.stats import ThroughputTimeSeries
 from repro.workloads.clients import LoadClient
@@ -105,11 +105,11 @@ def failure_experiment(virtual_groups: int = 1,
                                          sync_items_per_sec=sync_items_per_sec,
                                          seed=seed)
     from repro.experiments.throughput import adaptive_retry_timeout
-    deployment = build_netchain_deployment(scale=scale, store_size=store_size,
-                                           vnodes_per_switch=virtual_groups,
-                                           retry_timeout=adaptive_retry_timeout(concurrency,
-                                                                                scale),
-                                           controller_config=controller_config, seed=seed)
+    deployment = build_deployment(DeploymentSpec(
+        backend="netchain", scale=scale, store_size=store_size,
+        vnodes_per_switch=virtual_groups,
+        retry_timeout=adaptive_retry_timeout(concurrency, scale), seed=seed,
+        options={"controller_config": controller_config}))
     cluster = deployment.cluster
     timeline = FailureTimeline(virtual_groups=virtual_groups, scale=scale)
     series = ThroughputTimeSeries(bin_width=bin_width)
@@ -247,12 +247,11 @@ def run_fault_scenario(build_schedule: Callable[..., FaultSchedule],
                                              store_slots=max(1024, store_size + 64),
                                              sync_items_per_sec=sync_items_per_sec,
                                              seed=seed)
-        deployment = build_netchain_deployment(scale=1000.0, store_size=store_size,
-                                               value_size=value_size,
-                                               vnodes_per_switch=virtual_groups,
-                                               retry_timeout=200e-6,
-                                               controller_config=controller_config,
-                                               seed=seed)
+        deployment = build_deployment(DeploymentSpec(
+            backend="netchain", scale=1000.0, store_size=store_size,
+            value_size=value_size, vnodes_per_switch=virtual_groups,
+            retry_timeout=200e-6, seed=seed,
+            options={"controller_config": controller_config}))
     cluster = deployment.cluster
     controller = cluster.controller
     injector = cluster.faults(seed if deployment_was_built else None)

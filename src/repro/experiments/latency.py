@@ -16,10 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
-from repro.experiments.setup import (
-    build_netchain_deployment,
-    build_zookeeper_deployment,
-)
+from repro.deploy import DeploymentSpec, build_deployment
 from repro.workloads.clients import LoadClient, measure_load
 from repro.workloads.generators import KeyValueWorkload, WorkloadConfig
 
@@ -62,10 +59,10 @@ def netchain_latency_curve(concurrency_levels: Sequence[int] = (1, 4, 16),
     points: List[LatencyPoint] = []
     for write_ratio, op_name in ((0.0, "read"), (1.0, "write")):
         for concurrency in concurrency_levels:
-            deployment = build_netchain_deployment(store_size=store_size,
-                                                   value_size=value_size, seed=seed,
-                                                   unlimited_capacity=True)
-            agents = deployment.cluster.agent_list()[:num_servers]
+            deployment = build_deployment(DeploymentSpec(
+                backend="netchain", store_size=store_size,
+                value_size=value_size, seed=seed, unlimited_capacity=True))
+            agents = deployment.clients(num_servers)
             clients = []
             for i, agent in enumerate(agents):
                 workload = KeyValueWorkload(WorkloadConfig(store_size=store_size,
@@ -101,16 +98,16 @@ def zookeeper_latency_curve(client_counts: Sequence[int] = (1, 10, 50, 100),
     points: List[LatencyPoint] = []
     for write_ratio, op_name in ((0.0, "read"), (1.0, "write")):
         for count in client_counts:
-            deployment = build_zookeeper_deployment(scale=scale, store_size=store_size,
-                                                    value_size=value_size, seed=seed,
-                                                    unlimited_capacity=True)
+            deployment = build_deployment(DeploymentSpec(
+                backend="zookeeper", scale=scale, store_size=store_size,
+                value_size=value_size, seed=seed, unlimited_capacity=True))
             clients = []
-            for i in range(count):
+            for i, kv_client in enumerate(deployment.clients(count)):
                 workload = KeyValueWorkload(WorkloadConfig(store_size=store_size,
                                                            value_size=value_size,
                                                            write_ratio=write_ratio,
                                                            seed=seed + i))
-                clients.append(LoadClient(deployment.new_kv_client(i), workload,
+                clients.append(LoadClient(kv_client, workload,
                                           concurrency=1))
             measurement = measure_load(clients, warmup=warmup, duration=duration)
             latency = (measurement.mean_write_latency if write_ratio > 0.5

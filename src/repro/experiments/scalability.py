@@ -1,4 +1,10 @@
-"""Scalability experiment: Figure 9(f) (thin wrapper over the perf model)."""
+"""Scalability experiment: Figure 9(f) (thin wrapper over the perf model).
+
+This driver is purely analytic (the spine-leaf throughput model of
+:mod:`repro.perfmodel.scalability`); it builds no deployment, so it has
+no backend in the :mod:`repro.deploy` registry -- the dynamic side of the
+same claim (live scale-out) is measured by
+:mod:`repro.experiments.elasticity` on the ``netchain`` backend."""
 
 from __future__ import annotations
 

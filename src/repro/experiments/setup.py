@@ -1,82 +1,39 @@
-"""Deployment builders shared by the experiment drivers.
+"""Deployment builders shared by the experiment drivers (thin shims).
 
-Two deployments mirror the paper's testbed (Figure 8):
+Deployment construction now lives in the pluggable backend registry of
+:mod:`repro.deploy`: a declarative :class:`repro.deploy.DeploymentSpec`
+is built by its registered backend (``netchain``, ``zookeeper``,
+``server-chain``, ``primary-backup``, ``hybrid``) into a
+:class:`repro.deploy.Deployment`.  The two historical builder functions
+below survive for one release as keyword-compatible shims that translate
+their arguments into a spec; new code should build specs directly::
 
-* **NetChain**: the 4-switch ring with DPDK client hosts attached to S0,
-  a chain ``[S0, S1, S2]`` plus the spare switch S3 used for failure
-  recovery, all devices scaled by the experiment's ``scale`` factor.
-* **ZooKeeper**: the same physical network, but three hosts run the
-  ZAB ensemble and the fourth hosts the client processes (Section 8.1 runs
-  ZooKeeper on three servers and 100 client processes on the fourth).
+    from repro.deploy import DeploymentSpec, build_deployment
+    deployment = build_deployment(DeploymentSpec(backend="netchain",
+                                                 scale=20000.0,
+                                                 store_size=2000))
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import List, Optional
 
-from repro.baselines.zk_client import ZooKeeperClient, ZooKeeperKVClient
-from repro.baselines.zookeeper import (
-    ZooKeeperConfig,
-    ZooKeeperEnsemble,
-    build_zookeeper_ensemble,
-)
-from repro.core.cluster import ClusterConfig, NetChainCluster
 from repro.core.controller import ControllerConfig
-from repro.netsim.host import HostConfig
-from repro.netsim.link import LinkConfig
-from repro.netsim.topology import Topology, build_testbed
-from repro.perfmodel.devices import (
-    KERNEL_STACK_DELAY,
-    ZOOKEEPER_COMMIT_DELAY,
-    ZOOKEEPER_SERVER,
+from repro.deploy.backends import (
+    ZOOKEEPER_SERVER_MSGS_PER_SEC,
+    NetChainDeployment,
+    ZooKeeperDeployment,
 )
+from repro.deploy.base import build_deployment
+from repro.deploy.spec import DeploymentSpec
 
-#: Message-processing capacity used for the ZooKeeper servers, calibrated to
-#: the measured ensemble throughput (see repro.baselines.zookeeper).
-ZOOKEEPER_SERVER_MSGS_PER_SEC = 160e3
-
-
-@dataclass
-class NetChainDeployment:
-    """A NetChain cluster plus the knobs the experiment fixed."""
-
-    cluster: NetChainCluster
-    scale: float
-    keys: List[str] = field(default_factory=list)
-
-    @property
-    def sim(self):
-        return self.cluster.sim
-
-
-@dataclass
-class ZooKeeperDeployment:
-    """A ZooKeeper ensemble on the testbed plus its client host."""
-
-    topology: Topology
-    ensemble: ZooKeeperEnsemble
-    client_host_names: List[str]
-    scale: float
-    paths: List[str] = field(default_factory=list)
-
-    @property
-    def sim(self):
-        return self.topology.sim
-
-    def new_client(self, index: int = 0) -> ZooKeeperClient:
-        """A new client session on one of the client hosts, spread over the
-        live servers round-robin."""
-        host_name = self.client_host_names[index % len(self.client_host_names)]
-        host = self.topology.hosts[host_name]
-        live = self.ensemble.live_servers()
-        server = live[index % len(live)]
-        return ZooKeeperClient(host, self.ensemble, server_id=server.server_id)
-
-    def new_kv_client(self, index: int = 0, prefix: str = "/kv/") -> ZooKeeperKVClient:
-        """A new session adapted to the unified :class:`KVClient` protocol,
-        keyed under the same path prefix the deployment preloaded."""
-        return ZooKeeperKVClient(self.new_client(index), prefix=prefix)
+__all__ = [
+    "ZOOKEEPER_SERVER_MSGS_PER_SEC",
+    "NetChainDeployment",
+    "ZooKeeperDeployment",
+    "build_netchain_deployment",
+    "build_zookeeper_deployment",
+]
 
 
 def build_netchain_deployment(scale: float = 20000.0,
@@ -92,40 +49,19 @@ def build_netchain_deployment(scale: float = 20000.0,
                               controller_config: Optional[ControllerConfig] = None,
                               unlimited_capacity: bool = False,
                               ) -> NetChainDeployment:
-    """Build and populate a NetChain testbed deployment.
-
-    ``unlimited_capacity`` disables the scaled packet-rate ceilings on
-    switches and host NICs; it is used by latency-bound experiments (the
-    transaction benchmark of Figure 11) where capacity is not the binding
-    resource and realistic per-query latency is what matters.
-    """
+    """Deprecated shim: build the ``netchain`` backend from keyword knobs."""
+    options = {}
+    if controller_config is not None:
+        options["controller_config"] = controller_config
     slots = store_slots if store_slots is not None else max(1024, store_size + 1024)
-    config = ClusterConfig(scale=scale, num_hosts=num_hosts,
-                           vnodes_per_switch=vnodes_per_switch, store_slots=slots,
-                           retry_timeout=retry_timeout, seed=seed)
-    topology = None
-    if unlimited_capacity:
-        from repro.netsim.switch import SwitchConfig
-        from repro.perfmodel.devices import DPDK_CLIENT, TOFINO
-        topology = build_testbed(
-            switch_config=SwitchConfig(capacity_pps=None,
-                                       pipeline_delay=TOFINO.processing_delay),
-            host_config=HostConfig(stack_delay=DPDK_CLIENT.processing_delay, nic_pps=None),
-            link_config=LinkConfig(),
-            num_hosts=num_hosts,
-            seed=seed,
-        )
-        scale = 1.0
-        config.scale = 1.0
-    cluster = NetChainCluster(config, topology=topology,
-                              controller_config=controller_config)
-    keys = cluster.populate(store_size, value_size=value_size)
-    if extra_keys:
-        cluster.controller.populate(extra_keys)
-        keys = keys + list(extra_keys)
-    if loss_rate:
-        cluster.topology.set_loss_rate(loss_rate)
-    return NetChainDeployment(cluster=cluster, scale=scale, keys=keys)
+    spec = DeploymentSpec(backend="netchain", scale=scale, num_hosts=num_hosts,
+                          vnodes_per_switch=vnodes_per_switch,
+                          store_size=store_size, value_size=value_size,
+                          store_slots=slots, loss_rate=loss_rate,
+                          retry_timeout=retry_timeout,
+                          unlimited_capacity=unlimited_capacity, seed=seed,
+                          extra_keys=list(extra_keys or []), options=options)
+    return build_deployment(spec)
 
 
 def build_zookeeper_deployment(scale: float = 1000.0,
@@ -136,29 +72,11 @@ def build_zookeeper_deployment(scale: float = 1000.0,
                                path_prefix: str = "/kv/",
                                unlimited_capacity: bool = False,
                                seed: int = 0) -> ZooKeeperDeployment:
-    """Build and preload a ZooKeeper testbed deployment.
-
-    The ensemble servers occupy the first ``num_servers`` hosts; the
-    remaining host(s) run the client processes.  Server capacity is modelled
-    by the per-server message-processing rate (scaled); host NIC limits are
-    disabled so the servers' CPUs are the bottleneck, as in the paper.
-    """
-    host_config = HostConfig(stack_delay=KERNEL_STACK_DELAY, nic_pps=None)
-    topology = build_testbed(host_config=host_config, link_config=LinkConfig(),
-                             num_hosts=num_servers + 1, seed=seed)
-    from repro.netsim.routing import install_shortest_path_routes
-    install_shortest_path_routes(topology)
-    if loss_rate:
-        topology.set_loss_rate(loss_rate)
-    server_rate = None if unlimited_capacity else ZOOKEEPER_SERVER_MSGS_PER_SEC / scale
-    if unlimited_capacity:
-        scale = 1.0
-    config = ZooKeeperConfig(server_msgs_per_sec=server_rate,
-                             log_sync_delay=ZOOKEEPER_COMMIT_DELAY)
-    server_hosts = [topology.hosts[f"H{i}"] for i in range(num_servers)]
-    ensemble = build_zookeeper_ensemble(server_hosts, config)
-    paths = [f"{path_prefix}k{i:08d}" for i in range(store_size)]
-    ensemble.preload({path: bytes(value_size) for path in paths})
-    client_hosts = [f"H{i}" for i in range(num_servers, len(topology.hosts))]
-    return ZooKeeperDeployment(topology=topology, ensemble=ensemble,
-                               client_host_names=client_hosts, scale=scale, paths=paths)
+    """Deprecated shim: build the ``zookeeper`` backend from keyword knobs."""
+    spec = DeploymentSpec(backend="zookeeper", scale=scale,
+                          num_hosts=num_servers + 1, replication=num_servers,
+                          store_size=store_size, value_size=value_size,
+                          loss_rate=loss_rate,
+                          unlimited_capacity=unlimited_capacity, seed=seed,
+                          options={"path_prefix": path_prefix})
+    return build_deployment(spec)

@@ -21,11 +21,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
-from repro.experiments.setup import (
+from repro.deploy import (
+    DeploymentSpec,
     NetChainDeployment,
     ZooKeeperDeployment,
-    build_netchain_deployment,
-    build_zookeeper_deployment,
+    build_deployment,
 )
 from repro.perfmodel.devices import TOFINO
 from repro.workloads.clients import LoadClient, measure_load
@@ -96,12 +96,11 @@ def netchain_throughput(num_servers: int = 4,
     if retry_timeout is None:
         retry_timeout = adaptive_retry_timeout(concurrency, scale)
     if deployment is None:
-        deployment = build_netchain_deployment(scale=scale, store_size=store_size,
-                                               value_size=value_size, loss_rate=loss_rate,
-                                               retry_timeout=retry_timeout,
-                                               seed=seed)
-    cluster = deployment.cluster
-    agents = cluster.agent_list()[:num_servers]
+        deployment = build_deployment(DeploymentSpec(
+            backend="netchain", scale=scale, store_size=store_size,
+            value_size=value_size, loss_rate=loss_rate,
+            retry_timeout=retry_timeout, seed=seed))
+    agents = deployment.clients(num_servers)
     clients = []
     for i, agent in enumerate(agents):
         workload = KeyValueWorkload(WorkloadConfig(store_size=store_size,
@@ -129,16 +128,16 @@ def zookeeper_throughput(num_clients: int = 100,
                          deployment: Optional[ZooKeeperDeployment] = None) -> ThroughputResult:
     """Measure the ZooKeeper ensemble under the given workload knobs."""
     if deployment is None:
-        deployment = build_zookeeper_deployment(scale=scale, store_size=store_size,
-                                                value_size=value_size, loss_rate=loss_rate,
-                                                seed=seed)
+        deployment = build_deployment(DeploymentSpec(
+            backend="zookeeper", scale=scale, store_size=store_size,
+            value_size=value_size, loss_rate=loss_rate, seed=seed))
     clients: List[LoadClient] = []
-    for i in range(num_clients):
+    for i, kv_client in enumerate(deployment.clients(num_clients)):
         workload = KeyValueWorkload(WorkloadConfig(store_size=store_size,
                                                    value_size=value_size,
                                                    write_ratio=write_ratio,
                                                    seed=seed + i))
-        clients.append(LoadClient(deployment.new_kv_client(i), workload, concurrency=1))
+        clients.append(LoadClient(kv_client, workload, concurrency=1))
     measurement = measure_load(clients, warmup=warmup, duration=duration)
     return ThroughputResult(system="ZooKeeper",
                             qps=measurement.scaled_qps(deployment.scale),
@@ -170,16 +169,16 @@ def zookeeper_loss_degradation(loss_rates,
     """
     rates = {}
     for loss_rate in loss_rates:
-        deployment = build_zookeeper_deployment(store_size=store_size,
-                                                loss_rate=loss_rate, seed=seed,
-                                                unlimited_capacity=True)
+        deployment = build_deployment(DeploymentSpec(
+            backend="zookeeper", store_size=store_size, loss_rate=loss_rate,
+            seed=seed, unlimited_capacity=True))
         clients = []
-        for i in range(num_clients):
+        for i, kv_client in enumerate(deployment.clients(num_clients)):
             workload = KeyValueWorkload(WorkloadConfig(store_size=store_size,
                                                        value_size=64,
                                                        write_ratio=write_ratio,
                                                        seed=seed + i))
-            clients.append(LoadClient(deployment.new_kv_client(i), workload,
+            clients.append(LoadClient(kv_client, workload,
                                       concurrency=1))
         measurement = measure_load(clients, warmup=warmup, duration=duration)
         rates[loss_rate] = measurement.success_qps

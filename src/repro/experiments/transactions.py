@@ -21,10 +21,7 @@ from repro.apps.transactions import (
     ZooKeeperTransactionClient,
     transactions_per_second,
 )
-from repro.experiments.setup import (
-    build_netchain_deployment,
-    build_zookeeper_deployment,
-)
+from repro.deploy import DeploymentSpec, build_deployment
 
 
 @dataclass
@@ -61,15 +58,12 @@ def netchain_transactions(contention_index: float = 0.001,
     config = TransactionWorkloadConfig(contention_index=contention_index,
                                        cold_items=cold_items, seed=seed)
     lock_keys = config.hot_keys() + config.cold_keys()
-    deployment = build_netchain_deployment(store_size=0,
-                                           store_slots=len(lock_keys) + 1024,
-                                           extra_keys=lock_keys, seed=seed,
-                                           unlimited_capacity=True)
+    deployment = build_deployment(DeploymentSpec(
+        backend="netchain", store_size=0, store_slots=len(lock_keys) + 1024,
+        extra_keys=lock_keys, seed=seed, unlimited_capacity=True))
     cluster = deployment.cluster
-    agents = cluster.agent_list()
     clients: List[NetChainTransactionClient] = []
-    for i in range(num_clients):
-        agent = agents[i % len(agents)]
+    for i, agent in enumerate(deployment.clients(num_clients)):
         clients.append(NetChainTransactionClient(agent, config, client_id=f"txn{i}",
                                                  seed=seed + i))
     for client in clients:
@@ -99,8 +93,8 @@ def zookeeper_transactions(contention_index: float = 0.001,
     """
     config = TransactionWorkloadConfig(contention_index=contention_index,
                                        cold_items=cold_items, seed=seed)
-    deployment = build_zookeeper_deployment(store_size=1, seed=seed,
-                                            unlimited_capacity=True)
+    deployment = build_deployment(DeploymentSpec(
+        backend="zookeeper", store_size=1, seed=seed, unlimited_capacity=True))
     deployment.ensemble.preload({"/txnlocks": b""})
     clients: List[ZooKeeperTransactionClient] = []
     for i in range(num_clients):

@@ -116,3 +116,30 @@ def scaled_kernel_host_config(scale: float = 1000.0, **overrides) -> HostConfig:
     for key, value in overrides.items():
         setattr(config, key, value)
     return config
+
+
+def scaled_testbed(scale: float = 1000.0, num_hosts: int = 4, seed: int = 0,
+                   link_config=None, unlimited_capacity: bool = False):
+    """The Figure 8 testbed with the scale model applied to every device.
+
+    This is the single place the scaled-device plumbing for the evaluation
+    testbed lives; :class:`repro.core.cluster.NetChainCluster` and the
+    deployment backends both build through it.  ``unlimited_capacity``
+    drops the packet-rate ceilings on switches and host NICs (latency-bound
+    experiments, where capacity is not the binding resource) while keeping
+    the realistic per-device processing delays.
+    """
+    from repro.netsim.link import LinkConfig
+    from repro.netsim.topology import build_testbed
+
+    if unlimited_capacity:
+        switch_config = SwitchConfig(capacity_pps=None,
+                                     pipeline_delay=TOFINO.processing_delay)
+        host_config = HostConfig(stack_delay=DPDK_CLIENT.processing_delay,
+                                 nic_pps=None)
+    else:
+        switch_config = scaled_switch_config(scale)
+        host_config = scaled_dpdk_host_config(scale)
+    return build_testbed(switch_config=switch_config, host_config=host_config,
+                         link_config=link_config or LinkConfig(),
+                         num_hosts=num_hosts, seed=seed)

@@ -1,0 +1,133 @@
+"""Eager validation of DeploymentSpec, ClusterConfig and backend checks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ClusterConfig, NetChainCluster
+from repro.deploy import DeploymentSpec, build_deployment, get_backend
+
+
+# --------------------------------------------------------------------- #
+# DeploymentSpec.validate().
+# --------------------------------------------------------------------- #
+
+def test_default_spec_is_valid():
+    assert DeploymentSpec().validate() is not None
+
+
+@pytest.mark.parametrize("field,value", [
+    ("backend", ""),
+    ("scale", 0.0),
+    ("scale", -2.0),
+    ("num_hosts", 0),
+    ("replication", 0),
+    ("vnodes_per_switch", 0),
+    ("store_size", -1),
+    ("value_size", -1),
+    ("loss_rate", -0.1),
+    ("loss_rate", 1.0),
+    ("retry_timeout", 0.0),
+])
+def test_invalid_spec_fields_raise(field, value):
+    with pytest.raises(ValueError):
+        DeploymentSpec(**{field: value}).validate()
+
+
+def test_store_slots_must_hold_store_size():
+    with pytest.raises(ValueError, match="store_slots"):
+        DeploymentSpec(store_size=100, store_slots=50).validate()
+
+
+@pytest.mark.parametrize("event", [
+    (0.5,),                  # no action
+    (0.5, 42),               # non-string action
+    (-1.0, "fail_switch"),   # negative time
+])
+def test_malformed_fault_events_raise(event):
+    with pytest.raises(ValueError):
+        DeploymentSpec(faults=[event]).validate()
+
+
+def test_unknown_backend_error_names_registered_backends():
+    with pytest.raises(ValueError, match="netchain"):
+        build_deployment(DeploymentSpec(backend="nope"))
+
+
+def test_with_backend_copies_the_spec():
+    spec = DeploymentSpec(backend="netchain", store_size=12, seed=9)
+    other = spec.with_backend("zookeeper")
+    assert other.backend == "zookeeper"
+    assert other.store_size == 12 and other.seed == 9
+    assert spec.backend == "netchain"
+
+
+def test_key_names_include_extra_keys():
+    spec = DeploymentSpec(store_size=2, extra_keys=["lock:a"])
+    assert spec.key_names() == ["k00000000", "k00000001", "lock:a"]
+
+
+# --------------------------------------------------------------------- #
+# ClusterConfig eager validation (satellite: fail at construction, not
+# deep inside chain building).
+# --------------------------------------------------------------------- #
+
+@pytest.mark.parametrize("kwargs", [
+    {"scale": 0.0},
+    {"scale": -1.0},
+    {"num_hosts": 0},
+    {"replication": 0},
+    {"vnodes_per_switch": 0},
+    {"store_slots": 0},
+    {"retry_timeout": 0.0},
+    {"max_retries": -1},
+])
+def test_cluster_config_rejects_bad_values(kwargs):
+    with pytest.raises(ValueError):
+        ClusterConfig(**kwargs)
+
+
+def test_replication_larger_than_member_count_raises_clearly():
+    with pytest.raises(ValueError, match="member switches"):
+        NetChainCluster(ClusterConfig(replication=5, store_slots=256,
+                                      vnodes_per_switch=2))
+
+
+def test_replication_larger_than_explicit_members_raises():
+    from repro.netsim.topology import build_testbed
+    with pytest.raises(ValueError, match="member switches"):
+        NetChainCluster(ClusterConfig(replication=3, store_slots=256,
+                                      vnodes_per_switch=2),
+                        topology=build_testbed(num_hosts=2),
+                        member_switches=["S0", "S1"])
+
+
+# --------------------------------------------------------------------- #
+# Backend-specific spec checks.
+# --------------------------------------------------------------------- #
+
+def test_netchain_backend_rejects_replication_beyond_testbed():
+    with pytest.raises(ValueError, match="replication"):
+        build_deployment(DeploymentSpec(backend="netchain", replication=5))
+
+
+@pytest.mark.parametrize("backend", ["zookeeper", "server-chain", "primary-backup"])
+def test_server_backends_require_a_client_host(backend):
+    with pytest.raises(ValueError, match="client host"):
+        build_deployment(DeploymentSpec(backend=backend, replication=4,
+                                        num_hosts=4))
+
+
+def test_hybrid_backend_rejects_bad_network_fraction():
+    with pytest.raises(ValueError, match="network_fraction"):
+        build_deployment(DeploymentSpec(backend="hybrid",
+                                        options={"network_fraction": 1.5}))
+
+
+def test_backend_check_runs_before_build():
+    # get_backend exposes the registered singleton; its check must raise
+    # without building anything.
+    backend = get_backend("zookeeper")
+    with pytest.raises(ValueError):
+        backend.check(DeploymentSpec(backend="zookeeper", replication=9,
+                                     num_hosts=4))

@@ -1,0 +1,151 @@
+"""The scenario matrix: one seeded scenario on all five backends.
+
+This is the acceptance surface of the declarative deployment API:
+
+* the identical spec + workload + seed runs unmodified on every
+  registered backend via :func:`run_scenario`, passing per-key
+  linearizability checks;
+* the same seed replays byte-identically (operation-level signatures,
+  including timestamps, match across runs);
+* the NetChain scenario is byte-identical to driving the pre-refactor
+  construction path (direct ``ClusterConfig``/``NetChainCluster``
+  assembly) by hand with the same seed.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import ClusterConfig, NetChainCluster
+from repro.core.history import History, check_linearizable
+from repro.deploy import (
+    DeploymentSpec,
+    ScenarioChecks,
+    WorkloadSpec,
+    available_backends,
+    run_scenario,
+)
+from repro.workloads.clients import LoadClient
+from repro.workloads.generators import KeyValueWorkload, WorkloadConfig
+
+SEED = 5
+STORE_SIZE = 20
+VALUE_SIZE = 32
+
+
+def matrix_spec(backend: str = "netchain", seed: int = SEED) -> DeploymentSpec:
+    return DeploymentSpec(backend=backend, store_size=STORE_SIZE,
+                          value_size=VALUE_SIZE, seed=seed)
+
+
+def matrix_workload() -> WorkloadSpec:
+    return WorkloadSpec(num_clients=2, concurrency=2, write_ratio=0.5,
+                        duration=0.25, drain=0.25)
+
+
+@pytest.mark.parametrize("backend", available_backends())
+def test_one_seeded_scenario_runs_on_every_backend(backend):
+    result = run_scenario(matrix_spec(backend), matrix_workload())
+    assert result.ok(), result.failures
+    assert result.completed_ops > 0
+    assert result.linearizability is not None and result.linearizability.ok
+    assert result.backend == backend
+
+
+@pytest.mark.parametrize("backend", ["netchain", "server-chain", "hybrid"])
+def test_same_seed_replays_byte_identically(backend):
+    first = run_scenario(matrix_spec(backend), matrix_workload())
+    second = run_scenario(matrix_spec(backend), matrix_workload())
+    assert first.signature() == second.signature()
+    assert len(first.signature()) > 0
+
+
+def test_different_seeds_differ():
+    first = run_scenario(matrix_spec(seed=5), matrix_workload())
+    second = run_scenario(matrix_spec(seed=6), matrix_workload())
+    assert first.signature() != second.signature()
+
+
+def test_netchain_scenario_is_byte_identical_to_legacy_construction():
+    """Drive the pre-refactor construction path (direct ClusterConfig +
+    NetChainCluster + populate, hand-rolled load clients) with the same
+    seed and compare the full operation trace -- values, outcomes and
+    simulated timestamps must match exactly."""
+    workload = matrix_workload()
+    via_registry = run_scenario(matrix_spec("netchain"), workload)
+
+    # The pre-refactor path: what build_netchain_deployment(scale=1000.0,
+    # store_size=20, value_size=32, seed=5) used to assemble by hand.
+    config = ClusterConfig(scale=1000.0, num_hosts=4, vnodes_per_switch=4,
+                           store_slots=max(1024, STORE_SIZE + 1024),
+                           retry_timeout=500e-6, seed=SEED)
+    cluster = NetChainCluster(config)
+    keys = cluster.populate(STORE_SIZE, value_size=VALUE_SIZE)
+    history = History(cluster.sim)
+    agents = cluster.agent_list()
+    load_clients = []
+    for index in range(workload.num_clients):
+        tag = f"c{index}"
+        generator = KeyValueWorkload(
+            WorkloadConfig(store_size=STORE_SIZE, value_size=VALUE_SIZE,
+                           write_ratio=workload.write_ratio,
+                           unique_values=True),
+            rng=random.Random((SEED << 8) + index + 1), tag=tag)
+        load_clients.append(LoadClient(agents[index], generator,
+                                       concurrency=workload.concurrency,
+                                       history=history, name=tag))
+    for client in load_clients:
+        client.start()
+    cluster.run(until=workload.duration)
+    for client in load_clients:
+        client.stop()
+    cluster.run(until=workload.duration + workload.drain)
+
+    legacy_signature = [(op.client, op.op, op.key, op.value, op.output, op.ok,
+                         op.invoked_at, op.returned_at) for op in history.ops]
+    assert via_registry.signature() == legacy_signature
+    initial = {key.encode("utf-8"): bytes(VALUE_SIZE) for key in keys}
+    assert check_linearizable(history, initial=initial).ok
+
+
+def test_declarative_fault_schedule_in_a_scenario():
+    """A spec-level fault event is armed, the detector reacts, and the
+    recorded history stays linearizable through failover."""
+    spec = DeploymentSpec(backend="netchain", store_size=16, value_size=32,
+                          seed=3, vnodes_per_switch=2,
+                          faults=[(0.2, "fail_switch", "S1")])
+    result = run_scenario(spec, WorkloadSpec(num_clients=2, concurrency=2,
+                                             write_ratio=0.4, duration=1.2,
+                                             think_time=1e-3, drain=0.5))
+    assert result.ok(), result.failures
+    assert any(event.kind == "switch_fail" for event in result.fault_trace)
+    assert "S1" in result.deployment.cluster.controller.failed_switches
+
+
+def test_scenario_checks_can_be_tuned():
+    checks = ScenarioChecks(linearizability=False, require_progress=True)
+    result = run_scenario(matrix_spec("netchain"), matrix_workload(), checks)
+    assert result.ok()
+    assert result.linearizability is None
+    assert result.history is None
+
+
+def test_scenario_rejects_faults_on_unsupporting_backend(monkeypatch):
+    from repro.deploy import get_backend
+    backend = get_backend("server-chain")
+    monkeypatch.setattr(backend, "capabilities",
+                        backend.capabilities.__class__(
+                            supports_fault_injection=False))
+    spec = matrix_spec("server-chain")
+    spec.faults = [(0.1, "fail_switch", "S1")]
+    with pytest.raises(ValueError, match="fault injection"):
+        run_scenario(spec, matrix_workload())
+
+
+def test_scaled_throughput_flag_controls_scaling():
+    netchain = run_scenario(matrix_spec("netchain"), matrix_workload())
+    chain = run_scenario(matrix_spec("server-chain"), matrix_workload())
+    assert netchain.scaled_qps == pytest.approx(netchain.success_qps * 1000.0)
+    assert chain.scaled_qps == pytest.approx(chain.success_qps)
