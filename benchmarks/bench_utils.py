@@ -9,6 +9,7 @@ summarizes them against the paper's reported values.
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 from typing import Iterable, List
@@ -26,11 +27,21 @@ def full_mode() -> bool:
 
 
 def record_result(name: str, title: str, lines: Iterable[str]) -> List[str]:
-    """Write a reproduced table/series to disk and echo it to stdout."""
+    """Write a reproduced table/series to disk and echo it to stdout.
+
+    Each result is stored twice: the human-readable text table (as always)
+    and a machine-readable JSON document (``results/<name>.json``) so CI
+    and tooling can consume figure benchmarks without parsing tables.
+    """
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
-    rows = [title] + list(lines)
+    body = list(lines)
+    rows = [title] + body
     path = RESULTS_DIR / f"{name}.txt"
     path.write_text("\n".join(rows) + "\n", encoding="utf-8")
+    json_path = RESULTS_DIR / f"{name}.json"
+    json_path.write_text(
+        json.dumps({"name": name, "title": title, "rows": body}, indent=2) + "\n",
+        encoding="utf-8")
     print()
     for row in rows:
         print(row)

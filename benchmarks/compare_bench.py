@@ -1,0 +1,176 @@
+"""Compare two perf reports and fail on regression.
+
+Diffs two ``netchain-perf-report/v1`` JSON files (see
+``benchmarks/perf_report.py``) and exits non-zero when any gated metric
+regressed by more than the tolerance::
+
+    PYTHONPATH=src python benchmarks/compare_bench.py \\
+        benchmarks/baseline.json BENCH_PR5.json --tolerance 0.15
+
+By default only **calibrated** metrics are gated -- throughput divided by a
+pure engine-churn loop timed on the same machine -- so a slower CI runner
+does not read as a code regression.  ``--raw`` additionally gates the raw
+events/sec numbers (useful when both reports come from the same machine).
+
+Improvements are reported but never fail the comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+SCHEMA = "netchain-perf-report/v1"
+
+#: Measurements shorter than this (seconds) are too noisy to gate on --
+#: they are reported as "info" instead of failing the comparison.
+MIN_GATED_WALL_S = 0.05
+
+
+def _long_enough(*entries: dict) -> bool:
+    return all(entry.get("wall_clock_s", 0.0) >= MIN_GATED_WALL_S for entry in entries)
+
+
+class Comparison:
+    """Accumulates metric comparisons and the resulting verdict."""
+
+    def __init__(self, tolerance: float) -> None:
+        self.tolerance = tolerance
+        self.rows = []
+        self.regressions = []
+
+    def check(
+        self,
+        name: str,
+        old: float,
+        new: float,
+        higher_is_better: bool,
+        gated: bool = True,
+    ) -> None:
+        if old is None or new is None:
+            return
+        if old <= 0:
+            delta = 0.0
+        elif higher_is_better:
+            delta = (new - old) / old  # negative = regression
+        else:
+            delta = (old - new) / old  # negative = regression
+        regressed = gated and delta < -self.tolerance
+        self.rows.append((name, old, new, delta, regressed, gated))
+        if regressed:
+            self.regressions.append(name)
+
+    def render(self) -> str:
+        lines = [f"{'metric':55} {'old':>14} {'new':>14} {'delta':>8}  verdict"]
+        for name, old, new, delta, regressed, gated in self.rows:
+            verdict = "REGRESSED" if regressed else "ok" if gated else "info"
+            lines.append(f"{name:55} {old:14,.3f} {new:14,.3f} {delta:+8.1%}  {verdict}")
+        return "\n".join(lines)
+
+
+def load_report(path: str) -> dict:
+    report = json.loads(Path(path).read_text(encoding="utf-8"))
+    schema = report.get("schema")
+    if schema != SCHEMA:
+        raise SystemExit(f"{path}: unsupported schema {schema!r} (expected {SCHEMA!r})")
+    return report
+
+
+def compare(old: dict, new: dict, tolerance: float, include_raw: bool = False) -> Comparison:
+    """Compare two loaded reports; see module docstring for the gating."""
+    cmp = Comparison(tolerance)
+
+    cmp.check(
+        "macro.events_per_sec_calibrated",
+        old["macro"].get("events_per_sec_calibrated"),
+        new["macro"].get("events_per_sec_calibrated"),
+        higher_is_better=True,
+    )
+    cmp.check(
+        "macro.events_per_sec",
+        old["macro"].get("events_per_sec"),
+        new["macro"].get("events_per_sec"),
+        higher_is_better=True,
+        gated=include_raw,
+    )
+
+    for name in sorted(set(old.get("backends", {})) & set(new.get("backends", {}))):
+        cmp.check(
+            f"backends.{name}.events_per_sec_calibrated",
+            old["backends"][name].get("events_per_sec_calibrated"),
+            new["backends"][name].get("events_per_sec_calibrated"),
+            higher_is_better=True,
+            gated=_long_enough(old["backends"][name], new["backends"][name]),
+        )
+        cmp.check(
+            f"backends.{name}.events_per_sec",
+            old["backends"][name].get("events_per_sec"),
+            new["backends"][name].get("events_per_sec"),
+            higher_is_better=True,
+            gated=include_raw,
+        )
+
+    for name in sorted(set(old.get("figures", {})) & set(new.get("figures", {}))):
+        cmp.check(
+            f"figures.{name}.calibrated_cost",
+            old["figures"][name].get("calibrated_cost"),
+            new["figures"][name].get("calibrated_cost"),
+            higher_is_better=False,
+            gated=_long_enough(old["figures"][name], new["figures"][name]),
+        )
+        cmp.check(
+            f"figures.{name}.wall_clock_s",
+            old["figures"][name].get("wall_clock_s"),
+            new["figures"][name].get("wall_clock_s"),
+            higher_is_better=False,
+            gated=include_raw,
+        )
+
+    # Peak RSS is machine/allocator-dependent (interpreter build, malloc),
+    # so like the other raw metrics it only gates same-machine comparisons.
+    cmp.check(
+        "peak_rss_bytes",
+        old.get("peak_rss_bytes"),
+        new.get("peak_rss_bytes"),
+        higher_is_better=False,
+        gated=include_raw,
+    )
+    return cmp
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="baseline report (old)")
+    parser.add_argument("candidate", help="candidate report (new)")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.15,
+        help="allowed fractional regression (default 0.15)",
+    )
+    parser.add_argument(
+        "--raw",
+        action="store_true",
+        help="also gate raw (machine-dependent) metrics",
+    )
+    args = parser.parse_args(argv)
+
+    old = load_report(args.baseline)
+    new = load_report(args.candidate)
+    cmp = compare(old, new, tolerance=args.tolerance, include_raw=args.raw)
+    print(cmp.render())
+    if cmp.regressions:
+        print(
+            f"\nFAIL: {len(cmp.regressions)} metric(s) regressed more than "
+            f"{args.tolerance:.0%}: {', '.join(cmp.regressions)}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\nOK: no gated metric regressed more than {args.tolerance:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -25,7 +25,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.client import KVClient, KVFuture, KVResult, KVTimeout, _raw_key
 from repro.core.protocol import (
-    NETCHAIN_UDP_PORT,
+    REPLY_OPS,
     NetChainHeader,
     OpCode,
     QueryStatus,
@@ -49,7 +49,7 @@ class QueryTimeout(KVTimeout):
     """Raised by the synchronous API when a query exhausts its retries."""
 
 
-@dataclass
+@dataclass(slots=True)
 class QueryResult:
     """Outcome of one key-value query."""
 
@@ -81,7 +81,7 @@ class AgentConfig:
     udp_port: Optional[int] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class _Pending:
     """One outstanding query.
 
@@ -308,9 +308,8 @@ class NetChainAgent(KVClient):
         packet = build_query_packet(self.host.ip, self.udp_port, dst_ip, header,
                                     created_at=pending.created_at)
         self.host.send(packet)
-        timeout = self.config.retry_timeout
         pending.timer = self.sim.schedule(
-            timeout, lambda: self._on_timeout(pending.query_id))
+            self.config.retry_timeout, self._on_timeout, pending.query_id)
 
     def _on_timeout(self, query_id: int) -> None:
         pending = self._pending.get(query_id)
@@ -332,7 +331,7 @@ class NetChainAgent(KVClient):
 
     def _on_packet(self, packet: Packet) -> None:
         header = packet.payload
-        if not isinstance(header, NetChainHeader) or not header.is_reply():
+        if type(header) is not NetChainHeader or header.op not in REPLY_OPS:
             return
         pending = self._pending.pop(header.query_id, None)
         if pending is None or pending.done:
@@ -340,7 +339,7 @@ class NetChainAgent(KVClient):
         pending.done = True
         if pending.timer is not None:
             pending.timer.cancel()
-        latency = self.sim.now - pending.created_at
+        latency = self.sim._now - pending.created_at
         ok = header.status == QueryStatus.OK
         result = QueryResult(ok=ok, op=header.op, key=header.key, status=header.status,
                              value=header.value, seq=header.seq, session=header.session,

@@ -36,7 +36,7 @@ class KVTimeout(Exception):
     """An operation did not resolve within its simulated-time deadline."""
 
 
-@dataclass
+@dataclass(slots=True)
 class KVResult:
     """Backend-neutral outcome of one key-value operation.
 
@@ -75,6 +75,12 @@ class KVFuture:
     time.
     """
 
+    #: Slots (futures are allocated once per operation): the two optional
+    #: trailing fields are backend correlation ids (``query_id`` for the
+    #: NetChain agent, ``xid`` for the ZooKeeper client).
+    __slots__ = ("sim", "op", "key", "_result", "_done", "_callbacks",
+                 "query_id", "xid")
+
     def __init__(self, sim, op: str = "", key: bytes = b"") -> None:
         self.sim = sim
         self.op = op
@@ -82,6 +88,8 @@ class KVFuture:
         self._result: Any = None
         self._done = False
         self._callbacks: List[Callable[[Any], None]] = []
+        self.query_id: Optional[int] = None
+        self.xid: Optional[int] = None
 
     # -- state ----------------------------------------------------------- #
 

@@ -145,6 +145,13 @@ class NetChainController:
         self.epochs: Dict[int, int] = {vgroup: 0 for vgroup in self.ring.vnodes}
         #: Keys registered per virtual group (used to scope state sync).
         self.keys_by_vgroup: Dict[int, Set[bytes]] = {}
+        #: key -> (chain IPs, vgroup) routing cache for the per-query hot
+        #: path.  Validity is keyed on the ring generation plus a chain
+        #: version bumped by every chain-table commit and epoch bump, so
+        #: reconfigurations invalidate it wholesale.
+        self._route_cache: Dict = {}
+        self._route_token: Tuple[int, int] = (-1, -1)
+        self._chain_version = 0
         self.failed_switches: Set[str] = set()
         #: Switches whose failure recovery (Algorithm 3) is in progress;
         #: guards against double-started recoveries and against membership
@@ -195,12 +202,36 @@ class NetChainController:
         info = self.chain_for_key(key)
         return [self.switch_ip(name) for name in info.switches], info.vgroup
 
-    def route_for_key(self, key) -> Tuple[List[str], int, int]:
+    def route_for_key(self, key) -> Tuple[Sequence[str], int, int]:
         """(chain IPs, virtual group, chain epoch) — the full routing state
-        agents stamp into each transmission of a query."""
-        info = self.chain_for_key(key)
-        ips = [self.switch_ip(name) for name in info.switches]
-        return ips, info.vgroup, self.epochs.get(info.vgroup, 0)
+        agents stamp into each transmission of a query.
+
+        Cached per key: agents re-resolve the directory on every
+        transmission (first send and each retry), which makes this the
+        single most-called control-plane entry point.  The cache is
+        invalidated wholesale whenever the ring or any chain assignment
+        changes; the epoch is always read live.
+        """
+        token = (self.ring.generation, self._chain_version)
+        cache = self._route_cache
+        if self._route_token != token:
+            cache.clear()
+            self._route_token = token
+        entry = cache.get(key)
+        if entry is None:
+            info = self.chain_for_key(key)
+            switches = self.topology.switches
+            # A tuple, not a list: the cached route is shared by reference
+            # across every transmission of the key, so it must be immutable.
+            ips = tuple(switches[name].ip for name in info.switches)
+            entry = (ips, info.vgroup)
+            if len(cache) >= 1 << 16:
+                # Bounded like protocol._KEY_CACHE: an unbounded distinct-key
+                # stream (e.g. read misses) must not grow memory forever.
+                cache.clear()
+            cache[key] = entry
+        ips, vgroup = entry
+        return ips, vgroup, self.epochs.get(vgroup, 0)
 
     # ------------------------------------------------------------------ #
     # Key management (control-plane insert / delete, Section 4.1).
@@ -310,6 +341,10 @@ class NetChainController:
         epoch = self.epochs[vgroup]
         for program in self.programs.values():
             program.set_vgroup_epoch(vgroup, epoch)
+        # Epoch bumps accompany every chain-layout change (including the
+        # reconfiguration coordinator's direct chain_table swaps), so they
+        # also invalidate the route cache.
+        self._chain_version += 1
         return epoch
 
     def commit_chain(self, vgroup: int, chain: Sequence[str],
@@ -321,6 +356,7 @@ class NetChainController:
         lookups agree with the chain table.
         """
         self.chain_table[vgroup] = ChainInfo(vgroup, list(chain))
+        self._chain_version += 1
         vnode = self.ring.vnodes.get(vgroup)
         if moved_from is not None and vnode is not None and vnode.switch == moved_from:
             self.ring.reassign_vnode(vgroup, chain[0])

@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from repro.core.protocol import normalize_key
+from repro.core.protocol import KEY_BYTES, normalize_key
 from repro.netsim.switch import Switch
 from repro.netsim.tables import MatchTable, TableFullError
 
@@ -50,7 +50,7 @@ class KVStoreConfig:
     allow_recirculation: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class StoredItem:
     """A decoded item as read from the register arrays."""
 
@@ -83,6 +83,25 @@ class SwitchKVStore:
         self._seq = switch.registers.allocate("netchain_seq", slots, 4, initial=0)
         self._session = switch.registers.allocate("netchain_session", slots, 2, initial=0)
         self._valid = switch.registers.allocate("netchain_valid", slots, 1, initial=False)
+        # Direct references to the arrays' backing lists: register reads and
+        # writes are the per-query hot path, and the method indirection costs
+        # more than the model earns.  ``RegisterArray.load`` mutates in place,
+        # so these references never go stale.
+        self._stage_data = [stage._data for stage in self._stages]
+        self._vlen_data = self._vlen._data
+        self._seq_data = self._seq._data
+        self._session_data = self._session._data
+        self._valid_data = self._valid._data
+        #: Materialized value per slot, maintained alongside the striped
+        #: stage arrays so the per-query read path does not re-join chunks.
+        #: The register arrays stay authoritative for the SRAM model (and
+        #: tests assert on them); this is a read cache the store itself
+        #: keeps coherent because every value write goes through
+        #: :meth:`write_loc`.
+        self._value_data: List[bytes] = [b""] * slots
+        #: key -> slot mirror of the index match table for O(1) hot-path
+        #: lookups without the table-model indirection.
+        self._loc_of_key: Dict[bytes, int] = {}
         self._free_slots: List[int] = list(range(slots - 1, -1, -1))
         self._key_of_slot: Dict[int, bytes] = {}
 
@@ -144,10 +163,12 @@ class SwitchKVStore:
             self._free_slots.append(loc)
             raise StoreFullError(str(exc)) from exc
         self._key_of_slot[loc] = key
+        self._loc_of_key[key] = loc
         self._valid.write(loc, True)
         self._vlen.write(loc, 0)
         self._seq.write(loc, 0)
         self._session.write(loc, 0)
+        self._value_data[loc] = b""
         for stage in self._stages:
             stage.write(loc, b"")
         return loc
@@ -160,6 +181,7 @@ class SwitchKVStore:
             return False
         self.index.remove_match(key)
         self._key_of_slot.pop(loc, None)
+        self._loc_of_key.pop(key, None)
         self._valid.write(loc, False)
         self._free_slots.append(loc)
         return True
@@ -170,43 +192,38 @@ class SwitchKVStore:
 
     def lookup(self, key) -> Optional[int]:
         """Index-table lookup: slot for ``key`` or ``None`` on a miss."""
-        entry = self.index.lookup(normalize_key(key))
-        if entry is None:
-            return None
-        return entry.metadata["loc"]
+        if type(key) is bytes and len(key) == KEY_BYTES:
+            return self._loc_of_key.get(key)
+        return self._loc_of_key.get(normalize_key(key))
 
     def read_loc(self, loc: int) -> StoredItem:
         """Read the value, sequence and session stored at ``loc``."""
-        length = self._vlen.read(loc)
-        chunks = []
-        remaining = length
-        for stage in self._stages:
-            if remaining <= 0:
-                break
-            chunk = stage.read(loc)
-            chunks.append(chunk[:remaining])
-            remaining -= len(chunk[:remaining])
-        return StoredItem(value=b"".join(chunks), seq=self._seq.read(loc),
-                          session=self._session.read(loc), valid=self._valid.read(loc))
+        return StoredItem(value=self._value_data[loc], seq=self._seq_data[loc],
+                          session=self._session_data[loc],
+                          valid=self._valid_data[loc])
 
     def write_loc(self, loc: int, value: bytes, seq: int, session: int = 0,
                   valid: bool = True) -> None:
         """Store a value and its version at ``loc``, striping across stages."""
+        value_len = len(value)
         limit = self.max_value_bytes()
-        if len(value) > limit:
+        if value_len > limit:
             raise ValueTooLargeError(
-                f"value of {len(value)} bytes exceeds the {limit}-byte pipeline limit")
+                f"value of {value_len} bytes exceeds the {limit}-byte pipeline limit")
         if (not self.config.allow_recirculation
-                and len(value) > self.switch.max_value_bytes_per_pass()):
+                and value_len > self.switch.max_value_bytes_per_pass()):
             raise ValueTooLargeError(
-                f"value of {len(value)} bytes needs recirculation, which is disabled")
-        for i, stage in enumerate(self._stages):
-            start = i * self.stage_bytes
-            stage.write(loc, value[start:start + self.stage_bytes])
-        self._vlen.write(loc, len(value))
-        self._seq.write(loc, seq)
-        self._session.write(loc, session)
-        self._valid.write(loc, valid)
+                f"value of {value_len} bytes needs recirculation, which is disabled")
+        stage_bytes = self.stage_bytes
+        start = 0
+        for data in self._stage_data:
+            data[loc] = value[start:start + stage_bytes] if start < value_len else b""
+            start += stage_bytes
+        self._value_data[loc] = value
+        self._vlen_data[loc] = value_len
+        self._seq_data[loc] = seq
+        self._session_data[loc] = session
+        self._valid_data[loc] = valid
 
     def read(self, key) -> Optional[StoredItem]:
         """Convenience: lookup + read."""

@@ -34,12 +34,13 @@ from __future__ import annotations
 
 import itertools
 import struct
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from enum import IntEnum
 from typing import List, Optional
 
 from repro.netsim.packet import (
     NETCHAIN_UDP_PORT,
+    IPv4Header,
     Packet,
     UDPHeader,
     ip_to_int,
@@ -99,8 +100,27 @@ class QueryStatus(IntEnum):
     REJECTED = 3
 
 
+#: Interning cache for string keys: key encoding sits on the per-query hot
+#: path and workloads reuse a small, hot key population.  Bounded so an
+#: adversarial key stream cannot grow it without limit.
+_KEY_CACHE: dict = {}
+_KEY_CACHE_MAX = 1 << 16
+
+
 def normalize_key(key) -> bytes:
     """Encode a key as the fixed-width 16-byte field used on the wire."""
+    if type(key) is str:
+        cached = _KEY_CACHE.get(key)
+        if cached is not None:
+            return cached
+        raw = key.encode("utf-8")
+        if len(raw) > KEY_BYTES:
+            raise ValueError(f"key longer than {KEY_BYTES} bytes: {raw!r}")
+        padded = raw.ljust(KEY_BYTES, b"\x00")
+        if len(_KEY_CACHE) >= _KEY_CACHE_MAX:
+            _KEY_CACHE.clear()
+        _KEY_CACHE[key] = padded
+        return padded
     if isinstance(key, bytes):
         raw = key
     else:
@@ -119,7 +139,7 @@ def normalize_value(value) -> bytes:
     return str(value).encode("utf-8")
 
 
-@dataclass
+@dataclass(slots=True)
 class NetChainHeader:
     """The NetChain header carried in the UDP payload."""
 
@@ -138,6 +158,7 @@ class NetChainHeader:
     # Wire layout: op(1) status(1) key(16) session(2) seq(4) vgroup(2)
     # epoch(2) query_id(8) sc(1) chain(4*sc) value_len(2) value cas_len(2) cas.
     _FIXED = struct.Struct("!BB16sHIHHQB")
+    _FIXED_SIZE = _FIXED.size
 
     @property
     def sc(self) -> int:
@@ -146,7 +167,7 @@ class NetChainHeader:
 
     def wire_size(self) -> int:
         """Size of the encoded header in bytes."""
-        size = self._FIXED.size + 4 * len(self.chain) + 2 + len(self.value) + 2
+        size = self._FIXED_SIZE + 4 * len(self.chain) + 4 + len(self.value)
         if self.cas_expected is not None:
             size += len(self.cas_expected)
         return size
@@ -192,9 +213,12 @@ class NetChainHeader:
 
     def copy(self) -> "NetChainHeader":
         """Deep-enough copy for retransmissions and forwarding."""
-        clone = replace(self)
-        clone.chain = list(self.chain)
-        return clone
+        return NetChainHeader(op=self.op, key=self.key, value=self.value,
+                              seq=self.seq, session=self.session,
+                              chain=list(self.chain), vgroup=self.vgroup,
+                              epoch=self.epoch, query_id=self.query_id,
+                              status=self.status,
+                              cas_expected=self.cas_expected)
 
     def is_request(self) -> bool:
         return self.op in REQUEST_OPS
@@ -206,12 +230,10 @@ class NetChainHeader:
 def build_query_packet(client_ip: str, client_port: int, dst_ip: str,
                        header: NetChainHeader, created_at: float = 0.0) -> Packet:
     """Wrap a NetChain header into a UDP packet addressed to ``dst_ip``."""
-    packet = Packet(payload=header, payload_bytes=header.wire_size())
-    packet.ip.src_ip = client_ip
-    packet.ip.dst_ip = dst_ip
-    packet.udp = UDPHeader(src_port=client_port, dst_port=NETCHAIN_UDP_PORT)
-    packet.created_at = created_at
-    return packet
+    return Packet(ip=IPv4Header(src_ip=client_ip, dst_ip=dst_ip),
+                  udp=UDPHeader(src_port=client_port, dst_port=NETCHAIN_UDP_PORT),
+                  payload=header, payload_bytes=header.wire_size(),
+                  created_at=created_at)
 
 
 def make_read(key, chain_ips: List[str], vgroup: int = 0,
@@ -224,7 +246,7 @@ def make_read(key, chain_ips: List[str], vgroup: int = 0,
     The caller addresses the packet to ``chain_ips[-1]`` (the tail); the
     header's chain list holds the remaining switches from the tail backwards.
     """
-    remaining = list(reversed(chain_ips[:-1]))
+    remaining = list(chain_ips[-2::-1])
     return NetChainHeader(op=OpCode.READ, key=normalize_key(key), chain=remaining,
                           vgroup=vgroup, epoch=epoch)
 

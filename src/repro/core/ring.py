@@ -58,6 +58,7 @@ class ConsistentHashRing:
         self.rng = random.Random(seed)
         self.vnodes: Dict[int, VirtualNode] = {}
         self._next_vnode_id = 0
+        self.generation = 0
         for switch in self.switch_names:
             for i in range(vnodes_per_switch):
                 position = _hash64(f"{switch}#vnode{i}".encode())
@@ -70,6 +71,9 @@ class ConsistentHashRing:
         ordered = sorted(self.vnodes.values(), key=lambda v: (v.position, v.vnode_id))
         self._positions = [v.position for v in ordered]
         self._ordered = ordered
+        # Bumped on every ring mutation; route caches key their validity on
+        # it so a membership change invalidates them wholesale.
+        self.generation += 1
 
     # ------------------------------------------------------------------ #
     # Lookups.
@@ -88,16 +92,32 @@ class ConsistentHashRing:
             raw = str(key).encode("utf-8")
         return _hash64(raw)
 
+    def _iter_successors(self, position: int):
+        """Lazily walk the ring once, starting at/after ``position``.
+
+        Chain construction usually stops after ``replication`` distinct
+        switches, so the walk almost never materializes the whole ring.
+        """
+        ordered = self._ordered
+        count = len(ordered)
+        start = bisect.bisect_left(self._positions, position)
+        for i in range(start, count):
+            yield ordered[i]
+        for i in range(start):
+            yield ordered[i]
+
     def successor_vnodes(self, position: int) -> List[VirtualNode]:
         """Virtual nodes starting at the first one at/after ``position``,
         walking the whole ring once."""
-        start = bisect.bisect_left(self._positions, position)
-        count = len(self._ordered)
-        return [self._ordered[(start + i) % count] for i in range(count)]
+        return list(self._iter_successors(position))
 
     def primary_vnode_for_key(self, key) -> VirtualNode:
         """The virtual node owning the key's segment (also its virtual group)."""
-        return self.successor_vnodes(self.key_position(key))[0]
+        positions = self._positions
+        start = bisect.bisect_left(positions, self.key_position(key))
+        if start == len(positions):
+            start = 0
+        return self._ordered[start]
 
     def chain_vnodes_for_key(self, key, replication: Optional[int] = None) -> List[VirtualNode]:
         """The ``f+1`` virtual nodes (on distinct switches) forming the key's chain.
@@ -108,7 +128,7 @@ class ConsistentHashRing:
         replication = replication or self.replication
         chain: List[VirtualNode] = []
         seen_switches = set()
-        for vnode in self.successor_vnodes(self.key_position(key)):
+        for vnode in self._iter_successors(self.key_position(key)):
             if vnode.switch in seen_switches:
                 continue
             chain.append(vnode)
@@ -140,7 +160,7 @@ class ConsistentHashRing:
         vnode = self.vnodes[vgroup]
         chain: List[str] = []
         seen = set()
-        for candidate in self.successor_vnodes(vnode.position):
+        for candidate in self._iter_successors(vnode.position):
             if candidate.switch in seen or candidate.switch in excluded:
                 continue
             chain.append(candidate.switch)
@@ -182,6 +202,7 @@ class ConsistentHashRing:
         copy.vnodes = {vid: VirtualNode(v.vnode_id, v.switch, v.position)
                        for vid, v in self.vnodes.items()}
         copy._next_vnode_id = self._next_vnode_id
+        copy.generation = 0
         copy._rebuild_index()
         return copy
 

@@ -37,12 +37,20 @@ from repro.core.protocol import (
     OpCode,
     QueryStatus,
     REPLY_FOR,
+    REPLY_OPS,
+    REQUEST_OPS,
 )
 from repro.netsim.node import Port
 from repro.netsim.packet import Packet
 from repro.netsim.switch import PipelineAction, PipelineProgram, Switch
 
 _rule_ids = itertools.count(1)
+
+#: Module-level aliases for the hot pipeline path (enum member access is an
+#: attribute lookup per use).
+_CONTINUE = PipelineAction.CONTINUE
+_FORWARD = PipelineAction.FORWARD
+_DROP = PipelineAction.DROP
 
 
 @dataclass
@@ -178,11 +186,12 @@ class NetChainSwitchProgram(PipelineProgram):
     # ------------------------------------------------------------------ #
 
     def process(self, switch: Switch, packet: Packet, in_port: Port) -> PipelineAction:
-        if packet.udp is None or packet.udp.dst_port != NETCHAIN_UDP_PORT:
-            return PipelineAction.CONTINUE
+        udp = packet.udp
+        if udp is None or udp.dst_port != NETCHAIN_UDP_PORT:
+            return _CONTINUE
         header = packet.payload
-        if not isinstance(header, NetChainHeader):
-            return PipelineAction.CONTINUE
+        if type(header) is not NetChainHeader:
+            return _CONTINUE
         # One pipeline pass may combine local chain processing with one or
         # more failure-handling rewrites: a redirect rule can point the
         # packet at *this* switch ("N overlaps with S2": apply the rule
@@ -192,25 +201,39 @@ class NetChainSwitchProgram(PipelineProgram):
         # bounded because every local processing step consumes chain hops
         # and every rule application either changes the destination or ends
         # the query.
-        if packet.ip.dst_ip == switch.ip and header.is_reply():
+        ip = packet.ip
+        my_ip = switch.ip
+        if ip.dst_ip == my_ip and header.op in REPLY_OPS:
             # A reply addressed to a switch is a protocol error; drop it
             # rather than forward it in a loop.
-            return PipelineAction.DROP
-        limit = len(self.rules) + len(header.chain) + 3
+            return _DROP
+        rules = self.rules
+        if not rules:
+            # Fast path: no failure-handling rules installed (the steady
+            # state).  Process locally-addressed queries once and forward;
+            # the rule/processing alternation below cannot trigger.
+            if ip.dst_ip != my_ip or header.op not in REQUEST_OPS:
+                return _FORWARD
+            if not self.active:
+                return _DROP
+            return self._process_query(switch, packet, header)
+        limit = len(rules) + len(header.chain) + 3
         for _ in range(limit):
-            if packet.ip.dst_ip == switch.ip and header.is_request():
+            if ip.dst_ip == my_ip and header.op in REQUEST_OPS:
                 if not self.active:
-                    return PipelineAction.DROP
+                    return _DROP
                 action = self._process_query(switch, packet, header)
-                if action is not PipelineAction.FORWARD:
+                if action is not _FORWARD:
                     return action
                 continue
+            if not rules:
+                return _FORWARD
             rule = self._first_match(packet, header)
             if rule is None:
-                return PipelineAction.FORWARD
+                return _FORWARD
             if rule.kind == "drop":
                 self.stats.dropped_by_rule += 1
-                return PipelineAction.DROP
+                return _DROP
             self.stats.redirects += 1
             if rule.kind == "forward":
                 packet.ip.dst_ip = rule.new_dst_ip
@@ -221,9 +244,9 @@ class NetChainSwitchProgram(PipelineProgram):
                     continue
                 # The failed switch was the last hop: reply on its behalf.
                 self._make_reply(switch, packet, header, QueryStatus.OK)
-                return PipelineAction.FORWARD
+                return _FORWARD
             raise ValueError(f"unknown rule kind {rule.kind!r}")
-        return PipelineAction.FORWARD
+        return _FORWARD
 
     def _first_match(self, packet: Packet, header: NetChainHeader) -> Optional[RedirectRule]:
         for rule in self.rules:
@@ -240,7 +263,7 @@ class NetChainSwitchProgram(PipelineProgram):
         if not header.is_request():
             # A reply addressed to the switch itself is a protocol error;
             # drop it rather than loop.
-            return PipelineAction.DROP
+            return _DROP
         # Reconfiguration guards, checked before the store lookup so a
         # straggler addressed under a superseded chain layout drops even
         # after its keys were garbage-collected here (replying NOT_FOUND
@@ -248,28 +271,28 @@ class NetChainSwitchProgram(PipelineProgram):
         installed_epoch = self.vgroup_epochs.get(header.vgroup)
         if installed_epoch is not None and header.epoch < installed_epoch:
             self.stats.dropped_stale_epoch += 1
-            return PipelineAction.DROP
+            return _DROP
         if (header.vgroup in self.frozen_write_vgroups
                 and header.op != OpCode.READ):
             # Migration phase 1: the group's state is being synchronized;
             # writes drop and the client's retry lands after the commit.
             self.stats.dropped_frozen += 1
-            return PipelineAction.DROP
+            return _DROP
         if self.kvstore is None:
             # A transit-only switch (no storage role) addressed directly:
             # treat as a miss.
             self.stats.misses += 1
             if self.reply_on_miss:
                 self._make_reply(switch, packet, header, QueryStatus.KEY_NOT_FOUND)
-                return PipelineAction.FORWARD
-            return PipelineAction.DROP
+                return _FORWARD
+            return _DROP
         loc = self.kvstore.lookup(header.key)
         if loc is None:
             self.stats.misses += 1
             if self.reply_on_miss:
                 self._make_reply(switch, packet, header, QueryStatus.KEY_NOT_FOUND)
-                return PipelineAction.FORWARD
-            return PipelineAction.DROP
+                return _FORWARD
+            return _DROP
         self._charge_recirculation(switch, header)
         if header.op == OpCode.READ:
             return self._process_read(switch, packet, header, loc)
@@ -281,12 +304,12 @@ class NetChainSwitchProgram(PipelineProgram):
         self.stats.reads += 1
         if not item.valid:
             self._make_reply(switch, packet, header, QueryStatus.KEY_NOT_FOUND)
-            return PipelineAction.FORWARD
+            return _FORWARD
         header.value = item.value
         header.seq = item.seq
         header.session = item.session
         self._make_reply(switch, packet, header, QueryStatus.OK)
-        return PipelineAction.FORWARD
+        return _FORWARD
 
     def _process_write(self, switch: Switch, packet: Packet, header: NetChainHeader,
                        loc: int) -> PipelineAction:
@@ -303,7 +326,7 @@ class NetChainSwitchProgram(PipelineProgram):
                 self.stats.cas_failures += 1
                 header.value = stored.value
                 self._make_reply(switch, packet, header, QueryStatus.CAS_FAILED)
-                return PipelineAction.FORWARD
+                return _FORWARD
             self._apply_write(loc, header)
         else:
             if (header.session, header.seq) > (stored.session, stored.seq):
@@ -312,13 +335,13 @@ class NetChainSwitchProgram(PipelineProgram):
                 # Stale write: Algorithm 1 line 13, Drop().  The client's
                 # retry (writes are idempotent) will carry a newer version.
                 self.stats.writes_stale_dropped += 1
-                return PipelineAction.DROP
+                return _DROP
         if header.chain:
             packet.ip.dst_ip = header.chain.pop(0)
             packet.payload_bytes = header.wire_size()
-            return PipelineAction.FORWARD
+            return _FORWARD
         self._make_reply(switch, packet, header, QueryStatus.OK)
-        return PipelineAction.FORWARD
+        return _FORWARD
 
     def _apply_write(self, loc: int, header: NetChainHeader) -> None:
         valid = header.op != OpCode.DELETE
@@ -332,6 +355,9 @@ class NetChainSwitchProgram(PipelineProgram):
 
     def _charge_recirculation(self, switch: Switch, header: NetChainHeader) -> None:
         """Account for extra pipeline passes needed by oversized values."""
+        cfg = switch.config
+        if len(header.value) <= cfg.value_stages * cfg.stage_value_bytes:
+            return  # fits in one pass, nothing to charge
         passes = self.kvstore.passes_required(len(header.value))
         if passes > 1:
             extra = passes - 1

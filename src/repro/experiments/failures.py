@@ -36,7 +36,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.client import _raw_key
 from repro.core.controller import ControllerConfig
-from repro.core.detector import DetectorConfig, FailureDetector
+from repro.core.detector import DetectorConfig
 from repro.core.history import History, LinearizabilityReport, check_linearizable
 from repro.core.invariants import invariant_observer
 from repro.deploy import DeploymentSpec, NetChainDeployment, build_deployment

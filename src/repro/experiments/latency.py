@@ -14,7 +14,7 @@ reads and writes separately.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 from repro.deploy import DeploymentSpec, build_deployment
 from repro.workloads.clients import LoadClient, measure_load

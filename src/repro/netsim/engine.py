@@ -9,32 +9,106 @@ milliseconds (ZooKeeper fsync delays).
 The engine is deterministic: ties are broken by insertion order, and all
 randomness in the simulation flows through :class:`random.Random` instances
 seeded by the caller.
+
+Hot-path design (this is the innermost loop of every experiment, so its
+constant factors *are* the simulator's throughput):
+
+* Heap entries are plain 4-element lists ``[time, seq, callback, args]``
+  rather than objects, so ``heapq`` sifts compare at C speed (``time``
+  first, then the unique ``seq`` -- the callback is never compared).
+* :meth:`Simulator.call_after` schedules fire-and-forget callbacks without
+  allocating an :class:`Event` handle; callers that never cancel (links,
+  hosts, switch pipelines) use it to avoid one allocation per event, and
+  positional ``args`` replace per-event closure allocation.
+* Cancellation is a tombstone: the entry's callback slot is set to ``None``
+  in place, and the entry is discarded when it surfaces at the top of the
+  heap.  A tombstone count triggers heap compaction when more than half the
+  queue is dead, so cancel-heavy workloads (retry timers, TCP RTOs) cannot
+  grow the heap without bound.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
-from dataclasses import dataclass, field
+from heapq import heapify, heappop, heappush
 from typing import Callable, Optional
 
+#: Queues smaller than this are never compacted: rebuilding a tiny heap
+#: costs more bookkeeping than the dead entries occupy.
+_COMPACT_MIN_QUEUE = 64
 
-@dataclass(order=True)
+
 class Event:
-    """A scheduled callback.
+    """A cancellable handle to a scheduled callback.
 
-    Events compare by ``(time, seq)`` so that events scheduled earlier for
-    the same timestamp run first (FIFO within a timestamp).
+    Events order by ``(time, seq)`` so that events scheduled earlier for
+    the same timestamp run first (FIFO within a timestamp).  The handle
+    wraps the underlying heap entry; cancelling tombstones the entry in
+    place instead of searching the heap.
     """
 
-    time: float
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    __slots__ = ("_sim", "_entry", "cancelled")
+
+    def __init__(self, sim: "Simulator", entry: list) -> None:
+        self._sim = sim
+        self._entry = entry
+        #: Whether :meth:`cancel` was called (fired events stay ``False``).
+        self.cancelled = False
+
+    @property
+    def time(self) -> float:
+        """Absolute simulation time this event fires at."""
+        return self._entry[0]
+
+    @property
+    def seq(self) -> int:
+        """Insertion sequence number (the FIFO tie-breaker)."""
+        return self._entry[1]
 
     def cancel(self) -> None:
         """Mark this event so the simulator skips it when dequeued."""
         self.cancelled = True
+        entry = self._entry
+        if entry[2] is None:
+            # Already fired (or already cancelled): nothing queued to
+            # tombstone, and double-counting would corrupt compaction.
+            return
+        entry[2] = None
+        entry[3] = ()
+        self._sim._note_tombstone()
+
+
+class _Periodic:
+    """State of one periodic process (see :meth:`Simulator.every`).
+
+    A single slotted object per process -- each tick reschedules through the
+    simulator's no-handle fast path, so steady-state periodic processes
+    allocate nothing but their heap entries.
+    """
+
+    __slots__ = ("sim", "interval", "callback", "jitter", "rng", "stopped")
+
+    def __init__(self, sim: "Simulator", interval: float,
+                 callback: Callable[[], None], jitter: float, rng) -> None:
+        self.sim = sim
+        self.interval = interval
+        self.callback = callback
+        self.jitter = jitter
+        self.rng = rng
+        self.stopped = False
+
+    def tick(self) -> None:
+        if self.stopped:
+            return
+        self.callback()
+        delay = self.interval
+        if self.jitter and self.rng is not None:
+            delay += self.rng.uniform(-self.jitter, self.jitter)
+        if delay < 0:
+            delay = 0.0
+        self.sim.call_after(delay, self.tick)
+
+    def cancel(self) -> None:
+        self.stopped = True
 
 
 class Simulator:
@@ -48,11 +122,14 @@ class Simulator:
     """
 
     def __init__(self) -> None:
-        self._queue: list[Event] = []
-        self._counter = itertools.count()
+        #: Heap of ``[time, seq, callback, args]`` entries; ``callback`` is
+        #: ``None`` for tombstoned (cancelled) entries.
+        self._queue: list = []
+        self._seq = 0
         self._now = 0.0
         self._running = False
         self._processed = 0
+        self._tombstones = 0
 
     @property
     def now(self) -> float:
@@ -64,21 +141,42 @@ class Simulator:
         """Number of events executed so far (for diagnostics)."""
         return self._processed
 
-    def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
-        """Schedule ``callback`` to run ``delay`` seconds from now.
+    @property
+    def tombstones(self) -> int:
+        """Number of cancelled entries still sitting in the queue."""
+        return self._tombstones
 
-        Negative delays are clamped to zero, which keeps callers simple when
-        a computed delay underflows to a tiny negative float.
+    def schedule(self, delay: float, callback: Callable[..., None],
+                 *args) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now.
+
+        Returns a cancellable :class:`Event` handle.  Negative delays are
+        clamped to zero, which keeps callers simple when a computed delay
+        underflows to a tiny negative float.
         """
         if delay < 0:
             delay = 0.0
-        event = Event(time=self._now + delay, seq=next(self._counter), callback=callback)
-        heapq.heappush(self._queue, event)
-        return event
+        seq = self._seq
+        self._seq = seq + 1
+        entry = [self._now + delay, seq, callback, args]
+        heappush(self._queue, entry)
+        return Event(self, entry)
 
-    def schedule_at(self, time: float, callback: Callable[[], None]) -> Event:
+    def call_after(self, delay: float, callback: Callable[..., None],
+                   *args) -> None:
+        """Fast-path :meth:`schedule` for callbacks that are never
+        cancelled: no :class:`Event` handle is allocated."""
+        if delay < 0:
+            delay = 0.0
+        seq = self._seq
+        self._seq = seq + 1
+        heappush(self._queue, [self._now + delay, seq, callback, args])
+
+    def schedule_at(self, time: float, callback: Callable[..., None],
+                    *args) -> Event:
         """Schedule ``callback`` at an absolute simulation time."""
-        return self.schedule(max(0.0, time - self._now), callback)
+        delay = time - self._now
+        return self.schedule(delay if delay > 0.0 else 0.0, callback, *args)
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None,
             stop_when: Optional[Callable[[], bool]] = None) -> None:
@@ -94,28 +192,77 @@ class Simulator:
                 futures wait for a reply without distorting simulated time.
         """
         self._running = True
-        executed = 0
-        while self._queue and self._running:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
-                continue
-            if until is not None and event.time > until:
-                # Put it back so a later run() continues where we stopped.
-                heapq.heappush(self._queue, event)
+        queue = self._queue
+        # ``self._processed`` is incremented per event (not batched in a
+        # local) because callbacks may re-enter ``run`` -- a synchronous
+        # future waiting on a reply drives a nested loop over this queue.
+        if stop_when is None and max_events is None:
+            # Fast path for the dominant call shape, ``run(until=...)``:
+            # no per-event predicate or budget checks.
+            limit = float("inf") if until is None else until
+            while queue and self._running:
+                entry = queue[0]
+                callback = entry[2]
+                if callback is None:
+                    heappop(queue)
+                    self._tombstones -= 1
+                    continue
+                event_time = entry[0]
+                if event_time > limit:
+                    self._now = until
+                    self._running = False
+                    return
+                heappop(queue)
+                self._now = event_time
+                args = entry[3]
+                entry[2] = None
+                entry[3] = None
+                if args:
+                    callback(*args)
+                else:
+                    callback()
+                self._processed += 1
+            if until is not None and self._now < until:
                 self._now = until
-                break
-            self._now = event.time
-            event.callback()
+            self._running = False
+            return
+        executed = 0
+        while queue and self._running:
+            entry = queue[0]
+            callback = entry[2]
+            if callback is None:
+                heappop(queue)
+                self._tombstones -= 1
+                continue
+            event_time = entry[0]
+            if until is not None and event_time > until:
+                # Leave it queued so a later run() continues where we stopped.
+                self._now = until
+                self._running = False
+                return
+            heappop(queue)
+            self._now = event_time
+            args = entry[3]
+            # Mark the entry fired *before* the callback runs: a late
+            # ``Event.cancel`` (e.g. a reply cancelling its own retry timer
+            # from inside that timer's callback chain) must not count a
+            # tombstone for an entry that already left the queue.
+            entry[2] = None
+            entry[3] = None
+            if args:
+                callback(*args)
+            else:
+                callback()
             self._processed += 1
             executed += 1
             if stop_when is not None and stop_when():
                 self._running = False
                 return
             if max_events is not None and executed >= max_events:
-                break
-        else:
-            if until is not None and self._now < until:
-                self._now = until
+                self._running = False
+                return
+        if until is not None and self._now < until:
+            self._now = until
         self._running = False
 
     def stop(self) -> None:
@@ -125,6 +272,42 @@ class Simulator:
     def pending(self) -> int:
         """Number of events still queued (including cancelled ones)."""
         return len(self._queue)
+
+    def pending_live(self) -> int:
+        """Number of queued events that are not tombstones."""
+        return len(self._queue) - self._tombstones
+
+    # ------------------------------------------------------------------ #
+    # Tombstone bookkeeping.
+    # ------------------------------------------------------------------ #
+
+    def _note_tombstone(self) -> None:
+        """Record one cancellation; compact when the heap is mostly dead.
+
+        Without compaction a workload that schedules and cancels timers
+        faster than their deadlines pass (client retry timers, TCP RTOs)
+        grows the heap without bound and every push/pop pays ``log`` of the
+        garbage.  Compaction keeps the heap at most half dead.
+        """
+        self._tombstones += 1
+        queue = self._queue
+        if len(queue) >= _COMPACT_MIN_QUEUE and self._tombstones * 2 > len(queue):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop tombstoned entries and re-heapify the queue.
+
+        In place (``[:]``): ``run`` loops hold a direct reference to the
+        queue list, and cancellations -- hence compactions -- routinely
+        happen from inside event callbacks.
+        """
+        self._queue[:] = [entry for entry in self._queue if entry[2] is not None]
+        heapify(self._queue)
+        self._tombstones = 0
+
+    # ------------------------------------------------------------------ #
+    # Periodic processes.
+    # ------------------------------------------------------------------ #
 
     def every(self, interval: float, callback: Callable[[], None],
               start: float = 0.0, jitter: float = 0.0,
@@ -142,20 +325,6 @@ class Simulator:
         Returns:
             A zero-argument function that cancels the periodic process.
         """
-        state = {"stopped": False}
-
-        def tick() -> None:
-            if state["stopped"]:
-                return
-            callback()
-            delay = interval
-            if jitter and rng is not None:
-                delay += rng.uniform(-jitter, jitter)
-            self.schedule(max(0.0, delay), tick)
-
-        self.schedule(start, tick)
-
-        def cancel() -> None:
-            state["stopped"] = True
-
-        return cancel
+        process = _Periodic(self, interval, callback, jitter, rng)
+        self.call_after(start, process.tick)
+        return process.cancel

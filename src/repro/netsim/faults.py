@@ -26,8 +26,8 @@ event engine this makes whole failure scenarios replay byte-identically.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple, Union
 
 from repro.netsim.link import Link
 from repro.netsim.packet import Packet

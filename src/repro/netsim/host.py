@@ -21,7 +21,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Optional, TYPE_CHECKING
 
 from repro.netsim.node import Node, Port
-from repro.netsim.packet import Packet, UDPHeader
+from repro.netsim.packet import IPv4Header, Packet, UDPHeader
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.netsim.engine import Simulator
@@ -115,26 +115,28 @@ class Host(Node):
             # The packet waits behind the TX backlog, but its own (scaled)
             # service slot is not charged to its latency -- the scaled rate
             # models the host's query-rate ceiling, not per-packet delay.
-            now = self.sim.now
+            now = self.sim._now
             service = 1.0 / cfg.nic_pps
-            backlog = max(0.0, self._tx_busy_until - now)
+            busy_until = self._tx_busy_until
+            backlog = busy_until - now
+            if backlog < 0.0:
+                backlog = 0.0
+                busy_until = now
             if backlog / service >= cfg.tx_queue_packets:
                 self.tx_dropped += 1
                 return
-            start = max(now, self._tx_busy_until)
-            self._tx_busy_until = start + service
+            self._tx_busy_until = busy_until + service
             delay += backlog
         packet.ip.src_ip = packet.ip.src_ip or self.ip
-        self.sim.schedule(delay, lambda: self.transmit(packet, port))
+        self.sim.call_after(delay, self.transmit, packet, port)
 
     def send_udp(self, dst_ip: str, dst_port: int, payload, payload_bytes: int,
                  src_port: int = 0) -> Packet:
         """Convenience wrapper that builds and sends a UDP packet."""
-        packet = Packet(payload=payload, payload_bytes=payload_bytes)
-        packet.ip.src_ip = self.ip
-        packet.ip.dst_ip = dst_ip
-        packet.udp = UDPHeader(src_port=src_port, dst_port=dst_port)
-        packet.created_at = self.sim.now
+        packet = Packet(ip=IPv4Header(src_ip=self.ip, dst_ip=dst_ip),
+                        udp=UDPHeader(src_port=src_port, dst_port=dst_port),
+                        payload=payload, payload_bytes=payload_bytes,
+                        created_at=self.sim._now)
         self.send(packet)
         return packet
 
@@ -149,12 +151,15 @@ class Host(Node):
         delay = cfg.stack_delay
         rx_pps = cfg.rx_pps if cfg.rx_pps is not None else cfg.nic_pps
         if rx_pps:
-            now = self.sim.now
-            backlog = max(0.0, self._rx_busy_until - now)
-            start = max(now, self._rx_busy_until)
-            self._rx_busy_until = start + 1.0 / rx_pps
+            now = self.sim._now
+            busy_until = self._rx_busy_until
+            backlog = busy_until - now
+            if backlog < 0.0:
+                backlog = 0.0
+                busy_until = now
+            self._rx_busy_until = busy_until + 1.0 / rx_pps
             delay += backlog
-        self.sim.schedule(delay, lambda: self._dispatch(packet))
+        self.sim.call_after(delay, self._dispatch, packet)
 
     def _dispatch(self, packet: Packet) -> None:
         if self.failed:

@@ -15,7 +15,7 @@ import random
 from dataclasses import dataclass
 from typing import Optional, TYPE_CHECKING
 
-from repro.netsim.packet import Packet
+from repro.netsim.packet import IP_WIRE_OVERHEAD, Packet, UDP_WIRE_OVERHEAD
 from repro.netsim.node import Port
 from repro.netsim.stats import LinkStats
 
@@ -98,7 +98,12 @@ class Link:
 
     def transmit(self, packet: Packet, from_port: Port) -> None:
         """Carry ``packet`` from ``from_port`` to the opposite port."""
-        dst_port = self.other_end(from_port)
+        if from_port is self.port_a:
+            dst_port = self.port_b
+        elif from_port is self.port_b:
+            dst_port = self.port_a
+        else:
+            raise ValueError("port is not attached to this link")
         if not self.up:
             self.dropped += 1
             self.stats.dropped_down += 1
@@ -110,7 +115,9 @@ class Link:
             return
         latency = cfg.delay
         if cfg.bandwidth_bps:
-            latency += packet.size_bytes() * 8.0 / cfg.bandwidth_bps
+            size = packet.payload_bytes + (
+                UDP_WIRE_OVERHEAD if packet.udp is not None else IP_WIRE_OVERHEAD)
+            latency += size * 8.0 / cfg.bandwidth_bps
         if cfg.reorder_jitter > 0:
             latency += self.rng.uniform(0.0, cfg.reorder_jitter)
             self.stats.reordered += 1
@@ -128,12 +135,16 @@ class Link:
                 self.stats.delayed += 1
             if verdict.reordered:
                 self.stats.reordered += 1
-        self.sim.schedule(latency, lambda: self._deliver(packet, dst_port))
+        self.sim.call_after(latency, self._deliver, packet, dst_port)
 
     def _deliver(self, packet: Packet, dst_port: Port) -> None:
         self.delivered += 1
         self.stats.delivered += 1
-        dst_port.node.deliver(packet, dst_port)
+        # Inlined Node.deliver (one call per hop on the hot path).
+        node = dst_port.node
+        node.packets_received += 1
+        dst_port.rx_packets += 1
+        node.receive(packet, dst_port)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Link({self.port_a.name} <-> {self.port_b.name})"

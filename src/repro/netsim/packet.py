@@ -5,10 +5,11 @@ NetChain queries are UDP packets with a custom header stack
 
     ETH | IP | UDP | OP KEY VALUE SC S0 S1 ... Sk SEQ
 
-The simulator keeps headers as small dataclasses for speed; the wire
-encoding (used by :mod:`repro.core.protocol` and by tests that check the
-format fits in a jumbo frame) is provided by ``to_bytes``/``from_bytes``
-on each header.
+The simulator keeps headers as small slotted dataclasses for speed; the
+wire encoding (used by :mod:`repro.core.protocol` and by tests that check
+the format fits in a jumbo frame) is provided by ``to_bytes``/``from_bytes``
+on each header.  :class:`Packet` itself is a hand-rolled ``__slots__`` class
+because packet construction is on the per-query hot path.
 """
 
 from __future__ import annotations
@@ -16,7 +17,7 @@ from __future__ import annotations
 import ipaddress
 import itertools
 import struct
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass
 from typing import Any, Optional
 
 #: UDP destination port reserved for NetChain queries (Section 3).
@@ -38,7 +39,7 @@ def int_to_ip(value: int) -> str:
     return str(ipaddress.IPv4Address(value))
 
 
-@dataclass
+@dataclass(slots=True)
 class EthernetHeader:
     """Layer-2 header.  MAC addresses are plain strings (``"02:00:00:00:00:01"``)."""
 
@@ -64,8 +65,11 @@ class EthernetHeader:
         (ethertype,) = struct.unpack("!H", data[12:14])
         return cls(src_mac=src, dst_mac=dst, ethertype=ethertype)
 
+    def copy(self) -> "EthernetHeader":
+        return EthernetHeader(self.src_mac, self.dst_mac, self.ethertype)
 
-@dataclass
+
+@dataclass(slots=True)
 class IPv4Header:
     """Layer-3 header.  Only the fields the protocols need are modelled."""
 
@@ -101,8 +105,11 @@ class IPv4Header:
             protocol=fields[6],
         )
 
+    def copy(self) -> "IPv4Header":
+        return IPv4Header(self.src_ip, self.dst_ip, self.ttl, self.protocol)
 
-@dataclass
+
+@dataclass(slots=True)
 class UDPHeader:
     """Layer-4 header."""
 
@@ -120,8 +127,19 @@ class UDPHeader:
         src, dst, length, _checksum = struct.unpack("!HHHH", data[: cls.HEADER_BYTES])
         return cls(src_port=src, dst_port=dst, length=length)
 
+    def copy(self) -> "UDPHeader":
+        return UDPHeader(self.src_port, self.dst_port, self.length)
 
-@dataclass
+
+#: ETH + IP header bytes, the fixed part of every packet's wire size.
+_BASE_HEADER_BYTES = EthernetHeader.HEADER_BYTES + IPv4Header.HEADER_BYTES
+
+#: Full fixed overhead of a (non-)UDP packet, for hot paths that add the
+#: payload size without a method call.
+IP_WIRE_OVERHEAD = _BASE_HEADER_BYTES
+UDP_WIRE_OVERHEAD = _BASE_HEADER_BYTES + UDPHeader.HEADER_BYTES
+
+
 class Packet:
     """A simulated packet.
 
@@ -129,25 +147,40 @@ class Packet:
     :class:`repro.core.protocol.NetChainHeader`); ``payload_bytes`` is the
     size charged against link bandwidth and frame limits and is derived from
     the payload's declared wire size when available.
+
+    Packets are mutated in place as they traverse the network (switches
+    rewrite headers rather than copying, exactly like a real pipeline);
+    :meth:`copy` exists for retransmissions, which need an independent
+    header stack and a fresh identity.
     """
 
-    eth: EthernetHeader = field(default_factory=EthernetHeader)
-    ip: IPv4Header = field(default_factory=IPv4Header)
-    udp: Optional[UDPHeader] = None
-    payload: Any = None
-    payload_bytes: int = 0
-    packet_id: int = field(default_factory=lambda: next(_packet_ids))
-    #: Number of switch pipeline traversals so far (used by capacity accounting).
-    pipeline_passes: int = 0
-    #: Creation timestamp, stamped by hosts for latency measurement.
-    created_at: float = 0.0
+    __slots__ = ("eth", "ip", "udp", "payload", "payload_bytes", "packet_id",
+                 "pipeline_passes", "created_at")
+
+    def __init__(self, eth: Optional[EthernetHeader] = None,
+                 ip: Optional[IPv4Header] = None,
+                 udp: Optional[UDPHeader] = None,
+                 payload: Any = None,
+                 payload_bytes: int = 0,
+                 packet_id: Optional[int] = None,
+                 pipeline_passes: int = 0,
+                 created_at: float = 0.0) -> None:
+        self.eth = eth if eth is not None else EthernetHeader()
+        self.ip = ip if ip is not None else IPv4Header()
+        self.udp = udp
+        self.payload = payload
+        self.payload_bytes = payload_bytes
+        self.packet_id = packet_id if packet_id is not None else next(_packet_ids)
+        #: Number of switch pipeline traversals so far (used by capacity accounting).
+        self.pipeline_passes = pipeline_passes
+        #: Creation timestamp, stamped by hosts for latency measurement.
+        self.created_at = created_at
 
     def size_bytes(self) -> int:
         """Total on-wire size of the packet."""
-        size = EthernetHeader.HEADER_BYTES + IPv4Header.HEADER_BYTES
         if self.udp is not None:
-            size += UDPHeader.HEADER_BYTES
-        return size + self.payload_bytes
+            return _BASE_HEADER_BYTES + UDPHeader.HEADER_BYTES + self.payload_bytes
+        return _BASE_HEADER_BYTES + self.payload_bytes
 
     def fits_in_jumbo_frame(self) -> bool:
         """Whether the packet respects the 9KB Ethernet jumbo-frame limit."""
@@ -155,15 +188,14 @@ class Packet:
 
     def copy(self) -> "Packet":
         """A shallow copy with a fresh packet id (used for retransmissions)."""
-        clone = replace(self)
-        clone.packet_id = next(_packet_ids)
-        clone.eth = replace(self.eth)
-        clone.ip = replace(self.ip)
-        if self.udp is not None:
-            clone.udp = replace(self.udp)
-        if hasattr(self.payload, "copy"):
-            clone.payload = self.payload.copy()
-        return clone
+        payload = self.payload
+        if hasattr(payload, "copy"):
+            payload = payload.copy()
+        return Packet(eth=self.eth.copy(), ip=self.ip.copy(),
+                      udp=self.udp.copy() if self.udp is not None else None,
+                      payload=payload, payload_bytes=self.payload_bytes,
+                      pipeline_passes=self.pipeline_passes,
+                      created_at=self.created_at)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         proto = "udp" if self.udp is not None else "ip"

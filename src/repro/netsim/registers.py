@@ -52,11 +52,19 @@ class RegisterArray:
         return list(self._data)
 
     def load(self, values: List[Any]) -> None:
-        """Overwrite the array from a snapshot of the same length."""
+        """Overwrite the array from a snapshot of the same length.
+
+        In-place so that readers holding a direct reference to the backing
+        list keep observing the array.  Note: the NetChain store arrays
+        (``netchain_*``) are owned by :class:`repro.core.kvstore.SwitchKVStore`,
+        which maintains derived lookup/value mirrors -- state on those
+        arrays must be written through the store's ``write_loc``/
+        ``import_items``, not by loading snapshots into the raw arrays.
+        """
         if len(values) != self.slots:
             raise ValueError(
                 f"snapshot length {len(values)} does not match array size {self.slots}")
-        self._data = list(values)
+        self._data[:] = values
 
     def __len__(self) -> int:
         return self.slots

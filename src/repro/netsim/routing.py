@@ -14,11 +14,10 @@ switch failure the underlay recomputes paths that avoid the failed device.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Iterable, List, Optional
 
 import networkx as nx
 
-from repro.netsim.switch import Switch
 from repro.netsim.topology import Topology
 
 

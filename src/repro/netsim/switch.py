@@ -49,6 +49,13 @@ class PipelineAction(Enum):
     CONSUME = auto()
 
 
+#: Module-level aliases: enum member access is an attribute lookup per use,
+#: and the pipeline compares actions for every packet.
+_DROP = PipelineAction.DROP
+_CONSUME = PipelineAction.CONSUME
+_FORWARD = PipelineAction.FORWARD
+
+
 class PipelineProgram:
     """Interface for data-plane programs installed on a switch."""
 
@@ -165,24 +172,28 @@ class Switch(Node):
             self.dropped_injected += 1
             return
         cfg = self.config
-        if cfg.capacity_pps is None:
-            self.sim.schedule(cfg.pipeline_delay, lambda: self._process(packet, port))
+        capacity = cfg.capacity_pps
+        if capacity is None:
+            self.sim.call_after(cfg.pipeline_delay, self._process, packet, port)
             return
         # Single-server queue with tail drop.  The packet waits for the
         # backlog ahead of it but its own service slot is not added to its
         # latency: the scaled-down service rate models the throughput
         # ceiling, not per-packet processing delay (which is
         # ``pipeline_delay``).  See DESIGN.md, "Scale model".
-        now = self.sim.now
-        backlog = max(0.0, self._busy_until - now)
-        service_time = 1.0 / cfg.capacity_pps
+        now = self.sim._now
+        busy_until = self._busy_until
+        backlog = busy_until - now
+        if backlog < 0.0:
+            backlog = 0.0
+            busy_until = now
+        service_time = 1.0 / capacity
         if backlog / service_time >= cfg.ingress_queue_packets:
             self.dropped_capacity += 1
             return
-        start = max(now, self._busy_until)
-        self._busy_until = start + service_time
-        finish = backlog + cfg.pipeline_delay
-        self.sim.schedule(finish, lambda: self._process(packet, port))
+        self._busy_until = busy_until + service_time
+        self.sim.call_after(backlog + cfg.pipeline_delay, self._process,
+                            packet, port)
 
     def _process(self, packet: Packet, port: Port) -> None:
         if self.failed:
@@ -197,12 +208,12 @@ class Switch(Node):
             return
         for program in self.programs:
             action = program.process(self, packet, port)
-            if action is PipelineAction.DROP:
+            if action is _DROP:
                 self.dropped_by_program += 1
                 return
-            if action is PipelineAction.CONSUME:
+            if action is _CONSUME:
                 return
-            if action is PipelineAction.FORWARD:
+            if action is _FORWARD:
                 break
         self.forward(packet)
 
@@ -220,11 +231,19 @@ class Switch(Node):
         if out_port is None:
             self.dropped_no_route += 1
             return
-        packet.ip.ttl -= 1
-        if packet.ip.ttl <= 0:
+        ttl = packet.ip.ttl - 1
+        packet.ip.ttl = ttl
+        if ttl <= 0:
             self.packets_dropped += 1
             return
-        self.transmit(packet, out_port)
+        # Inlined Node.transmit (one call per hop on the hot path).
+        link = out_port.link
+        if link is None:
+            self.packets_dropped += 1
+            return
+        self.packets_sent += 1
+        out_port.tx_packets += 1
+        link.transmit(packet, out_port)
 
     # ------------------------------------------------------------------ #
     # Failure injection (Section 5 / Section 8.4).

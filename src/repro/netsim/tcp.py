@@ -19,11 +19,11 @@ preserving the dynamics that matter for throughput under loss.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.netsim.host import Host
-from repro.netsim.packet import Packet, UDPHeader
+from repro.netsim.packet import Packet
 
 _conn_ids = itertools.count(1)
 _port_allocator: Dict[str, int] = {}
@@ -142,7 +142,7 @@ class TcpEndpoint:
                            src_port=self.local_port)
         out = _Outstanding(segment=segment, sent_at=self.host.sim.now, retries=retries)
         rto = min(cfg.max_rto, self._rto * (2 ** retries))
-        out.timer = self.host.sim.schedule(rto, lambda: self._on_timeout(segment.seq))
+        out.timer = self.host.sim.schedule(rto, self._on_timeout, segment.seq)
         self._outstanding[segment.seq] = out
 
     def _on_timeout(self, seq: int) -> None:

@@ -86,7 +86,10 @@ class LoadClient:
             if self.history is not None:
                 record = self.history.invoke(self.name, "read", operation.key)
             future = self.client.read(operation.key)
-        future.then(lambda result: self._on_done(result, record))
+        if record is None:
+            future.then(self._on_done)
+        else:
+            future.then(lambda result: self._on_done(result, record))
 
     def _on_done(self, result: KVResult, record: Optional[HistoryOp] = None) -> None:
         now = self.sim.now

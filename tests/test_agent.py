@@ -6,7 +6,6 @@ import pytest
 
 from repro.core.agent import AgentConfig, NetChainAgent, QueryTimeout
 from repro.core.protocol import OpCode, QueryStatus
-from tests.conftest import make_cluster
 
 
 def test_write_then_read_roundtrip(cluster, agent):

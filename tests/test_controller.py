@@ -5,9 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core.controller import ControllerConfig, NetChainController
-from repro.core.protocol import QueryStatus, normalize_key
 from repro.netsim.topology import build_testbed
-from tests.conftest import make_cluster
 
 
 def test_chain_assignment_uses_distinct_member_switches(cluster):

@@ -156,3 +156,124 @@ def test_periodic_process_with_jitter_stays_positive():
     sim.run(until=10.0)
     assert len(ticks) >= 6
     assert all(b > a for a, b in zip(ticks, ticks[1:]))
+
+
+# --------------------------------------------------------------------- #
+# Hot-path rewrite edge cases: FIFO ties, cancellation, tombstone
+# compaction, stop_when, and whole-scenario determinism.
+# --------------------------------------------------------------------- #
+
+
+def test_same_timestamp_fifo_across_schedule_apis():
+    """FIFO within a timestamp holds across schedule / call_after / args."""
+    sim = Simulator()
+    order = []
+    sim.schedule(1e-6, lambda: order.append("a"))
+    sim.call_after(1e-6, order.append, "b")
+    sim.schedule(1e-6, order.append, "c")
+    sim.call_after(1e-6, lambda: order.append("d"))
+    sim.run()
+    assert order == ["a", "b", "c", "d"]
+
+
+def test_cancel_then_reschedule():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(1.0, lambda: fired.append("first"))
+    event.cancel()
+    assert event.cancelled
+    replacement = sim.schedule(2.0, lambda: fired.append("second"))
+    sim.run()
+    assert fired == ["second"]
+    assert not replacement.cancelled
+    # Cancelling an already-fired event is a harmless no-op and must not
+    # corrupt the tombstone accounting.
+    replacement.cancel()
+    assert sim.tombstones == 0
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    event = sim.schedule(1.0, lambda: None)
+    event.cancel()
+    event.cancel()
+    assert sim.tombstones == 1
+    sim.run()
+    assert sim.tombstones == 0
+
+
+def test_run_stop_when_stops_at_triggering_event():
+    """stop_when halts at the triggering event's timestamp, not at until."""
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.0, lambda: seen.append(1.0))
+    sim.schedule(2.0, lambda: seen.append(2.0))
+    sim.schedule(9.0, lambda: seen.append(9.0))
+    sim.run(until=100.0, stop_when=lambda: len(seen) == 2)
+    assert seen == [1.0, 2.0]
+    assert sim.now == 2.0  # exactly the triggering event, no fast-forward
+    sim.run(until=100.0)
+    assert seen == [1.0, 2.0, 9.0]
+
+
+def test_tombstones_are_compacted_when_majority_dead():
+    """Cancelled events must not sit in the heap forever (satellite fix)."""
+    sim = Simulator()
+    events = [sim.schedule(1.0 + i * 1e-3, lambda: None) for i in range(512)]
+    assert sim.pending() == 512
+    # Cancel well past half the queue: compaction must kick in and shrink
+    # the heap rather than leaving the tombstones until their deadlines.
+    for event in events[:400]:
+        event.cancel()
+    assert sim.pending() < 512
+    assert sim.pending_live() == 112
+    assert sim.tombstones * 2 <= sim.pending()
+    fired = []
+    sim.schedule(0.5, lambda: fired.append("live"))
+    sim.run()
+    assert fired == ["live"]
+    assert sim.processed_events == 113  # 112 survivors + the extra one
+
+
+def test_compaction_during_run_keeps_queue_reference_valid():
+    """Cancelling en masse from inside a callback (which triggers an
+    in-place compaction) must not detach the running loop's queue."""
+    sim = Simulator()
+    fired = []
+    doomed = [sim.schedule(5.0, lambda: fired.append("doomed")) for _ in range(256)]
+
+    def cancel_all():
+        for event in doomed:
+            event.cancel()
+
+    sim.schedule(1.0, cancel_all)
+    sim.schedule(2.0, lambda: fired.append("after"))
+    sim.run()
+    assert fired == ["after"]
+    assert sim.pending() == 0
+
+
+def test_periodic_process_via_every_still_cancellable():
+    sim = Simulator()
+    ticks = []
+    cancel = sim.every(1.0, lambda: ticks.append(sim.now))
+    sim.run(until=2.5)
+    cancel()
+    sim.run(until=10.0)
+    assert ticks == [0.0, 1.0, 2.0]
+
+
+def test_seeded_scenario_processed_events_pinned():
+    """Whole-scenario determinism: the rewritten engine must execute the
+    exact same event stream for a seeded macro-scenario.  If this count
+    moves, the engine's ordering or the simulation's event structure
+    changed -- both are part of the determinism contract."""
+    from repro.deploy import DeploymentSpec, WorkloadSpec, run_scenario
+
+    spec = DeploymentSpec(backend="netchain", store_size=20, value_size=32, seed=5)
+    workload = WorkloadSpec(num_clients=2, concurrency=2, write_ratio=0.5,
+                            duration=0.25, drain=0.25)
+    result = run_scenario(spec, workload)
+    assert result.ok(), result.failures
+    assert result.deployment.sim.processed_events == 116946
+    assert result.completed_ops == 10254

@@ -8,7 +8,6 @@ must be rejected.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.client import KVResult
 from repro.core.history import (
@@ -16,7 +15,6 @@ from repro.core.history import (
     RecordingClient,
     check_linearizable,
 )
-from repro.netsim.engine import Simulator
 from tests.conftest import make_cluster
 
 

@@ -8,7 +8,6 @@ import random
 import pytest
 
 from repro.core.detector import DetectorConfig, FailureDetector
-from repro.netsim.engine import Simulator
 from repro.netsim.faults import (
     FaultInjector,
     FaultSchedule,

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.detector import DetectorConfig
 from repro.experiments.failures import run_fault_scenario
 from tests.conftest import fault_seeds
 

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import random
 
-import pytest
 
 from repro.core.invariants import (
     ClientObservationChecker,

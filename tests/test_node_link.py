@@ -7,7 +7,7 @@ import random
 import pytest
 
 from repro.netsim.engine import Simulator
-from repro.netsim.link import Link, LinkConfig, connect
+from repro.netsim.link import LinkConfig, connect
 from repro.netsim.node import Node
 from repro.netsim.packet import Packet
 

@@ -1,0 +1,189 @@
+"""Tests for the perf-report harness and the benchmark comparison gate."""
+
+from __future__ import annotations
+
+import copy
+import importlib.util
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load(name: str):
+    spec = importlib.util.spec_from_file_location(
+        name, REPO_ROOT / "benchmarks" / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+perf_report = _load("perf_report")
+compare_bench = _load("compare_bench")
+
+
+# --------------------------------------------------------------------- #
+# perf_report: schema and determinism.
+# --------------------------------------------------------------------- #
+
+def test_calibration_counts_every_event():
+    result = perf_report.calibrate(events=2000)
+    assert result["events"] == 2000 + 64  # ladder + priming events
+    assert result["events_per_sec"] > 0
+    assert result["wall_clock_s"] > 0
+
+
+def test_quick_report_matches_schema(tmp_path):
+    report = perf_report.build_report(quick=True)
+    assert report["schema"] == perf_report.SCHEMA
+    for section in ("environment", "calibration", "macro", "backends",
+                    "figures"):
+        assert section in report, section
+    macro = report["macro"]
+    assert macro["backend"] == "netchain"
+    assert macro["processed_events"] > 0
+    assert macro["events_per_sec"] > 0
+    assert macro["events_per_sec_calibrated"] > 0
+    assert report["peak_rss_bytes"] > 0
+    from repro.deploy import available_backends
+    assert set(report["backends"]) == set(available_backends())
+    for entry in report["figures"].values():
+        assert entry["wall_clock_s"] > 0
+        assert entry["calibrated_cost"] > 0
+    # The report must round-trip through JSON (the artifact format).
+    parsed = json.loads(json.dumps(report))
+    assert parsed["schema"] == report["schema"]
+    # Event counts are seeded and deterministic: a second quick run must
+    # process the identical event stream.
+    again = perf_report.build_report(quick=True)
+    assert again["macro"]["processed_events"] == macro["processed_events"]
+    assert again["macro"]["completed_ops"] == macro["completed_ops"]
+
+
+def test_committed_baseline_is_a_valid_report():
+    baseline = json.loads(
+        (REPO_ROOT / "benchmarks" / "baseline.json").read_text())
+    assert baseline["schema"] == perf_report.SCHEMA
+    assert baseline["macro"]["events_per_sec"] > 0
+    assert set(baseline["backends"])  # non-empty
+
+
+def test_summary_renders_every_backend():
+    baseline = json.loads(
+        (REPO_ROOT / "benchmarks" / "baseline.json").read_text())
+    summary = perf_report.summarize(baseline)
+    for name in baseline["backends"]:
+        assert name in summary
+
+
+# --------------------------------------------------------------------- #
+# compare_bench: the regression gate.
+# --------------------------------------------------------------------- #
+
+def _tiny_report() -> dict:
+    return {
+        "schema": compare_bench.SCHEMA,
+        "macro": {"events_per_sec": 1000.0, "events_per_sec_calibrated": 0.5},
+        "backends": {
+            "netchain": {"events_per_sec": 1000.0,
+                         "events_per_sec_calibrated": 0.5,
+                         "wall_clock_s": 1.0},
+        },
+        "figures": {
+            "fig9a": {"wall_clock_s": 2.0, "calibrated_cost": 4000.0},
+        },
+        "peak_rss_bytes": 100.0,
+    }
+
+
+def test_identical_reports_pass():
+    report = _tiny_report()
+    cmp = compare_bench.compare(report, copy.deepcopy(report), tolerance=0.15)
+    assert not cmp.regressions
+
+
+def test_regression_beyond_tolerance_fails():
+    old, new = _tiny_report(), _tiny_report()
+    new["macro"]["events_per_sec_calibrated"] = 0.4   # -20%
+    cmp = compare_bench.compare(old, new, tolerance=0.15)
+    assert "macro.events_per_sec_calibrated" in cmp.regressions
+
+
+def test_regression_within_tolerance_passes():
+    old, new = _tiny_report(), _tiny_report()
+    new["macro"]["events_per_sec_calibrated"] = 0.45  # -10%
+    cmp = compare_bench.compare(old, new, tolerance=0.15)
+    assert not cmp.regressions
+
+
+def test_cost_metrics_regress_when_they_grow():
+    old, new = _tiny_report(), _tiny_report()
+    new["figures"]["fig9a"]["calibrated_cost"] = 6000.0  # +50% cost
+    new["peak_rss_bytes"] = 200.0                        # double the memory
+    cmp = compare_bench.compare(old, new, tolerance=0.15)
+    assert "figures.fig9a.calibrated_cost" in cmp.regressions
+    # RSS is allocator/machine-dependent: informational by default, gated
+    # only for same-machine (--raw) comparisons.
+    assert "peak_rss_bytes" not in cmp.regressions
+    raw = compare_bench.compare(old, new, tolerance=0.15, include_raw=True)
+    assert "peak_rss_bytes" in raw.regressions
+
+
+def test_improvements_never_fail():
+    old, new = _tiny_report(), _tiny_report()
+    new["macro"]["events_per_sec_calibrated"] = 5.0
+    new["figures"]["fig9a"]["calibrated_cost"] = 1.0
+    cmp = compare_bench.compare(old, new, tolerance=0.15)
+    assert not cmp.regressions
+
+
+def test_sub_threshold_measurements_are_not_gated():
+    """A 10ms scenario is timing noise; it must inform, never fail."""
+    old, new = _tiny_report(), _tiny_report()
+    for report in (old, new):
+        report["backends"]["netchain"]["wall_clock_s"] = 0.01
+    new["backends"]["netchain"]["events_per_sec_calibrated"] = 0.1  # -80%
+    cmp = compare_bench.compare(old, new, tolerance=0.15)
+    assert not cmp.regressions
+
+
+def test_backend_regression_with_solid_wall_clock_fails():
+    old, new = _tiny_report(), _tiny_report()
+    new["backends"]["netchain"]["events_per_sec_calibrated"] = 0.1
+    cmp = compare_bench.compare(old, new, tolerance=0.15)
+    assert "backends.netchain.events_per_sec_calibrated" in cmp.regressions
+
+
+def test_raw_metrics_gated_only_with_flag():
+    old, new = _tiny_report(), _tiny_report()
+    new["macro"]["events_per_sec"] = 100.0  # -90% raw
+    assert not compare_bench.compare(old, new, tolerance=0.15).regressions
+    gated = compare_bench.compare(old, new, tolerance=0.15, include_raw=True)
+    assert "macro.events_per_sec" in gated.regressions
+
+
+def test_cli_exit_codes(tmp_path):
+    old, new = _tiny_report(), _tiny_report()
+    new["macro"]["events_per_sec_calibrated"] = 0.1
+    old_path = tmp_path / "old.json"
+    new_path = tmp_path / "new.json"
+    old_path.write_text(json.dumps(old))
+    new_path.write_text(json.dumps(new))
+    ok = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "benchmarks" / "compare_bench.py"),
+         str(old_path), str(old_path)], capture_output=True)
+    assert ok.returncode == 0
+    fail = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "benchmarks" / "compare_bench.py"),
+         str(old_path), str(new_path)], capture_output=True)
+    assert fail.returncode == 1
+
+
+def test_schema_mismatch_is_rejected(tmp_path):
+    bogus = tmp_path / "bogus.json"
+    bogus.write_text(json.dumps({"schema": "something-else/v9"}))
+    import pytest
+    with pytest.raises(SystemExit):
+        compare_bench.load_report(str(bogus))

@@ -9,7 +9,6 @@ from repro.core.protocol import (
     NetChainHeader,
     OpCode,
     QueryStatus,
-    make_write,
     normalize_key,
 )
 from repro.core.ring import ConsistentHashRing

@@ -9,7 +9,6 @@ import pytest
 
 from repro.core.reconfig import MigrationCoordinator, ReconfigConfig, ReconfigPlanner
 from repro.core.ring import ConsistentHashRing
-from tests.conftest import make_cluster
 
 MEMBERS = ["S0", "S1", "S2", "S3"]
 

@@ -12,7 +12,6 @@ makes the protocol behaviours easy to pin down:
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.kvstore import KVStoreConfig, SwitchKVStore
 from repro.core.protocol import (

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.netsim.host import HostConfig
 from repro.netsim.link import LinkConfig
