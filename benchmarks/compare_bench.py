@@ -96,6 +96,32 @@ def compare(old: dict, new: dict, tolerance: float, include_raw: bool = False) -
         gated=include_raw,
     )
 
+    # The skewed macro (hot-key tier ablation) is gated only when both
+    # reports carry it, so the section can be introduced before the
+    # committed baseline is refreshed.
+    old_skewed = old.get("macro_skewed", {})
+    new_skewed = new.get("macro_skewed", {})
+    for mode in sorted(
+        name
+        for name in set(old_skewed) & set(new_skewed)
+        if isinstance(old_skewed[name], dict)
+    ):
+        cmp.check(
+            f"macro_skewed.{mode}.events_per_sec_calibrated",
+            old_skewed[mode].get("events_per_sec_calibrated"),
+            new_skewed[mode].get("events_per_sec_calibrated"),
+            higher_is_better=True,
+            gated=_long_enough(old_skewed[mode], new_skewed[mode]),
+        )
+    cmp.check(
+        "macro_skewed.tier_speedup_sim_qps",
+        old_skewed.get("tier_speedup_sim_qps"),
+        new_skewed.get("tier_speedup_sim_qps"),
+        # Simulated, seed-deterministic: a drop means the tier itself got
+        # less effective, not that the runner was slow.
+        higher_is_better=True,
+    )
+
     for name in sorted(set(old.get("backends", {})) & set(new.get("backends", {}))):
         cmp.check(
             f"backends.{name}.events_per_sec_calibrated",

@@ -20,6 +20,9 @@ Schema (stable; additions are allowed, renames/removals are a new version):
 * ``macro``        -- the headline macro-workload: a seeded closed-loop
   NetChain scenario; reports processed events, wall clock, events/sec
   (raw + calibrated) and peak RSS.
+* ``macro_skewed`` -- the same macro shape under Zipf-0.99 skew, with the
+  adaptive hot-key tier off and on, plus the (seed-deterministic)
+  ``tier_speedup_sim_qps`` ratio between the two.
 * ``backends``     -- the same scenario shape on every registered backend.
 * ``figures``      -- one timed point per figure-style workload (value
   size, write ratio, loss rate, latency, failover), each with wall clock
@@ -105,6 +108,25 @@ def calibrate(events: int = CALIBRATION_EVENTS) -> dict:
 def _macro_workload(quick: bool) -> WorkloadSpec:
     return WorkloadSpec(num_clients=4, concurrency=8, write_ratio=0.3,
                         duration=0.1 if quick else 0.5, drain=0.1)
+
+
+def _skewed_workload(quick: bool) -> WorkloadSpec:
+    """The skewed macro-workload of the hot-key tier ablation.
+
+    Zipf 0.99 at a concurrency just past the scaled client-NIC knee: the
+    operating point where the adaptive tier's read coalescing rescues the
+    deployment from retry-driven congestion collapse (see
+    ``benchmarks/test_hotkey_tier.py`` for the full theta sweep).
+    """
+    return WorkloadSpec(num_clients=4, concurrency=12, write_ratio=0.1,
+                        zipf_theta=0.99, duration=0.1 if quick else 0.2,
+                        drain=0.1)
+
+
+def _skewed_spec(hotkey_tier: bool) -> DeploymentSpec:
+    return DeploymentSpec(backend="netchain", store_size=64, value_size=64,
+                          seed=SEED, hotkey_tier=hotkey_tier,
+                          options={"hotkey_tier": {"hot_threshold": 16}})
 
 
 def _timed_scenario(spec: DeploymentSpec, workload: WorkloadSpec,
@@ -194,6 +216,20 @@ def build_report(quick: bool = False) -> dict:
                        seed=SEED),
         workload, calibration_eps, repeats=1 if quick else 3)
 
+    # Skewed macro-workload, adaptive hot-key tier off vs on.  sim_qps is
+    # simulated (seed-deterministic), so the speedup is bit-stable and
+    # gateable; the wall-clock metrics follow the usual calibration rules.
+    skewed_workload = _skewed_workload(quick)
+    macro_skewed = {
+        "tier_off": _timed_scenario(_skewed_spec(False), skewed_workload,
+                                    calibration_eps),
+        "tier_on": _timed_scenario(_skewed_spec(True), skewed_workload,
+                                   calibration_eps),
+    }
+    off_qps = macro_skewed["tier_off"]["sim_qps"]
+    macro_skewed["tier_speedup_sim_qps"] = (
+        macro_skewed["tier_on"]["sim_qps"] / off_qps if off_qps else 0.0)
+
     backends = {}
     for name in available_backends():
         spec = DeploymentSpec(backend=name, store_size=20, value_size=32,
@@ -218,6 +254,7 @@ def build_report(quick: bool = False) -> dict:
         },
         "calibration": calibration,
         "macro": macro,
+        "macro_skewed": macro_skewed,
         "backends": backends,
         "figures": figures,
         "peak_rss_bytes": peak_rss_bytes(),
@@ -238,6 +275,15 @@ def summarize(report: dict) -> str:
         f"engine events/sec; calibrated macro throughput "
         f"{macro['events_per_sec_calibrated']:.3f}",
         f"peak RSS: {report['peak_rss_bytes'] / (1024 * 1024):.0f} MiB",
+    ]
+    skewed = report.get("macro_skewed")
+    if skewed:
+        lines.append(
+            f"skewed macro (zipf 0.99): tier off "
+            f"{skewed['tier_off']['sim_qps']:,.0f} qps, tier on "
+            f"{skewed['tier_on']['sim_qps']:,.0f} qps "
+            f"({skewed['tier_speedup_sim_qps']:.2f}x)")
+    lines += [
         "",
         "| backend | events/sec | calibrated | wall (s) | ops |",
         "|---|---|---|---|---|",

@@ -18,6 +18,8 @@ from:
   group membership built on the key-value API.
 * :mod:`repro.core.invariants` -- executable versions of the paper's
   correctness invariants (the TLA+ appendix).
+* :mod:`repro.core.hotkeys` -- the adaptive hot-key tier: sketch-based
+  detection, self-tuning chain widening, epoch-invalidated client caching.
 """
 
 from repro.core.protocol import OpCode, QueryStatus, NetChainHeader
@@ -68,6 +70,14 @@ from repro.core.reconfig import (
     migrate,
 )
 from repro.core.hybrid import HybridStore, HybridPolicy, HybridKVClient
+from repro.core.hotkeys import (
+    ClientReadCache,
+    HotKeyManager,
+    HotKeySketch,
+    HotKeyTierConfig,
+    HotRoute,
+    SketchConfig,
+)
 
 __all__ = [
     "KVClient",
@@ -122,4 +132,10 @@ __all__ = [
     "HybridStore",
     "HybridPolicy",
     "HybridKVClient",
+    "ClientReadCache",
+    "HotKeyManager",
+    "HotKeySketch",
+    "HotKeyTierConfig",
+    "HotRoute",
+    "SketchConfig",
 ]

@@ -130,6 +130,12 @@ class NetChainAgent(KVClient):
         self.udp_port = self.config.udp_port or next(_agent_ports)
         self.host.bind(self.udp_port, self._on_packet)
         self._pending: Dict[int, _Pending] = {}
+        #: Optional hot-key-tier client cache
+        #: (:class:`repro.core.hotkeys.ClientReadCache`); ``None`` keeps
+        #: reads on the direct path.
+        self.read_cache = None
+        #: Hot-key-tier rotated-read routing, when the directory offers it.
+        self._read_route = getattr(directory, "read_route_for_key", None)
         # Statistics.
         self.latency = LatencyRecorder()
         self.read_latency = LatencyRecorder()
@@ -146,7 +152,11 @@ class NetChainAgent(KVClient):
     # ------------------------------------------------------------------ #
 
     def read(self, key, callback: Optional[Callable[[QueryResult], None]] = None) -> KVFuture:
-        """Read the value of ``key``; the reply comes from the chain tail."""
+        """Read the value of ``key``; the reply comes from the chain tail
+        (or, for a tier-managed hot key, a rotated chain replica)."""
+        cache = self.read_cache
+        if cache is not None:
+            return cache.read(self, key, callback)
         return self._submit(OpCode.READ, key, callback=callback, op_name="read")
 
     def write(self, key, value, callback: Optional[Callable[[QueryResult], None]] = None) -> KVFuture:
@@ -269,6 +279,18 @@ class NetChainAgent(KVClient):
         return chain_ips, vgroup, 0
 
     def _build_query(self, pending: _Pending) -> Tuple[NetChainHeader, str]:
+        if pending.op == OpCode.READ and self._read_route is not None:
+            # Hot-key tier: rotate reads of widened keys across the wide
+            # chain.  Re-resolved per transmission, so a retry issued
+            # after a widen/narrow follows the current layout.
+            hot = self._read_route(pending.key)
+            if hot is not None:
+                dst_ip, suffix, vgroup, epoch = hot
+                header = NetChainHeader(op=OpCode.READ, key=pending.key,
+                                        chain=list(suffix), vgroup=vgroup,
+                                        epoch=epoch)
+                header.query_id = pending.query_id
+                return header, dst_ip
         chain_ips, vgroup, epoch = self._route(pending.key)
         if pending.op == OpCode.READ:
             header = make_read(pending.key, chain_ips, vgroup=vgroup, epoch=epoch)

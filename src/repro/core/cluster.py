@@ -209,6 +209,19 @@ class NetChainCluster:
         """A new :class:`FaultSchedule` over the cluster's injector."""
         return FaultSchedule(self.faults(seed), poll_interval=poll_interval)
 
+    def enable_hotkey_tier(self, config=None):
+        """Turn on the adaptive hot-key tier (:mod:`repro.core.hotkeys`).
+
+        Installs a detection sketch on every member switch, starts the
+        :class:`~repro.core.hotkeys.HotKeyManager` policy loop, and (unless
+        disabled in the config) attaches an epoch-validated read cache to
+        every host agent.  ``config`` may be a
+        :class:`~repro.core.hotkeys.HotKeyTierConfig` or an options dict.
+        Returns the manager; ``manager.stop()`` reverts everything.
+        """
+        from repro.core.hotkeys import enable_hotkey_tier
+        return enable_hotkey_tier(self, config)
+
     def start_failure_detector(self, config: Optional[DetectorConfig] = None
                                ) -> FailureDetector:
         """Start the control-plane failure detector (idempotent per cluster).

@@ -159,6 +159,10 @@ class NetChainController:
         self.recovering: Set[str] = set()
         self.events: List[Tuple[float, str]] = []
         self.recovery_reports: List[RecoveryReport] = []
+        #: Hot-key tier policy loop (:class:`repro.core.hotkeys.HotKeyManager`)
+        #: when the tier is enabled; ``None`` keeps routing on the plain
+        #: chain-table path.
+        self.hotkey_manager = None
         install_shortest_path_routes(topology)
 
     # ------------------------------------------------------------------ #
@@ -212,6 +216,13 @@ class NetChainController:
         invalidated wholesale whenever the ring or any chain assignment
         changes; the epoch is always read live.
         """
+        manager = self.hotkey_manager
+        if manager is not None and manager.hot_routes:
+            hot = manager.hot_routes.get(normalize_key(key))
+            if hot is not None:
+                # Writes (and non-rotated reads) of a widened key traverse
+                # the whole wide chain; the commit point is the wide tail.
+                return hot.ips, hot.vgroup, self.epochs.get(hot.vgroup, 0)
         token = (self.ring.generation, self._chain_version)
         cache = self._route_cache
         if self._route_token != token:
@@ -232,6 +243,20 @@ class NetChainController:
             cache[key] = entry
         ips, vgroup = entry
         return ips, vgroup, self.epochs.get(vgroup, 0)
+
+    def read_route_for_key(self, key):
+        """Hot-key-tier rotated read route, or ``None`` for cold keys.
+
+        Agents consult this before building a read; ``None`` (the steady
+        state, one dict/None check) falls through to the normal
+        tail-addressed read via :meth:`route_for_key`.  Returns
+        ``(dst_ip, chain_suffix, vgroup, epoch)`` where the suffix holds
+        the wide-chain hops after ``dst_ip``, toward the wide tail.
+        """
+        manager = self.hotkey_manager
+        if manager is None or not manager.hot_routes:
+            return None
+        return manager.read_route(key)
 
     # ------------------------------------------------------------------ #
     # Key management (control-plane insert / delete, Section 4.1).
@@ -275,6 +300,8 @@ class NetChainController:
 
     def garbage_collect(self, key) -> None:
         """Reclaim the slots of a deleted key on all its chain switches."""
+        if self.hotkey_manager is not None:
+            self.hotkey_manager.forget_key(key)
         info = self.chain_for_key(key)
         raw_key = normalize_key(key)
         for name in info.switches:
@@ -430,6 +457,11 @@ class NetChainController:
         if failed in self.failed_switches:
             return
         self.failed_switches.add(failed)
+        if self.hotkey_manager is not None:
+            # Hot routes through the failed switch must die with it:
+            # rotated reads would otherwise keep retrying into it until
+            # the manager's next poll.
+            self.hotkey_manager.on_switch_failed(failed)
         failed_ip = self.switch_ip(failed)
         self._log(f"fast failover: {failed} ({failed_ip})")
         # The underlay's fast rerouting steers traffic around the failed

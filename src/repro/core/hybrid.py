@@ -25,6 +25,7 @@ from typing import Dict, Optional, Set
 
 from repro.core.agent import NetChainAgent, QueryResult
 from repro.core.client import KVClient, KVFuture, KVResult
+from repro.core.hotkeys import HotKeySketch, SketchConfig
 from repro.core.protocol import MAX_PROTOTYPE_VALUE_BYTES, QueryStatus, normalize_value
 
 
@@ -125,13 +126,20 @@ class HybridStore:
     """One key-value API over the network tier plus a server tier."""
 
     def __init__(self, agent: NetChainAgent, backend,
-                 policy: Optional[HybridPolicy] = None) -> None:
+                 policy: Optional[HybridPolicy] = None,
+                 popularity: Optional[HotKeySketch] = None) -> None:
         self.agent = agent
         self.backend = backend
         self.policy = policy or HybridPolicy()
         self.stats = HybridStats()
         self._network_keys: Set[bytes] = set()
-        self._read_counts: Dict[bytes, int] = {}
+        #: Popularity detector behind ``promote_after_reads``: the same
+        #: sketch + top-k structure the hot-key tier installs on switches
+        #: (:mod:`repro.core.hotkeys`), host-side here.  Deployments that
+        #: enable the tier pass theirs in so both layers share one view of
+        #: key popularity.
+        self.popularity = popularity or HotKeySketch(
+            SketchConfig(rows=2, width=1024, topk=8))
         #: Keys with an asynchronous promotion in flight (HybridKVClient).
         self._promoting: Set[bytes] = set()
         #: Server-tier write generation per key; an async promotion aborts
@@ -218,12 +226,11 @@ class HybridStore:
         if value is None:
             return None
         # Popularity-based promotion of small values (the "hot data" case).
-        count = self._read_counts.get(raw, 0) + 1
-        self._read_counts[raw] = count
+        count = self.popularity.record(raw)
         if (count >= self.policy.promote_after_reads
                 and self.policy.fits_in_network(value)):
             self._promote(key, value)
-            self._read_counts.pop(raw, None)
+            self.popularity.forget(raw)
         return value
 
     def delete(self, key) -> bool:
@@ -237,7 +244,7 @@ class HybridStore:
             deleted = True
         if self.backend.delete(key):
             deleted = True
-        self._read_counts.pop(raw, None)
+        self.popularity.forget(raw)
         return deleted
 
     def cas(self, key, expected, new_value) -> bool:
@@ -318,7 +325,7 @@ class HybridKVClient(KVClient):
             # that network writes have since moved past.
             store.backend.delete(key)
             store._network_keys.add(raw)
-            store._read_counts.pop(raw, None)
+            store.popularity.forget(raw)
             store.stats.promotions += 1
 
         self.agent.insert(key, value).then(on_insert)
@@ -338,8 +345,7 @@ class HybridKVClient(KVClient):
                                 error=None if value is not None else "key_not_found")
             if value is None:
                 return
-            count = store._read_counts.get(raw, 0) + 1
-            store._read_counts[raw] = count
+            count = store.popularity.record(raw)
             if (count >= store.policy.promote_after_reads
                     and store.policy.fits_in_network(value)
                     and raw not in store._promoting):
@@ -446,7 +452,7 @@ class HybridKVClient(KVClient):
         future = KVFuture(self.sim, op="delete", key=raw)
         self._bump_gen(raw)
         server_deleted = store.backend.delete(key)
-        store._read_counts.pop(raw, None)
+        store.popularity.forget(raw)
         if raw in store._network_keys:
             def on_delete(result: KVResult) -> None:
                 self.agent.directory.garbage_collect(key)

@@ -71,6 +71,9 @@ class OpCode(IntEnum):
     INSERT = 3
     DELETE = 4
     CAS = 5
+    #: Hot-key tier clean-version notification (tail -> sibling replicas);
+    #: switch-to-switch only, never sent by clients and never replied to.
+    CLEAN = 6
     READ_REPLY = 17
     WRITE_REPLY = 18
     INSERT_REPLY = 19
@@ -87,7 +90,7 @@ REPLY_FOR = {
     OpCode.CAS: OpCode.CAS_REPLY,
 }
 
-REQUEST_OPS = frozenset(REPLY_FOR)
+REQUEST_OPS = frozenset(REPLY_FOR) | {OpCode.CLEAN}
 REPLY_OPS = frozenset(REPLY_FOR.values())
 
 
@@ -281,3 +284,15 @@ def make_delete(key, chain_ips: List[str], vgroup: int = 0,
     remaining = list(chain_ips[1:])
     return NetChainHeader(op=OpCode.DELETE, key=normalize_key(key), chain=remaining,
                           vgroup=vgroup, epoch=epoch)
+
+
+def make_clean(key, seq: int, session: int, vgroup: int = 0,
+               epoch: int = 0) -> NetChainHeader:
+    """Build a hot-key-tier clean-version notification.
+
+    Sent by the wide-chain tail to its sibling replicas after it commits a
+    write of a tier-managed key; carries the committed ``(session, seq)``
+    so the replica can mark its copy clean (``repro.core.hotkeys``).
+    """
+    return NetChainHeader(op=OpCode.CLEAN, key=normalize_key(key), seq=seq,
+                          session=session, vgroup=vgroup, epoch=epoch)

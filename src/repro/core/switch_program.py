@@ -39,9 +39,10 @@ from repro.core.protocol import (
     REPLY_FOR,
     REPLY_OPS,
     REQUEST_OPS,
+    make_clean,
 )
 from repro.netsim.node import Port
-from repro.netsim.packet import Packet
+from repro.netsim.packet import IPv4Header, Packet, UDPHeader
 from repro.netsim.switch import PipelineAction, PipelineProgram, Switch
 
 _rule_ids = itertools.count(1)
@@ -105,6 +106,11 @@ class ProgramStats:
     dropped_stale_epoch: int = 0
     #: Writes dropped during a per-vgroup migration freeze window.
     dropped_frozen: int = 0
+    #: Hot-key-tier rotated reads forwarded toward the wide tail because
+    #: this replica's copy was not (yet) marked clean.
+    reads_forwarded_dirty: int = 0
+    #: Hot-key-tier CLEAN notifications sent (as the wide-chain tail).
+    clean_notifications: int = 0
 
 
 class NetChainSwitchProgram(PipelineProgram):
@@ -131,6 +137,18 @@ class NetChainSwitchProgram(PipelineProgram):
         #: migration: state is being synchronized to the target chain).
         #: Reads keep flowing -- the frozen state cannot change.
         self.frozen_write_vgroups: Set[int] = set()
+        #: Hot-key sketch installed by the hot-key tier's manager
+        #: (:mod:`repro.core.hotkeys`); ``None`` keeps the read path at its
+        #: steady-state cost.
+        self.hotkeys = None
+        #: Per-key clean version ``(session, seq)`` for hot keys this switch
+        #: replicates as a non-tail wide-chain member.  A rotated read is
+        #: served only while the stored version equals the clean version;
+        #: otherwise it forwards toward the wide tail.
+        self._read_gate: Dict[bytes, tuple] = {}
+        #: Per-key sibling-replica IPs to CLEAN-notify after committing a
+        #: write, installed on the wide-chain tail of each hot key.
+        self._clean_notify: Dict[bytes, tuple] = {}
         self.stats = ProgramStats()
         #: When False the switch ignores NetChain queries entirely (used by
         #: the controller before a replacement switch is activated).
@@ -180,6 +198,22 @@ class NetChainSwitchProgram(PipelineProgram):
     def unfreeze_vgroup_writes(self, vgroup: int) -> None:
         """Lift a migration write freeze."""
         self.frozen_write_vgroups.discard(vgroup)
+
+    def set_read_gate(self, key: bytes, version: tuple) -> None:
+        """Install the clean version gating rotated reads of a hot key."""
+        self._read_gate[key] = version
+
+    def clear_read_gate(self, key: bytes) -> None:
+        """Remove a hot key's read gate (the key narrowed)."""
+        self._read_gate.pop(key, None)
+
+    def set_clean_notify(self, key: bytes, sibling_ips: tuple) -> None:
+        """As the wide-chain tail, CLEAN-notify these siblings on commit."""
+        self._clean_notify[key] = tuple(sibling_ips)
+
+    def clear_clean_notify(self, key: bytes) -> None:
+        """Stop CLEAN-notifying for a hot key (the key narrowed)."""
+        self._clean_notify.pop(key, None)
 
     # ------------------------------------------------------------------ #
     # Pipeline entry point.
@@ -278,6 +312,12 @@ class NetChainSwitchProgram(PipelineProgram):
             # writes drop and the client's retry lands after the commit.
             self.stats.dropped_frozen += 1
             return _DROP
+        if header.op == OpCode.CLEAN:
+            # Hot-key tier: a clean-version notification from the wide
+            # tail.  Pure metadata -- no store access, never replied to.
+            # Losing one only leaves the replica dirty (it keeps
+            # forwarding reads to the tail) until the next commit.
+            return self._apply_clean(header)
         if self.kvstore is None:
             # A transit-only switch (no storage role) addressed directly:
             # treat as a miss.
@@ -302,6 +342,20 @@ class NetChainSwitchProgram(PipelineProgram):
                       loc: int) -> PipelineAction:
         item = self.kvstore.read_loc(loc)
         self.stats.reads += 1
+        hotkeys = self.hotkeys
+        if hotkeys is not None:
+            hotkeys.record(header.key)
+        gate = self._read_gate
+        if gate and header.chain:
+            # Hot-key tier: a non-tail wide-chain replica serves a rotated
+            # read only while its copy is clean (== committed); dirty
+            # copies forward toward the wide tail, which always serves.
+            clean = gate.get(header.key)
+            if clean is not None and (item.session, item.seq) != clean:
+                packet.ip.dst_ip = header.chain.pop(0)
+                packet.payload_bytes = header.wire_size()
+                self.stats.reads_forwarded_dirty += 1
+                return _FORWARD
         if not item.valid:
             self._make_reply(switch, packet, header, QueryStatus.KEY_NOT_FOUND)
             return _FORWARD
@@ -340,8 +394,41 @@ class NetChainSwitchProgram(PipelineProgram):
             packet.ip.dst_ip = header.chain.pop(0)
             packet.payload_bytes = header.wire_size()
             return _FORWARD
+        notify = self._clean_notify
+        if notify:
+            # Hot-key tier: this switch is the wide-chain tail of the key
+            # and just committed a write -- tell the sibling replicas the
+            # new clean version so they resume serving rotated reads.
+            targets = notify.get(header.key)
+            if targets is not None:
+                self._send_clean(switch, header, targets)
         self._make_reply(switch, packet, header, QueryStatus.OK)
         return _FORWARD
+
+    def _apply_clean(self, header: NetChainHeader) -> "PipelineAction":
+        gate = self._read_gate
+        current = gate.get(header.key)
+        if current is not None:
+            version = (header.session, header.seq)
+            if version > current:
+                # Monotonic: reordered UDP delivery cannot roll the clean
+                # version back to an older write.
+                gate[header.key] = version
+        return _DROP
+
+    def _send_clean(self, switch: Switch, header: NetChainHeader,
+                    targets: tuple) -> None:
+        epoch = self.vgroup_epochs.get(header.vgroup, header.epoch)
+        for ip in targets:
+            clean = make_clean(header.key, header.seq, header.session,
+                               vgroup=header.vgroup, epoch=epoch)
+            packet = Packet(ip=IPv4Header(src_ip=switch.ip, dst_ip=ip),
+                            udp=UDPHeader(src_port=NETCHAIN_UDP_PORT,
+                                          dst_port=NETCHAIN_UDP_PORT),
+                            payload=clean, payload_bytes=clean.wire_size(),
+                            created_at=switch.sim.now)
+            switch.forward(packet)
+            self.stats.clean_notifications += 1
 
     def _apply_write(self, loc: int, header: NetChainHeader) -> None:
         valid = header.op != OpCode.DELETE

@@ -70,7 +70,11 @@ class _NetChainFamilyDeployment(Deployment):
     """Shared surface of deployments carrying a :class:`NetChainCluster`
     (``netchain`` itself and the ``hybrid`` accelerator): the cluster's
     fault injector, its failure detector as the fault-reaction machinery,
-    and its teardown."""
+    the optional hot-key tier, and its teardown."""
+
+    #: The running :class:`repro.core.hotkeys.HotKeyManager` when the spec
+    #: enabled the adaptive hot-key tier (set by the backend's build).
+    hotkey_manager = None
 
     @property
     def sim(self):
@@ -79,6 +83,11 @@ class _NetChainFamilyDeployment(Deployment):
     @property
     def topology(self):
         return self.cluster.topology
+
+    @property
+    def hotkey_tier_active(self) -> bool:
+        """Whether the adaptive hot-key tier is running on this deployment."""
+        return self.hotkey_manager is not None
 
     @property
     def fault_injector(self) -> FaultInjector:
@@ -91,6 +100,9 @@ class _NetChainFamilyDeployment(Deployment):
         self.cluster.start_failure_detector(options.get("detector_config"))
 
     def teardown(self) -> None:
+        if self.hotkey_manager is not None:
+            self.hotkey_manager.stop()
+            self.hotkey_manager = None
         if self.cluster.detector is not None:
             self.cluster.detector.stop()
 
@@ -153,7 +165,8 @@ class NetChainBackend(Backend):
     capabilities = Capabilities(supports_reconfig=True, supports_watch=False,
                                 supports_cas=True, supports_insert=True,
                                 supports_fault_injection=True,
-                                scaled_throughput=True)
+                                scaled_throughput=True,
+                                supports_hotkey_tier=True)
 
     def check(self, spec: DeploymentSpec) -> None:
         members = spec.options.get("member_switches")
@@ -176,7 +189,11 @@ class NetChainBackend(Backend):
             keys = keys + list(spec.extra_keys)
         if spec.loss_rate:
             cluster.topology.set_loss_rate(spec.loss_rate)
-        return NetChainDeployment(cluster=cluster, scale=scale, keys=keys)
+        deployment = NetChainDeployment(cluster=cluster, scale=scale, keys=keys)
+        if spec.hotkey_tier:
+            deployment.hotkey_manager = cluster.enable_hotkey_tier(
+                spec.options.get("hotkey_tier"))
+        return deployment
 
 
 # --------------------------------------------------------------------- #
@@ -429,7 +446,8 @@ class HybridBackend(Backend):
     capabilities = Capabilities(supports_reconfig=False, supports_watch=False,
                                 supports_cas=True, supports_insert=True,
                                 supports_fault_injection=True,
-                                scaled_throughput=True)
+                                scaled_throughput=True,
+                                supports_hotkey_tier=True)
 
     def check(self, spec: DeploymentSpec) -> None:
         fraction = spec.options.get("network_fraction", 0.5)
@@ -464,9 +482,17 @@ class HybridBackend(Backend):
             policy.pin(key)
         if spec.loss_rate:
             cluster.topology.set_loss_rate(spec.loss_rate)
-        return HybridDeployment(cluster=cluster, store=store, scale=scale,
-                                keys=keys,
-                                server_delay=options.get("server_delay", 80e-6))
+        deployment = HybridDeployment(cluster=cluster, store=store, scale=scale,
+                                      keys=keys,
+                                      server_delay=options.get("server_delay",
+                                                               80e-6))
+        if spec.hotkey_tier:
+            # The tier manages the network-resident keys; the server tier's
+            # promotion policy already rides the same sketch structure
+            # (``store.popularity``).
+            deployment.hotkey_manager = cluster.enable_hotkey_tier(
+                spec.options.get("hotkey_tier"))
+        return deployment
 
 
 # --------------------------------------------------------------------- #

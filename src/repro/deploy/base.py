@@ -44,11 +44,15 @@ class Capabilities:
     supports_fault_injection: bool = True
     #: Throughput numbers are scaled back by ``deployment.scale``.
     scaled_throughput: bool = True
+    #: The adaptive hot-key tier (:mod:`repro.core.hotkeys`): sketch
+    #: detection, chain widening, epoch-invalidated client caching.
+    supports_hotkey_tier: bool = False
 
     def as_dict(self) -> Dict[str, bool]:
         return {name: getattr(self, name) for name in (
             "supports_reconfig", "supports_watch", "supports_cas",
-            "supports_insert", "supports_fault_injection", "scaled_throughput")}
+            "supports_insert", "supports_fault_injection", "scaled_throughput",
+            "supports_hotkey_tier")}
 
 
 class Deployment:

@@ -104,8 +104,14 @@ class ScenarioResult:
     qps: float = 0.0
     success_qps: float = 0.0
     scaled_qps: float = 0.0
+    #: Successful read/write completions over the whole run (drain
+    #: included); their ratio splits ``success_qps`` into per-op rates.
+    read_ops: int = 0
+    write_ops: int = 0
     mean_read_latency: float = 0.0
     mean_write_latency: float = 0.0
+    #: 99th-percentile read latency (0.0 when no reads completed).
+    read_latency_p99: float = 0.0
     history: Optional[History] = None
     linearizability: Optional[LinearizabilityReport] = None
     #: The injector's replayable trace (empty without a fault schedule).
@@ -114,6 +120,9 @@ class ScenarioResult:
     failures: List[str] = field(default_factory=list)
     #: The deployment the scenario ran on (clients, cluster, topology).
     deployment: Optional[Deployment] = None
+    #: Whether the adaptive hot-key tier was running during the scenario
+    #: (``spec.hotkey_tier`` requested it *and* the backend supports it).
+    hotkey_tier_active: bool = False
 
     def ok(self) -> bool:
         """All requested checks passed."""
@@ -203,7 +212,9 @@ def run_scenario(spec: DeploymentSpec,
     result = ScenarioResult(spec=spec, workload=workload,
                             backend=deployment.backend_name,
                             capabilities=deployment.capabilities,
-                            history=history, deployment=deployment)
+                            history=history, deployment=deployment,
+                            hotkey_tier_active=getattr(
+                                deployment, "hotkey_tier_active", False))
     result.completed_ops = sum(c.completions.total() for c in load_clients)
     result.failed_ops = sum(c.failed_queries for c in load_clients)
     result.qps = sum(c.completions.rate_between(window_start, window_end)
@@ -217,8 +228,12 @@ def run_scenario(spec: DeploymentSpec,
     for load_client in load_clients:
         read_samples.extend(load_client.read_latency.samples)
         write_samples.extend(load_client.write_latency.samples)
+    result.read_ops = len(read_samples)
+    result.write_ops = len(write_samples)
     if read_samples:
         result.mean_read_latency = sum(read_samples) / len(read_samples)
+        ordered = sorted(read_samples)
+        result.read_latency_p99 = ordered[int(0.99 * (len(ordered) - 1))]
     if write_samples:
         result.mean_write_latency = sum(write_samples) / len(write_samples)
     if schedule is not None:

@@ -38,6 +38,11 @@ class DeploymentSpec:
         retry_timeout: client retry timeout (NetChain-family).
         unlimited_capacity: drop the scaled capacity ceilings
             (latency-bound experiments).
+        hotkey_tier: enable the adaptive hot-key tier
+            (:mod:`repro.core.hotkeys`) on backends whose capabilities set
+            ``supports_hotkey_tier``; others ignore the flag, so the same
+            skewed scenario runs across the whole matrix.  Tier knobs ride
+            ``options["hotkey_tier"]`` (a ``HotKeyTierConfig`` field dict).
         seed: the single seed every stochastic choice derives from.
         key_prefix: prefix of the preloaded key names.
         extra_keys: additional keys to preload (e.g. lock keys).
@@ -58,6 +63,7 @@ class DeploymentSpec:
     loss_rate: float = 0.0
     retry_timeout: float = 500e-6
     unlimited_capacity: bool = False
+    hotkey_tier: bool = False
     seed: int = 0
     key_prefix: str = "k"
     extra_keys: List[str] = field(default_factory=list)

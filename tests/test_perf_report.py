@@ -38,8 +38,8 @@ def test_calibration_counts_every_event():
 def test_quick_report_matches_schema(tmp_path):
     report = perf_report.build_report(quick=True)
     assert report["schema"] == perf_report.SCHEMA
-    for section in ("environment", "calibration", "macro", "backends",
-                    "figures"):
+    for section in ("environment", "calibration", "macro", "macro_skewed",
+                    "backends", "figures"):
         assert section in report, section
     macro = report["macro"]
     assert macro["backend"] == "netchain"
@@ -60,6 +60,16 @@ def test_quick_report_matches_schema(tmp_path):
     again = perf_report.build_report(quick=True)
     assert again["macro"]["processed_events"] == macro["processed_events"]
     assert again["macro"]["completed_ops"] == macro["completed_ops"]
+    # The skewed macro is simulated end to end, so the speedup ratio is
+    # seed-deterministic -- bit-equal across runs, not just close.
+    skewed = report["macro_skewed"]
+    assert skewed["tier_speedup_sim_qps"] > 1.0
+    assert again["macro_skewed"]["tier_speedup_sim_qps"] == \
+        skewed["tier_speedup_sim_qps"]
+    for mode in ("tier_off", "tier_on"):
+        assert skewed[mode]["processed_events"] > 0
+        assert again["macro_skewed"][mode]["processed_events"] == \
+            skewed[mode]["processed_events"]
 
 
 def test_committed_baseline_is_a_valid_report():
@@ -154,6 +164,35 @@ def test_backend_regression_with_solid_wall_clock_fails():
     new["backends"]["netchain"]["events_per_sec_calibrated"] = 0.1
     cmp = compare_bench.compare(old, new, tolerance=0.15)
     assert "backends.netchain.events_per_sec_calibrated" in cmp.regressions
+
+
+def test_missing_skewed_section_is_tolerated():
+    # Reports predating the hot-key tier have no macro_skewed section;
+    # the gate must compare what both reports carry and pass.
+    old, new = _tiny_report(), _tiny_report()
+    new["macro_skewed"] = {
+        "tier_off": {"events_per_sec_calibrated": 0.5, "wall_clock_s": 1.0},
+        "tier_on": {"events_per_sec_calibrated": 0.5, "wall_clock_s": 1.0},
+        "tier_speedup_sim_qps": 2.5,
+    }
+    cmp = compare_bench.compare(old, new, tolerance=0.15)
+    assert not cmp.regressions
+
+
+def test_skewed_speedup_regression_fails():
+    old, new = _tiny_report(), _tiny_report()
+    for report in (old, new):
+        report["macro_skewed"] = {
+            "tier_off": {"events_per_sec_calibrated": 0.5, "wall_clock_s": 1.0},
+            "tier_on": {"events_per_sec_calibrated": 0.5, "wall_clock_s": 1.0},
+            "tier_speedup_sim_qps": 2.5,
+        }
+    new["macro_skewed"]["tier_speedup_sim_qps"] = 1.2  # tier got less effective
+    cmp = compare_bench.compare(old, new, tolerance=0.15)
+    assert "macro_skewed.tier_speedup_sim_qps" in cmp.regressions
+    new["macro_skewed"]["tier_on"]["events_per_sec_calibrated"] = 0.1  # -80%
+    cmp = compare_bench.compare(old, new, tolerance=0.15)
+    assert "macro_skewed.tier_on.events_per_sec_calibrated" in cmp.regressions
 
 
 def test_raw_metrics_gated_only_with_flag():

@@ -77,6 +77,57 @@ def test_zipf_workload_prefers_popular_keys():
     assert top > 3000 / 100 * 5  # far above the uniform share
 
 
+def test_zipf_empirical_frequency_matches_analytic_mass():
+    # The skewed scenarios of the hot-key tier lean on this property: the
+    # generator's realized key frequencies must track the analytic Zipf
+    # distribution, seeded and deterministic.
+    import random as random_module
+
+    n, theta, draws = 50, 0.99, 20000
+    workload = KeyValueWorkload(WorkloadConfig(store_size=n, zipf_theta=theta),
+                                rng=random_module.Random(11))
+    counts = {}
+    for _ in range(draws):
+        key = workload.pick_key()
+        counts[key] = counts.get(key, 0) + 1
+    probabilities = zipf_probabilities(n, theta)
+    top_key = workload.keys[0]
+    empirical = counts[top_key] / draws
+    assert empirical == pytest.approx(probabilities[0], rel=0.1)
+    # Aggregate mass of the five hottest keys tracks the analytic mass too.
+    top5 = sum(counts.get(key, 0) for key in workload.keys[:5]) / draws
+    assert top5 == pytest.approx(float(probabilities[:5].sum()), rel=0.1)
+
+
+def test_skewed_stream_is_deterministic_per_seed():
+    config = WorkloadConfig(store_size=40, zipf_theta=1.2, write_ratio=0.2,
+                            unique_values=True, seed=5)
+    first = KeyValueWorkload(config, tag="c0").operations(400)
+    second = KeyValueWorkload(config, tag="c0").operations(400)
+    assert [(op.op, op.key, op.value) for op in first] \
+        == [(op.op, op.key, op.value) for op in second]
+    other = KeyValueWorkload(WorkloadConfig(store_size=40, zipf_theta=1.2,
+                                            write_ratio=0.2,
+                                            unique_values=True, seed=6),
+                             tag="c0").operations(400)
+    assert [op.key for op in first] != [op.key for op in other]
+
+
+def test_skewed_load_client_replays_identically():
+    def run_once():
+        cluster = make_cluster()
+        cluster.populate(20)
+        workload = KeyValueWorkload(WorkloadConfig(store_size=20,
+                                                   zipf_theta=0.99,
+                                                   write_ratio=0.1, seed=9))
+        client = LoadClient(cluster.agent("H0"), workload, concurrency=4)
+        measurement = measure_load([client], warmup=0.0, duration=0.05)
+        return (client.completions.total(), client.successes.total(),
+                measurement.success_qps)
+
+    assert run_once() == run_once()
+
+
 def test_closed_loop_client_measures_throughput_and_latency():
     cluster = make_cluster()
     cluster.controller.populate([f"k{i:08d}" for i in range(20)])
