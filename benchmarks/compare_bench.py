@@ -12,7 +12,11 @@ pure engine-churn loop timed on the same machine -- so a slower CI runner
 does not read as a code regression.  ``--raw`` additionally gates the raw
 events/sec numbers (useful when both reports come from the same machine).
 
-Improvements are reported but never fail the comparison.
+Improvements are reported but never fail the comparison.  One exception
+to the tolerance rule: ``verify.data_bytes`` (the spilled NDJSON size at
+a fixed seed and op count) is seed-deterministic and gated on *any*
+change in either direction -- a drift there means the on-disk history
+encoding changed and the baseline needs a deliberate refresh.
 """
 
 from __future__ import annotations
@@ -150,6 +154,44 @@ def compare(old: dict, new: dict, tolerance: float, include_raw: bool = False) -
             f"figures.{name}.wall_clock_s",
             old["figures"][name].get("wall_clock_s"),
             new["figures"][name].get("wall_clock_s"),
+            higher_is_better=False,
+            gated=include_raw,
+        )
+
+    # The verification pipeline, gated (like macro_skewed) only when both
+    # reports carry the section.  data_bytes is seed-deterministic: any
+    # change at all means the NDJSON encoding or generator changed, which
+    # must come with a deliberate baseline refresh -- tolerance 0.
+    old_verify = old.get("verify")
+    new_verify = new.get("verify")
+    if old_verify and new_verify:
+        cmp.check(
+            "verify.checked_ops_per_sec_calibrated",
+            old_verify.get("checked_ops_per_sec_calibrated"),
+            new_verify.get("checked_ops_per_sec_calibrated"),
+            higher_is_better=True,
+            gated=_long_enough(old_verify, new_verify),
+        )
+        cmp.check(
+            "verify.checked_ops_per_sec",
+            old_verify.get("checked_ops_per_sec"),
+            new_verify.get("checked_ops_per_sec"),
+            higher_is_better=True,
+            gated=include_raw,
+        )
+        if old_verify.get("ops") == new_verify.get("ops"):
+            old_bytes = old_verify.get("data_bytes")
+            new_bytes = new_verify.get("data_bytes")
+            if old_bytes is not None and new_bytes is not None:
+                delta = (new_bytes - old_bytes) / old_bytes if old_bytes else 0.0
+                drifted = old_bytes != new_bytes
+                cmp.rows.append(("verify.data_bytes", old_bytes, new_bytes, delta, drifted, True))
+                if drifted:
+                    cmp.regressions.append("verify.data_bytes")
+        cmp.check(
+            "verify.peak_rss_bytes",
+            old_verify.get("peak_rss_bytes"),
+            new_verify.get("peak_rss_bytes"),
             higher_is_better=False,
             gated=include_raw,
         )

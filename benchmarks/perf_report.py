@@ -24,6 +24,12 @@ Schema (stable; additions are allowed, renames/removals are a new version):
   adaptive hot-key tier off and on, plus the (seed-deterministic)
   ``tier_speedup_sim_qps`` ratio between the two.
 * ``backends``     -- the same scenario shape on every registered backend.
+* ``verify``       -- the out-of-core verification pipeline
+  (``benchmarks/verify_at_scale.py`` in a fresh subprocess, so its peak
+  RSS is the pipeline's own high-water mark, not this harness's): seeded
+  spill + streaming linearizability check; reports checked-ops/sec
+  (raw + calibrated), the spilled byte count and its sha256 (both
+  seed-deterministic), and the subprocess peak RSS.
 * ``figures``      -- one timed point per figure-style workload (value
   size, write ratio, loss rate, latency, failover), each with wall clock
   and a calibrated cost (wall clock x calibration events/sec; lower is
@@ -42,7 +48,9 @@ import json
 import os
 import platform
 import resource
+import subprocess
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -205,6 +213,42 @@ def _figure_specs(quick: bool):
            WorkloadSpec(write_ratio=0.4, think_time=1e-3, **base))
 
 
+def _verify_section(quick: bool, calibration_eps: float) -> dict:
+    """Run the verification-at-scale harness in a fresh subprocess.
+
+    A subprocess keeps the RSS measurement honest: ru_maxrss is a
+    process-lifetime high-water mark, and this harness's own macro
+    scenarios would otherwise set it.  The op count here is a tracking
+    point, not the full-scale run -- CI's ``verify-at-scale`` job drives
+    the ~1M-op version of the same harness.
+    """
+    ops = 20_000 if quick else 100_000
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as handle:
+        out_path = Path(handle.name)
+    try:
+        subprocess.run(
+            [sys.executable, str(REPO_ROOT / "benchmarks" / "verify_at_scale.py"),
+             "--ops", str(ops), "--keys", "256", "--clients", "16",
+             "--seed", str(SEED), "-o", str(out_path)],
+            check=True, stdout=subprocess.DEVNULL)
+        sub = json.loads(out_path.read_text(encoding="utf-8"))
+    finally:
+        out_path.unlink(missing_ok=True)
+    checked_ops_per_sec = sub["verify"]["checked_ops_per_sec"]
+    return {
+        "ops": ops,
+        "record_ops_per_sec": sub["record"]["ops_per_sec"],
+        "wall_clock_s": sub["verify"]["wall_clock_s"],
+        "checked_ops_per_sec": checked_ops_per_sec,
+        "checked_ops_per_sec_calibrated":
+            checked_ops_per_sec / calibration_eps if calibration_eps else 0.0,
+        "data_bytes": sub["record"]["data_bytes"],
+        "ndjson_sha256": sub["record"]["ndjson_sha256"],
+        "linearizable": sub["verify"]["linearizable"],
+        "peak_rss_bytes": sub["peak_rss_bytes"],
+    }
+
+
 def build_report(quick: bool = False) -> dict:
     """Run every benchmark and assemble the report dict."""
     calibration = calibrate(CALIBRATION_EVENTS // (10 if quick else 1))
@@ -242,6 +286,8 @@ def build_report(quick: bool = False) -> dict:
         timing["calibrated_cost"] = timing["wall_clock_s"] * calibration_eps
         figures[name] = timing
 
+    verify = _verify_section(quick, calibration_eps)
+
     return {
         "schema": SCHEMA,
         "generated_by": "benchmarks/perf_report.py",
@@ -257,6 +303,7 @@ def build_report(quick: bool = False) -> dict:
         "macro_skewed": macro_skewed,
         "backends": backends,
         "figures": figures,
+        "verify": verify,
         "peak_rss_bytes": peak_rss_bytes(),
     }
 
@@ -283,6 +330,15 @@ def summarize(report: dict) -> str:
             f"{skewed['tier_off']['sim_qps']:,.0f} qps, tier on "
             f"{skewed['tier_on']['sim_qps']:,.0f} qps "
             f"({skewed['tier_speedup_sim_qps']:.2f}x)")
+    verify = report.get("verify")
+    if verify:
+        lines.append(
+            f"verify ({verify['ops']:,} ops spilled): "
+            f"{verify['checked_ops_per_sec']:,.0f} checked ops/sec "
+            f"(calibrated {verify['checked_ops_per_sec_calibrated']:.3f}), "
+            f"pipeline peak RSS "
+            f"{verify['peak_rss_bytes'] / (1024 * 1024):.0f} MiB, "
+            f"linearizable={verify['linearizable']}")
     lines += [
         "",
         "| backend | events/sec | calibrated | wall (s) | ops |",

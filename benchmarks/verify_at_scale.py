@@ -1,0 +1,212 @@
+"""Verification-at-scale benchmark: spill and check a ~1M-op history.
+
+The out-of-core pipeline's contract is "bounded memory at any run size":
+completed operations stream to NDJSON (``repro.core.history_store``), and
+the Wing & Gong checker runs per-key over the derived offset index, so
+peak RSS tracks the largest single key stream -- never the run length.
+This harness proves that contract at the million-operation scale the
+in-memory path cannot reach, and emits the measurement as JSON
+(``netchain-verify-report/v1``)::
+
+    PYTHONPATH=src python benchmarks/verify_at_scale.py \\
+        --ops 1000000 --workers 4 --max-rss-mb 400 -o verify.json
+
+Phases (each timed separately):
+
+* **record** -- a seeded synthetic concurrent history
+  (:mod:`repro.core.history_gen`: linearizable by construction, so the
+  expected verdict is known) streams through :class:`HistoryWriter`;
+  nothing is ever buffered beyond in-flight operations.
+* **verify** -- :func:`check_linearizable_streaming` over the run
+  directory, optionally with a worker pool; reports checked-ops/sec.
+
+Determinism: everything derives from ``--seed``.  The report includes the
+sha256 of the spilled ``ops.ndjson``; two runs with the same parameters
+must produce the same hash and the same verdict (asserted by
+``--replay-check``, which records and hashes the run a second time).
+
+``--max-rss-mb`` turns the report into a gate: exit non-zero when the
+process peak RSS exceeds the budget (run this in a fresh process --
+ru_maxrss is a process-lifetime high-water mark).
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import resource
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.history_gen import initial_values, iter_history  # noqa: E402
+from repro.core.history_store import (  # noqa: E402
+    HistoryStore,
+    HistoryWriter,
+    check_linearizable_streaming,
+)
+
+SCHEMA = "netchain-verify-report/v1"
+
+
+def peak_rss_bytes() -> int:
+    rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return rss_kb * 1024 if sys.platform != "darwin" else rss_kb
+
+
+def sha256_of(path: Path) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def record_run(run_dir: Path, args) -> dict:
+    """Stream the seeded history into a spilled run directory."""
+    start = time.perf_counter()
+    with HistoryWriter(run_dir, meta={"seed": args.seed,
+                                      "generator": "history_gen"}) as writer:
+        for op in iter_history(args.seed, clients=args.clients,
+                               keys=args.keys, ops=args.ops,
+                               timeout_rate=args.timeout_rate):
+            writer.append(op)
+    wall = time.perf_counter() - start
+    ops_path = run_dir / "ops.ndjson"
+    return {
+        "wall_clock_s": wall,
+        "ops_per_sec": args.ops / wall if wall > 0 else 0.0,
+        "data_bytes": ops_path.stat().st_size,
+        "ndjson_sha256": sha256_of(ops_path),
+    }
+
+
+def build_report(args) -> dict:
+    run_dir = Path(args.run_dir) if args.run_dir else \
+        Path(tempfile.mkdtemp(prefix="verify-at-scale-"))
+    created_tmp = args.run_dir is None
+
+    record = record_run(run_dir, args)
+    if args.replay_check:
+        replay_dir = Path(tempfile.mkdtemp(prefix="verify-replay-"))
+        replay = record_run(replay_dir, args)
+        record["replay_identical"] = \
+            replay["ndjson_sha256"] == record["ndjson_sha256"]
+        shutil.rmtree(replay_dir, ignore_errors=True)
+
+    store = HistoryStore(run_dir)
+    start = time.perf_counter()
+    verdict = check_linearizable_streaming(
+        store, initial=initial_values(args.keys), workers=args.workers)
+    verify_wall = time.perf_counter() - start
+    store.close()
+
+    report = {
+        "schema": SCHEMA,
+        "config": {
+            "seed": args.seed, "ops": args.ops, "keys": args.keys,
+            "clients": args.clients, "timeout_rate": args.timeout_rate,
+            "workers": args.workers,
+        },
+        "record": record,
+        "verify": {
+            "wall_clock_s": verify_wall,
+            "checked_ops_per_sec":
+                args.ops / verify_wall if verify_wall > 0 else 0.0,
+            "keys_checked": len(verdict.keys),
+            "cache_hits": verdict.cache_hits,
+            "linearizable": verdict.ok,
+            "exhausted_keys": len(verdict.exhausted_keys()),
+        },
+        "peak_rss_bytes": peak_rss_bytes(),
+    }
+    if created_tmp and not args.keep_run_dir:
+        shutil.rmtree(run_dir, ignore_errors=True)
+    else:
+        report["run_dir"] = str(run_dir)
+    return report
+
+
+def summarize(report: dict) -> str:
+    verify = report["verify"]
+    record = report["record"]
+    rss_mib = report["peak_rss_bytes"] / (1 << 20)
+    lines = [
+        "## Verify at scale",
+        "",
+        f"| ops | checked ops/sec | verify wall (s) | record ops/sec "
+        f"| peak RSS (MiB) | linearizable |",
+        "|---|---|---|---|---|---|",
+        f"| {report['config']['ops']:,} "
+        f"| {verify['checked_ops_per_sec']:,.0f} "
+        f"| {verify['wall_clock_s']:.1f} "
+        f"| {record['ops_per_sec']:,.0f} "
+        f"| {rss_mib:.0f} "
+        f"| {verify['linearizable']} |",
+        "",
+        f"spilled {record['data_bytes']:,} bytes; ndjson sha256 "
+        f"`{record['ndjson_sha256'][:16]}...`",
+    ]
+    if "replay_identical" in record:
+        lines.append(f"replay byte-identical: {record['replay_identical']}")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--ops", type=int, default=1_000_000)
+    parser.add_argument("--keys", type=int, default=512)
+    parser.add_argument("--clients", type=int, default=32)
+    parser.add_argument("--timeout-rate", type=float, default=0.01)
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--workers", type=int, default=0,
+                        help="checker worker processes (0 = in-process)")
+    parser.add_argument("--run-dir", default=None,
+                        help="spill here instead of a temporary directory")
+    parser.add_argument("--keep-run-dir", action="store_true",
+                        help="keep the temporary run directory")
+    parser.add_argument("--replay-check", action="store_true",
+                        help="record twice and assert byte-identical NDJSON")
+    parser.add_argument("--max-rss-mb", type=float, default=None,
+                        help="fail when peak RSS exceeds this budget")
+    parser.add_argument("-o", "--output", default=None,
+                        help="write the JSON report here")
+    parser.add_argument("--summary", action="store_true",
+                        help="print the markdown summary to stdout")
+    args = parser.parse_args(argv)
+
+    report = build_report(args)
+    if args.output:
+        Path(args.output).write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8")
+    print(summarize(report) if args.summary
+          else json.dumps(report, indent=2, sort_keys=True))
+
+    failures = []
+    if not report["verify"]["linearizable"]:
+        failures.append("history was NOT linearizable (generator produces "
+                        "linearizable-by-construction histories)")
+    if report["verify"]["exhausted_keys"]:
+        failures.append(f"{report['verify']['exhausted_keys']} keys "
+                        f"exhausted the state budget")
+    if report["record"].get("replay_identical") is False:
+        failures.append("replay produced different NDJSON bytes")
+    if args.max_rss_mb is not None:
+        rss_mb = report["peak_rss_bytes"] / (1 << 20)
+        if rss_mb > args.max_rss_mb:
+            failures.append(f"peak RSS {rss_mb:.0f} MiB exceeds the "
+                            f"{args.max_rss_mb:.0f} MiB budget")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

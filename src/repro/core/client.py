@@ -366,3 +366,20 @@ def _raw_key(key) -> bytes:
     if isinstance(key, bytes):
         return key
     return str(key).encode("utf-8")
+
+
+def canonical_key(key) -> bytes:
+    """The canonical bytes spelling of a key, normalized once at record time.
+
+    The wire protocol pads keys to the fixed 16-byte field
+    (:func:`repro.core.protocol.normalize_key`) while clients and workloads
+    pass the original strings, so the same key has two byte spellings in
+    flight.  Histories canonicalize by stripping the trailing NUL padding --
+    the same canonicalization the hash ring applies
+    (:meth:`repro.core.ring.HashRing.key_position`) -- so a padded and an
+    unpadded spelling land in one per-key stream, whether the operation was
+    recorded live or loaded back from a spilled NDJSON run.
+    """
+    if isinstance(key, bytes):
+        return key.rstrip(b"\x00")
+    return str(key).encode("utf-8")

@@ -35,9 +35,9 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
-from repro.core.client import KVClient, KVFuture, KVResult, _raw_key
+from repro.core.client import KVClient, KVFuture, KVResult, canonical_key
 
 #: Sentinel state for "the key does not exist".
 MISSING = None
@@ -114,9 +114,15 @@ class History:
     # -- recording ------------------------------------------------------- #
 
     def invoke(self, client: str, op: str, key, value=None, expected=None) -> HistoryOp:
-        """Record an invocation; returns the record to complete later."""
+        """Record an invocation; returns the record to complete later.
+
+        Keys are canonicalized here, once, by :func:`canonical_key`: a
+        padded wire spelling and the original string land in the same
+        per-key stream, and every downstream consumer (the checker,
+        :meth:`version_violations`, spilled NDJSON runs) sees one spelling.
+        """
         record = HistoryOp(op_id=next(self._ids), client=client, op=op,
-                           key=_raw_key(key),
+                           key=canonical_key(key),
                            value=None if value is None else bytes(value),
                            expected=None if expected is None else bytes(expected),
                            invoked_at=self.sim.now)
@@ -167,30 +173,44 @@ class History:
     def version_violations(self) -> List[str]:
         """Per-(client, key) monotonicity of backend-reported versions.
 
-        This is the TLA+ ``Consistency`` property over the recorded history
-        (a cheap necessary condition that complements the full
-        linearizability search when versions are available).  Only
-        real-time-ordered observations are compared: an operation that
-        *overlapped* another (pipelined slots of one client) may observe an
-        older version without any inconsistency, exactly as two overlapping
-        ops may linearize in either order.
+        See :func:`version_violations_of`; this is that check over the
+        in-memory operation list.
         """
-        grouped: Dict[Tuple[str, bytes], List[HistoryOp]] = {}
-        for op in self.ops:
-            if op.version is None or not op.ok or not op.completed:
-                continue
-            grouped.setdefault((op.client, op.key), []).append(op)
-        violations: List[str] = []
-        for (client, key), ops in grouped.items():
-            ops.sort(key=lambda op: op.invoked_at)
-            for i, op in enumerate(ops):
-                settled = [prev.version for prev in ops[:i]
-                           if prev.returned_at <= op.invoked_at]
-                if settled and op.version < max(settled):
-                    violations.append(
-                        f"{client} observed {key!r} going backwards: "
-                        f"{max(settled)} -> {op.version}")
-        return violations
+        return version_violations_of(self.ops)
+
+
+def version_violations_of(ops: Iterable[HistoryOp]) -> List[str]:
+    """Per-(client, key) monotonicity of backend-reported versions.
+
+    This is the TLA+ ``Consistency`` property over a recorded history (a
+    cheap necessary condition that complements the full linearizability
+    search when versions are available).  Only real-time-ordered
+    observations are compared: an operation that *overlapped* another
+    (pipelined slots of one client) may observe an older version without
+    any inconsistency, exactly as two overlapping ops may linearize in
+    either order.
+
+    Accepts any operation iterator -- the in-memory list of a
+    :class:`History` or the record stream of a spilled NDJSON run -- and
+    never re-encodes keys: grouping uses the canonical spelling fixed at
+    record time.
+    """
+    grouped: Dict[Tuple[str, bytes], List[HistoryOp]] = {}
+    for op in ops:
+        if op.version is None or not op.ok or not op.completed:
+            continue
+        grouped.setdefault((op.client, op.key), []).append(op)
+    violations: List[str] = []
+    for (client, key), key_ops in grouped.items():
+        key_ops.sort(key=lambda op: op.invoked_at)
+        for i, op in enumerate(key_ops):
+            settled = [prev.version for prev in key_ops[:i]
+                       if prev.returned_at <= op.invoked_at]
+            if settled and op.version < max(settled):
+                violations.append(
+                    f"{client} observed {key!r} going backwards: "
+                    f"{max(settled)} -> {op.version}")
+    return violations
 
 
 class RecordingClient(KVClient):
@@ -267,6 +287,10 @@ class LinearizabilityReport:
     ok: bool
     keys: Dict[bytes, KeyReport] = field(default_factory=dict)
     total_ops: int = 0
+    #: Keys whose verdict came out of a memoized verdict cache instead of a
+    #: fresh search (streaming checker only; see
+    #: :func:`repro.core.history_store.check_linearizable_streaming`).
+    cache_hits: int = 0
 
     def violations(self) -> List[KeyReport]:
         return [report for report in self.keys.values() if not report.ok]
@@ -452,22 +476,58 @@ def _check_key(ops: List[HistoryOp], initial: Optional[bytes],
     return report
 
 
-def check_linearizable(history: History,
+def check_key_linearizable(ops: List[HistoryOp],
+                           initial: Optional[bytes] = MISSING,
+                           state_budget: int = 500_000) -> KeyReport:
+    """Decide linearizability of one key's operation stream.
+
+    This is the unit of work the streaming pipeline
+    (:mod:`repro.core.history_store`) fans out to worker processes: a plain
+    list of operations on a single key, order-insensitive (the search sorts
+    by invocation time), no :class:`History` required.
+    """
+    return _check_key(list(ops), initial, state_budget)
+
+
+def group_ops_by_key(ops: Iterable[HistoryOp]) -> Dict[bytes, List[HistoryOp]]:
+    """Group an operation iterator per key, preserving encounter order.
+
+    Keys are grouped exactly as recorded -- normalization happened once at
+    record time (:meth:`History.invoke` / the NDJSON loader), so the
+    grouping never re-encodes.
+    """
+    grouped: Dict[bytes, List[HistoryOp]] = {}
+    for op in ops:
+        grouped.setdefault(op.key, []).append(op)
+    return grouped
+
+
+def check_linearizable(history,
                        initial: Optional[Dict[bytes, Optional[bytes]]] = None,
                        state_budget: int = 500_000) -> LinearizabilityReport:
     """Decide per-key linearizability of a recorded history.
 
     Args:
-        history: the recorded invocations/responses.
-        initial: starting value per (raw) key; keys absent from the mapping
-            start as missing.  Populated deployments pass ``b""`` (or the
-            loaded value) for every preloaded key.
+        history: the recorded invocations/responses -- a :class:`History`,
+            anything exposing ``per_key()``, or a plain iterable of
+            :class:`HistoryOp` (the op-iterator form the spilled-NDJSON
+            pipeline loads fixtures and run directories into).
+        initial: starting value per (canonical) key; keys absent from the
+            mapping start as missing.  Populated deployments pass ``b""``
+            (or the loaded value) for every preloaded key.
         state_budget: cap on search states per key; exceeding it marks the
             key ``exhausted`` instead of deciding.
     """
-    initial = initial or {}
-    report = LinearizabilityReport(ok=True, total_ops=len(history))
-    for key, ops in history.per_key().items():
+    initial = {canonical_key(key): value
+               for key, value in (initial or {}).items()}
+    if hasattr(history, "per_key"):
+        grouped = history.per_key()
+        total = len(history)
+    else:
+        grouped = group_ops_by_key(history)
+        total = sum(len(ops) for ops in grouped.values())
+    report = LinearizabilityReport(ok=True, total_ops=total)
+    for key, ops in grouped.items():
         key_report = _check_key(ops, initial.get(key, MISSING), state_budget)
         report.keys[key] = key_report
         if not key_report.ok:

@@ -1,0 +1,897 @@
+"""Out-of-core operation histories: NDJSON spill, indexes, streaming checks.
+
+:mod:`repro.core.history` buffers every invocation in memory and checks
+linearizability post-hoc, which caps verified runs at what one process can
+hold.  This module removes that cap without weakening the check:
+
+* **NDJSON as the source of truth** -- :class:`HistoryWriter` appends one
+  JSON record per completed operation to ``<run_dir>/ops.ndjson``
+  (versioned schema ``history/v1``), flushed incrementally, so a run of
+  any size spills with bounded memory.
+* **Disposable per-key offset indexes** -- the writer derives
+  ``index.bin`` (packed little-endian ``uint64`` byte offsets, mmapped by
+  readers) plus ``index.json`` (per-key slice table and content hashes)
+  during the run.  The index owns no data: delete it and
+  :func:`rebuild_index` regenerates it from the NDJSON alone.
+* **Streaming verification** -- :func:`check_linearizable_streaming`
+  drives the existing Wing & Gong per-key checker
+  (:func:`repro.core.history.check_key_linearizable`) over per-key
+  streams, fanning keys out to a ``multiprocessing`` worker pool as each
+  key's stream is read, so memory is bounded by the largest single key
+  stream plus the dispatch window -- never the whole run.
+* **Verdict memoization** -- per-key verdicts are cached by a digest of
+  (key-stream content hash, initial value, state budget, checker
+  version), so re-running a scenario matrix re-checks only key streams
+  that actually changed.
+
+Recording at scale uses :class:`SpillingHistory`, a drop-in recording
+surface for :class:`repro.core.history.History`: completed operations are
+appended to the run directory and released from memory immediately; only
+in-flight operations stay resident.
+
+A spilled run re-checks offline::
+
+    PYTHONPATH=src python -m repro.core.history_store check <run_dir>
+    PYTHONPATH=src python -m repro.core.history_store index <run_dir>  # rebuild
+    PYTHONPATH=src python -m repro.core.history_store info <run_dir>
+
+Record schema (``history/v1``): one JSON object per line, first line is
+the header ``{"schema": "history/v1", ...}``.  Fields -- ``id``,
+``client``, ``op``, ``key``, ``inv`` (invocation time) always; ``ret``
+(return time) and ``ok`` when the operation completed; ``value``,
+``expected``, ``out`` when present; ``nf``/``cf``/``to`` (not-found /
+cas-failed / timed-out) when true; ``r`` (retries) when non-zero; ``ver``
+(version pair) when the backend reported one.  Bytes fields are plain
+ASCII when printable, else ``"hex:<digits>"``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import mmap
+import multiprocessing
+import struct
+import sys
+from array import array
+from collections import deque
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.core.client import canonical_key
+from repro.core.history import (
+    MISSING,
+    HistoryOp,
+    KeyReport,
+    LinearizabilityReport,
+    check_key_linearizable,
+    version_violations_of,
+)
+
+SCHEMA = "history/v1"
+INDEX_SCHEMA = "history-index/v1"
+
+OPS_FILE = "ops.ndjson"
+INDEX_BIN = "index.bin"
+INDEX_JSON = "index.json"
+
+#: Bumped whenever checker semantics change; part of every verdict digest,
+#: so a semantic change invalidates memoized verdicts wholesale.
+CHECKER_VERSION = 1
+
+#: Marker distinguishing "key starts missing" from "key starts empty" in
+#: verdict digests (``b""`` is a legitimate initial value).
+_MISSING_MARK = "<missing>"
+
+
+class TruncatedHistoryError(ValueError):
+    """An NDJSON history file ends (or breaks) mid-record.
+
+    ``offset`` is the byte offset of the first unreadable record -- the
+    intact prefix ends there, and :func:`rebuild_index` with
+    ``allow_truncated=True`` recovers exactly that prefix.
+    """
+
+    def __init__(self, path: Path, offset: int, reason: str) -> None:
+        self.path = Path(path)
+        self.offset = offset
+        self.reason = reason
+        super().__init__(
+            f"{self.path}: truncated history at byte offset {offset}: {reason}")
+
+
+# --------------------------------------------------------------------- #
+# Record encoding.
+# --------------------------------------------------------------------- #
+
+def encode_bytes(data: Optional[bytes]) -> Optional[str]:
+    """JSON-safe spelling of a bytes field: plain ASCII when printable,
+    ``hex:`` otherwise; ``None`` stays ``None``."""
+    if data is None:
+        return None
+    if all(0x20 <= b < 0x7F for b in data) and not data.startswith(b"hex:"):
+        return data.decode("ascii")
+    return "hex:" + data.hex()
+
+
+def decode_bytes(text: Optional[str]) -> Optional[bytes]:
+    """Inverse of :func:`encode_bytes`."""
+    if text is None:
+        return None
+    if text.startswith("hex:"):
+        return bytes.fromhex(text[4:])
+    return text.encode("ascii")
+
+
+def op_to_record(op: HistoryOp) -> Dict[str, Any]:
+    """One :class:`HistoryOp` as a ``history/v1`` record dict.
+
+    Default-valued fields are omitted so lines stay small at million-op
+    scale; :func:`record_to_op` restores the defaults.
+    """
+    record: Dict[str, Any] = {
+        "id": op.op_id,
+        "client": op.client,
+        "op": op.op,
+        "key": encode_bytes(op.key),
+        "inv": op.invoked_at,
+    }
+    if op.value is not None:
+        record["value"] = encode_bytes(op.value)
+    if op.expected is not None:
+        record["expected"] = encode_bytes(op.expected)
+    if op.returned_at is not None:
+        record["ret"] = op.returned_at
+    if op.ok is not None:
+        record["ok"] = op.ok
+    if op.output is not None:
+        record["out"] = encode_bytes(op.output)
+    if op.not_found:
+        record["nf"] = True
+    if op.cas_failed:
+        record["cf"] = True
+    if op.timed_out:
+        record["to"] = True
+    if op.retries:
+        record["r"] = op.retries
+    if op.version is not None:
+        record["ver"] = list(op.version)
+    return record
+
+
+def record_to_op(record: Dict[str, Any]) -> HistoryOp:
+    """Load one record dict back into a :class:`HistoryOp`.
+
+    Keys are canonicalized on load, so a fixture written with the padded
+    wire spelling lands in the same per-key stream as the live recording.
+    """
+    version = record.get("ver")
+    return HistoryOp(
+        op_id=int(record["id"]),
+        client=record["client"],
+        op=record["op"],
+        key=canonical_key(decode_bytes(record["key"])),
+        value=decode_bytes(record.get("value")),
+        expected=decode_bytes(record.get("expected")),
+        invoked_at=float(record["inv"]),
+        returned_at=(float(record["ret"]) if "ret" in record else None),
+        ok=record.get("ok"),
+        output=decode_bytes(record.get("out")),
+        not_found=bool(record.get("nf", False)),
+        cas_failed=bool(record.get("cf", False)),
+        timed_out=bool(record.get("to", False)),
+        retries=int(record.get("r", 0)),
+        version=(tuple(version) if version is not None else None),
+    )
+
+
+def _record_line(record: Dict[str, Any]) -> bytes:
+    return json.dumps(record, sort_keys=True,
+                      separators=(",", ":")).encode("ascii") + b"\n"
+
+
+# --------------------------------------------------------------------- #
+# Writing.
+# --------------------------------------------------------------------- #
+
+class HistoryWriter:
+    """Appends completed operations to a run directory as NDJSON.
+
+    The per-key offset index and per-key content hashes are derived while
+    writing -- no second pass over the data -- and persisted on
+    :meth:`close` as ``index.bin`` + ``index.json``.
+    """
+
+    def __init__(self, run_dir, meta: Optional[Dict[str, Any]] = None,
+                 flush_every: int = 4096) -> None:
+        self.run_dir = Path(run_dir)
+        self.run_dir.mkdir(parents=True, exist_ok=True)
+        self.meta = dict(meta or {})
+        self.flush_every = max(1, flush_every)
+        self.ops_path = self.run_dir / OPS_FILE
+        self._file = open(self.ops_path, "wb")
+        header = {"schema": SCHEMA}
+        if self.meta:
+            header["meta"] = self.meta
+        line = _record_line(header)
+        self._file.write(line)
+        self._offset = len(line)
+        #: Per-key byte offsets; ``array('Q')`` keeps a million offsets at
+        #: 8 bytes each instead of a Python int object apiece.
+        self._offsets: Dict[bytes, array] = {}
+        self._hashes: Dict[bytes, Any] = {}
+        self.total_ops = 0
+        self.completed_ops = 0
+        self.closed = False
+
+    def append(self, op: HistoryOp) -> None:
+        """Append one operation record and index it."""
+        if self.closed:
+            raise RuntimeError("HistoryWriter already closed")
+        key = canonical_key(op.key)
+        op.key = key  # the spilled record carries the canonical spelling
+        line = _record_line(op_to_record(op))
+        offsets = self._offsets.get(key)
+        if offsets is None:
+            offsets = self._offsets[key] = array("Q")
+            self._hashes[key] = hashlib.sha256()
+        offsets.append(self._offset)
+        self._hashes[key].update(line)
+        self._file.write(line)
+        self._offset += len(line)
+        self.total_ops += 1
+        if op.completed:
+            self.completed_ops += 1
+        if self.total_ops % self.flush_every == 0:
+            self._file.flush()
+
+    def close(self) -> None:
+        """Flush the data file and persist the derived index."""
+        if self.closed:
+            return
+        self.closed = True
+        self._file.flush()
+        self._file.close()
+        _write_index(self.run_dir, self._offsets, self._hashes,
+                     data_bytes=self._offset, total_ops=self.total_ops,
+                     completed_ops=self.completed_ops, meta=self.meta)
+
+    def __enter__(self) -> "HistoryWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _write_index(run_dir: Path, offsets: Dict[bytes, array],
+                 hashes: Dict[bytes, Any], data_bytes: int, total_ops: int,
+                 completed_ops: int, meta: Dict[str, Any]) -> None:
+    """Persist ``index.bin`` + ``index.json`` (deterministic key order)."""
+    ordered = sorted(offsets, key=encode_bytes)
+    table: Dict[str, Any] = {}
+    start = 0
+    with open(run_dir / INDEX_BIN, "wb") as bin_file:
+        for key in ordered:
+            arr = offsets[key]
+            if sys.byteorder != "little":
+                arr = array("Q", arr)
+                arr.byteswap()
+            bin_file.write(arr.tobytes())
+            digest = hashes[key]
+            table[encode_bytes(key)] = {
+                "start": start,
+                "count": len(offsets[key]),
+                "sha256": digest.hexdigest() if hasattr(digest, "hexdigest")
+                else digest,
+            }
+            start += len(offsets[key])
+    index = {
+        "schema": INDEX_SCHEMA,
+        "data_bytes": data_bytes,
+        "total_ops": total_ops,
+        "completed_ops": completed_ops,
+        "meta": meta,
+        "keys": table,
+    }
+    (run_dir / INDEX_JSON).write_text(
+        json.dumps(index, sort_keys=True, indent=1) + "\n", encoding="utf-8")
+
+
+# --------------------------------------------------------------------- #
+# Reading.
+# --------------------------------------------------------------------- #
+
+def _scan_records(path: Path, limit: Optional[int] = None
+                  ) -> Iterator[Tuple[int, bytes, Dict[str, Any]]]:
+    """Sequentially yield ``(offset, line, record)`` for every record line.
+
+    The header line is validated and skipped.  A line that does not end in
+    a newline (the file was cut mid-record) or does not parse raises
+    :class:`TruncatedHistoryError` naming the byte offset where the intact
+    prefix ends.  ``limit`` stops the scan at a byte offset -- the intact
+    prefix recorded by an ``allow_truncated`` index rebuild.
+    """
+    with open(path, "rb") as handle:
+        offset = 0
+        first = True
+        for line in handle:
+            if limit is not None and offset >= limit:
+                return
+            if not line.endswith(b"\n"):
+                raise TruncatedHistoryError(
+                    path, offset, "file ends mid-record (no trailing newline)")
+            try:
+                record = json.loads(line)
+            except ValueError as exc:
+                raise TruncatedHistoryError(
+                    path, offset, f"unparseable record ({exc})") from None
+            if first:
+                first = False
+                schema = record.get("schema") if isinstance(record, dict) else None
+                if schema != SCHEMA:
+                    raise ValueError(f"{path}: unsupported history schema "
+                                     f"{schema!r} (expected {SCHEMA!r})")
+                offset += len(line)
+                continue
+            yield offset, line, record
+            offset += len(line)
+
+
+class HistoryStore:
+    """Read side of a spilled run: mmapped index, per-key record streams.
+
+    The NDJSON file remains the source of truth; this object only follows
+    the derived offsets, so per-key access never scans the whole run.
+    """
+
+    def __init__(self, run_dir) -> None:
+        self.run_dir = Path(run_dir)
+        self.ops_path = self.run_dir / OPS_FILE
+        index_path = self.run_dir / INDEX_JSON
+        if not index_path.exists():
+            raise FileNotFoundError(
+                f"{index_path} missing -- rebuild with rebuild_index() or "
+                f"`python -m repro.core.history_store index {self.run_dir}`")
+        index = json.loads(index_path.read_text(encoding="utf-8"))
+        if index.get("schema") != INDEX_SCHEMA:
+            raise ValueError(f"{index_path}: unsupported index schema "
+                             f"{index.get('schema')!r}")
+        self.meta: Dict[str, Any] = index.get("meta", {})
+        self.total_ops: int = index["total_ops"]
+        self.completed_ops: int = index.get("completed_ops", 0)
+        self.data_bytes: int = index["data_bytes"]
+        self._table: Dict[bytes, Dict[str, Any]] = {
+            decode_bytes(name): entry for name, entry in index["keys"].items()}
+        self._data = open(self.ops_path, "rb")
+        bin_path = self.run_dir / INDEX_BIN
+        self._bin_file = open(bin_path, "rb")
+        size = bin_path.stat().st_size
+        self._mmap = (mmap.mmap(self._bin_file.fileno(), 0,
+                                access=mmap.ACCESS_READ) if size else None)
+
+    # -- views ----------------------------------------------------------- #
+
+    def keys(self) -> List[bytes]:
+        """Canonical keys, in deterministic (encoded-name) order."""
+        return sorted(self._table, key=encode_bytes)
+
+    def key_count(self, key) -> int:
+        entry = self._table.get(canonical_key(key))
+        return entry["count"] if entry else 0
+
+    def key_digest(self, key) -> Optional[str]:
+        """Content hash (sha256 hex) of one key's record stream."""
+        entry = self._table.get(canonical_key(key))
+        return entry["sha256"] if entry else None
+
+    def offsets_for_key(self, key) -> List[int]:
+        """Byte offsets of one key's records, via the mmapped index."""
+        entry = self._table.get(canonical_key(key))
+        if entry is None or self._mmap is None:
+            return []
+        start, count = entry["start"], entry["count"]
+        return list(struct.unpack_from(f"<{count}Q", self._mmap, start * 8))
+
+    def ops_for_key(self, key) -> List[HistoryOp]:
+        """One key's operations, in record (completion) order."""
+        return [self._read_op(offset) for offset in self.offsets_for_key(key)]
+
+    def _read_op(self, offset: int) -> HistoryOp:
+        self._data.seek(offset)
+        line = self._data.readline()
+        if not line.endswith(b"\n"):
+            raise TruncatedHistoryError(
+                self.ops_path, offset, "record cut short (stale index?)")
+        try:
+            return record_to_op(json.loads(line))
+        except (ValueError, KeyError) as exc:
+            raise TruncatedHistoryError(
+                self.ops_path, offset, f"unparseable record ({exc})") from None
+
+    def iter_ops(self) -> Iterator[HistoryOp]:
+        """Stream every indexed operation in file (completion) order.
+
+        Bounded by the index's ``data_bytes``: after an ``allow_truncated``
+        rebuild this iterates exactly the intact prefix.
+        """
+        for _offset, _line, record in _scan_records(self.ops_path,
+                                                    limit=self.data_bytes):
+            yield record_to_op(record)
+
+    def per_key(self) -> Dict[bytes, List[HistoryOp]]:
+        """Materialize every key's stream (small runs / tests only)."""
+        return {key: self.ops_for_key(key) for key in self.keys()}
+
+    def initial_values(self) -> Optional[Dict[bytes, Optional[bytes]]]:
+        """The initial key values recorded in the run metadata, if any."""
+        encoded = self.meta.get("initial")
+        if encoded is None:
+            return None
+        return {canonical_key(decode_bytes(name)): decode_bytes(value)
+                for name, value in encoded.items()}
+
+    def version_violations(self) -> List[str]:
+        return version_violations_of(self.iter_ops())
+
+    def __len__(self) -> int:
+        return self.total_ops
+
+    def close(self) -> None:
+        if self._mmap is not None:
+            self._mmap.close()
+            self._mmap = None
+        self._bin_file.close()
+        self._data.close()
+
+    def __enter__(self) -> "HistoryStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def rebuild_index(run_dir, allow_truncated: bool = False
+                  ) -> Tuple[int, Optional[int]]:
+    """Regenerate the index from ``ops.ndjson`` alone.
+
+    Returns ``(total_ops, truncated_at)``.  A truncated or corrupt tail
+    raises :class:`TruncatedHistoryError` unless ``allow_truncated`` is
+    set, in which case the index covers the intact prefix and
+    ``truncated_at`` is the byte offset where it ends.
+    """
+    run_dir = Path(run_dir)
+    path = run_dir / OPS_FILE
+    offsets: Dict[bytes, array] = {}
+    hashes: Dict[bytes, Any] = {}
+    meta: Dict[str, Any] = {}
+    total = completed = 0
+    end = 0
+    truncated_at: Optional[int] = None
+    with open(path, "rb") as handle:
+        header = handle.readline()
+    if header:
+        try:
+            meta = json.loads(header).get("meta", {})
+        except ValueError:
+            meta = {}
+    try:
+        for offset, line, record in _scan_records(path):
+            op = record_to_op(record)
+            key = op.key
+            if key not in offsets:
+                offsets[key] = array("Q")
+                hashes[key] = hashlib.sha256()
+            offsets[key].append(offset)
+            hashes[key].update(line)
+            total += 1
+            if op.completed:
+                completed += 1
+            end = offset + len(line)
+    except TruncatedHistoryError as exc:
+        if not allow_truncated:
+            raise
+        truncated_at = exc.offset
+        end = exc.offset
+    _write_index(run_dir, offsets, hashes, data_bytes=end, total_ops=total,
+                 completed_ops=completed, meta=meta)
+    return total, truncated_at
+
+
+# --------------------------------------------------------------------- #
+# Bare NDJSON files (fixtures, exports): no run directory, no index.
+# --------------------------------------------------------------------- #
+
+def write_ndjson(path, ops: Iterable[HistoryOp],
+                 meta: Optional[Dict[str, Any]] = None) -> None:
+    """Write a standalone ``history/v1`` NDJSON file (no derived index)."""
+    path = Path(path)
+    header: Dict[str, Any] = {"schema": SCHEMA}
+    if meta:
+        header["meta"] = dict(meta)
+    with open(path, "wb") as handle:
+        handle.write(_record_line(header))
+        for op in ops:
+            op.key = canonical_key(op.key)
+            handle.write(_record_line(op_to_record(op)))
+
+
+def read_ndjson_meta(path) -> Dict[str, Any]:
+    """The header metadata of a standalone NDJSON history file."""
+    with open(path, "rb") as handle:
+        header = json.loads(handle.readline())
+    return header.get("meta", {})
+
+
+def iter_ndjson(path) -> Iterator[HistoryOp]:
+    """Stream the operations of a standalone NDJSON history file.
+
+    Raises :class:`TruncatedHistoryError` (with the byte offset of the
+    first unreadable record) on a cut or corrupt file.
+    """
+    for _offset, _line, record in _scan_records(Path(path)):
+        yield record_to_op(record)
+
+
+def load_ndjson(path) -> List[HistoryOp]:
+    """Materialize a standalone NDJSON history file."""
+    return list(iter_ndjson(path))
+
+
+# --------------------------------------------------------------------- #
+# Recording with spill.
+# --------------------------------------------------------------------- #
+
+class SpillingHistory:
+    """A recording surface that spills completed operations to disk.
+
+    Drop-in for :class:`repro.core.history.History` wherever only the
+    recording protocol (``invoke``/``complete``) is used --
+    :class:`repro.workloads.clients.LoadClient`,
+    :class:`repro.core.history.RecordingClient`.  Completed operations are
+    appended to the run directory and released immediately; only in-flight
+    operations stay in memory, so peak residency is the concurrency, not
+    the run length.  Call :meth:`finish` after the run: still-pending
+    (ambiguous) operations are spilled too, in invocation order, and the
+    derived index is written.
+    """
+
+    def __init__(self, sim, run_dir,
+                 initial: Optional[Dict[bytes, Optional[bytes]]] = None,
+                 meta: Optional[Dict[str, Any]] = None,
+                 flush_every: int = 4096) -> None:
+        self.sim = sim
+        meta = dict(meta or {})
+        if initial is not None:
+            meta["initial"] = {
+                encode_bytes(canonical_key(key)): encode_bytes(value)
+                for key, value in initial.items()}
+        self.writer = HistoryWriter(run_dir, meta=meta, flush_every=flush_every)
+        self.run_dir = self.writer.run_dir
+        self._pending: Dict[int, HistoryOp] = {}
+        self._ids = 0
+        self._store: Optional[HistoryStore] = None
+
+    # -- recording (History-compatible) ---------------------------------- #
+
+    def invoke(self, client: str, op: str, key, value=None, expected=None) -> HistoryOp:
+        record = HistoryOp(op_id=self._ids, client=client, op=op,
+                           key=canonical_key(key),
+                           value=None if value is None else bytes(value),
+                           expected=None if expected is None else bytes(expected),
+                           invoked_at=self.sim.now)
+        self._ids += 1
+        self._pending[record.op_id] = record
+        return record
+
+    def complete(self, record: HistoryOp, result) -> None:
+        record.returned_at = self.sim.now
+        record.ok = bool(result.ok)
+        record.not_found = bool(result.not_found)
+        record.cas_failed = bool(result.cas_failed)
+        record.timed_out = bool(result.timed_out)
+        record.retries = int(getattr(result, "retries", 0) or 0)
+        if record.op == "read" and result.ok:
+            record.output = bytes(result.value)
+        raw = result.raw
+        if raw is not None and hasattr(raw, "session") and hasattr(raw, "seq"):
+            record.version = (raw.session, raw.seq)
+        elif raw is not None and hasattr(raw, "version") and result.ok:
+            record.version = (0, raw.version)
+        self.writer.append(record)
+        self._pending.pop(record.op_id, None)
+
+    def finish(self) -> HistoryStore:
+        """Spill still-pending (ambiguous) ops, close, return the store."""
+        if self._store is None:
+            for op_id in sorted(self._pending):
+                self.writer.append(self._pending[op_id])
+            self._pending.clear()
+            self.writer.close()
+            self._store = HistoryStore(self.run_dir)
+        return self._store
+
+    @property
+    def store(self) -> HistoryStore:
+        return self.finish()
+
+    # -- History-shaped views (post-finish) ------------------------------- #
+
+    @property
+    def pending(self) -> int:
+        """Operations currently in flight (resident in memory)."""
+        return len(self._pending)
+
+    def __len__(self) -> int:
+        return self._ids
+
+    def per_key(self) -> Dict[bytes, List[HistoryOp]]:
+        return self.finish().per_key()
+
+    def iter_ops(self) -> Iterator[HistoryOp]:
+        return self.finish().iter_ops()
+
+    def version_violations(self) -> List[str]:
+        return version_violations_of(self.finish().iter_ops())
+
+    def check(self, initial: Optional[Dict[bytes, Optional[bytes]]] = None,
+              state_budget: int = 500_000, workers: int = 0,
+              cache: Optional["VerdictCache"] = None) -> LinearizabilityReport:
+        return check_linearizable_streaming(self, initial=initial,
+                                            state_budget=state_budget,
+                                            workers=workers, cache=cache)
+
+
+# --------------------------------------------------------------------- #
+# Verdict memoization.
+# --------------------------------------------------------------------- #
+
+def _report_to_dict(report: KeyReport) -> Dict[str, Any]:
+    return {"key": encode_bytes(report.key), "ok": report.ok,
+            "ops": report.ops, "ambiguous_ops": report.ambiguous_ops,
+            "states_explored": report.states_explored,
+            "exhausted": report.exhausted, "message": report.message}
+
+
+def _report_from_dict(data: Dict[str, Any]) -> KeyReport:
+    return KeyReport(key=decode_bytes(data["key"]), ok=data["ok"],
+                     ops=data["ops"], ambiguous_ops=data["ambiguous_ops"],
+                     states_explored=data["states_explored"],
+                     exhausted=data["exhausted"], message=data["message"])
+
+
+class VerdictCache:
+    """Memoized per-key verdicts, keyed by key-stream content digest.
+
+    The digest covers the key's record bytes, the initial value, the state
+    budget and the checker version -- everything the verdict depends on --
+    so a hit is exactly "this key stream was already decided".  One cache
+    instance can serve a whole seed x backend x fault matrix; pass ``path``
+    to persist hits across processes/runs.
+    """
+
+    def __init__(self, path=None) -> None:
+        self.path = Path(path) if path is not None else None
+        self._entries: Dict[str, Dict[str, Any]] = {}
+        self.hits = 0
+        self.misses = 0
+        if self.path is not None and self.path.exists():
+            self._entries = json.loads(self.path.read_text(encoding="utf-8"))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, digest: str) -> Optional[KeyReport]:
+        entry = self._entries.get(digest)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return _report_from_dict(entry)
+
+    def put(self, digest: str, report: KeyReport) -> None:
+        self._entries[digest] = _report_to_dict(report)
+
+    def save(self) -> None:
+        if self.path is None:
+            raise ValueError("VerdictCache was created without a path")
+        self.path.write_text(
+            json.dumps(self._entries, sort_keys=True) + "\n", encoding="utf-8")
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+#: Process-wide default cache: scenario matrices share it so a repeated
+#: (seed, backend, fault schedule) combination skips re-checking.
+_DEFAULT_CACHE = VerdictCache()
+
+
+def default_verdict_cache() -> VerdictCache:
+    return _DEFAULT_CACHE
+
+
+def verdict_digest(stream_sha256: str, initial: Optional[bytes],
+                   state_budget: int) -> str:
+    """The memoization key for one (key stream, initial, budget) verdict."""
+    parts = "|".join([
+        stream_sha256,
+        _MISSING_MARK if initial is MISSING else encode_bytes(initial),
+        str(state_budget),
+        f"checker-v{CHECKER_VERSION}",
+    ])
+    return hashlib.sha256(parts.encode("utf-8")).hexdigest()
+
+
+# --------------------------------------------------------------------- #
+# The streaming checker.
+# --------------------------------------------------------------------- #
+
+def _check_key_task(args) -> Tuple[bytes, KeyReport]:
+    """Worker-pool unit: one key's stream through the Wing & Gong search."""
+    key, ops, initial, state_budget = args
+    return key, check_key_linearizable(ops, initial, state_budget)
+
+
+def _as_store(source) -> HistoryStore:
+    if isinstance(source, HistoryStore):
+        return source
+    if isinstance(source, SpillingHistory):
+        return source.finish()
+    return HistoryStore(source)
+
+
+def check_linearizable_streaming(
+        source: Union[HistoryStore, SpillingHistory, str, Path],
+        initial: Optional[Dict[bytes, Optional[bytes]]] = None,
+        state_budget: int = 500_000,
+        workers: int = 0,
+        cache: Optional[VerdictCache] = None) -> LinearizabilityReport:
+    """Per-key linearizability of a spilled run, with bounded memory.
+
+    Key streams are read one at a time through the offset index and handed
+    to the existing per-key checker -- in-process when ``workers`` is 0,
+    else through a ``multiprocessing`` pool with a bounded dispatch window
+    (at most ``2 * workers`` key streams in flight), so peak memory is the
+    largest key stream times the window, independent of run size.
+
+    The verdict for every key stream is memoized in ``cache`` (pass
+    :func:`default_verdict_cache` to share across a scenario matrix);
+    ``report.cache_hits`` counts the keys that skipped the search.  The
+    returned report is bit-identical to
+    :func:`repro.core.history.check_linearizable` over the same history.
+
+    Args:
+        source: a :class:`HistoryStore`, a (finished or unfinished)
+            :class:`SpillingHistory`, or a run-directory path.
+        initial: starting value per key; defaults to the run metadata's
+            recorded initial values when present.
+        state_budget: per-key search-state cap (as the in-memory checker).
+        workers: worker processes; 0 checks in-process.  Falls back to
+            in-process when the platform cannot fork.
+        cache: verdict memoization (``None`` disables it).
+    """
+    store = _as_store(source)
+    if initial is None:
+        initial = store.initial_values()
+    initial = {canonical_key(key): value
+               for key, value in (initial or {}).items()}
+    report = LinearizabilityReport(ok=True, total_ops=store.total_ops)
+    results: Dict[bytes, KeyReport] = {}
+    to_check: List[bytes] = []
+    for key in store.keys():
+        digest = verdict_digest(store.key_digest(key),
+                                initial.get(key, MISSING), state_budget)
+        cached = cache.get(digest) if cache is not None else None
+        if cached is not None:
+            results[key] = cached
+            report.cache_hits += 1
+        else:
+            to_check.append(key)
+
+    def record(key: bytes, key_report: KeyReport) -> None:
+        results[key] = key_report
+        if cache is not None:
+            digest = verdict_digest(store.key_digest(key),
+                                    initial.get(key, MISSING), state_budget)
+            cache.put(digest, key_report)
+
+    if workers and "fork" not in multiprocessing.get_all_start_methods():
+        workers = 0  # spawn would re-import the world per key; stay serial
+    if workers and to_check:
+        ctx = multiprocessing.get_context("fork")
+        window = 2 * workers
+        with ctx.Pool(workers) as pool:
+            in_flight: deque = deque()
+            for key in to_check:
+                while len(in_flight) >= window:
+                    done_key, key_report = in_flight.popleft().get()
+                    record(done_key, key_report)
+                task = (key, store.ops_for_key(key),
+                        initial.get(key, MISSING), state_budget)
+                in_flight.append(pool.apply_async(_check_key_task, (task,)))
+            while in_flight:
+                done_key, key_report = in_flight.popleft().get()
+                record(done_key, key_report)
+    else:
+        for key in to_check:
+            record(key, check_key_linearizable(
+                store.ops_for_key(key), initial.get(key, MISSING), state_budget))
+
+    report.keys = {key: results[key] for key in store.keys()}
+    report.ok = all(key_report.ok for key_report in report.keys.values())
+    return report
+
+
+# --------------------------------------------------------------------- #
+# CLI: re-check a spilled run offline.
+# --------------------------------------------------------------------- #
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.core.history_store",
+        description="Inspect, re-index and re-check spilled NDJSON histories.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    check = sub.add_parser("check", help="re-check a run's linearizability")
+    check.add_argument("run_dir")
+    check.add_argument("--workers", type=int, default=0,
+                       help="worker processes (0 = in-process)")
+    check.add_argument("--state-budget", type=int, default=500_000)
+    check.add_argument("--cache", default=None,
+                       help="path of a persistent verdict cache (JSON)")
+
+    index = sub.add_parser("index", help="rebuild the derived index")
+    index.add_argument("run_dir")
+    index.add_argument("--allow-truncated", action="store_true",
+                       help="index the intact prefix of a truncated file")
+
+    info = sub.add_parser("info", help="print run metadata and counts")
+    info.add_argument("run_dir")
+
+    args = parser.parse_args(argv)
+    if args.command == "index":
+        try:
+            total, truncated_at = rebuild_index(
+                args.run_dir, allow_truncated=args.allow_truncated)
+        except TruncatedHistoryError as exc:
+            print(exc, file=sys.stderr)
+            return 1
+        note = (f" (truncated at byte {truncated_at})"
+                if truncated_at is not None else "")
+        print(f"indexed {total} ops{note}")
+        return 0
+
+    with HistoryStore(args.run_dir) as store:
+        if args.command == "info":
+            print(f"schema: {SCHEMA}")
+            print(f"ops: {store.total_ops} ({store.completed_ops} completed)")
+            print(f"keys: {len(store.keys())}")
+            print(f"data bytes: {store.data_bytes}")
+            if store.meta:
+                print(f"meta: {json.dumps(store.meta, sort_keys=True)}")
+            return 0
+
+        cache = VerdictCache(args.cache) if args.cache else None
+        report = check_linearizable_streaming(
+            store, state_budget=args.state_budget, workers=args.workers,
+            cache=cache)
+        if cache is not None and cache.path is not None:
+            cache.save()
+        print(report.summary())
+        if report.cache_hits:
+            print(f"verdict cache hits: {report.cache_hits}/{len(report.keys)}")
+        violations = store.version_violations()
+        for violation in violations[:10]:
+            print(f"version violation: {violation}")
+        exhausted = report.exhausted_keys()
+        if exhausted:
+            print(f"exhausted keys: {[r.key for r in exhausted]}")
+        ok = report.ok and not exhausted and not violations
+        return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

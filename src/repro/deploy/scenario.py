@@ -22,10 +22,19 @@ Usage::
 from __future__ import annotations
 
 import random
+import resource
+import tempfile
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple
+from pathlib import Path
+from typing import Any, Callable, List, Optional, Tuple, Union
 
 from repro.core.history import History, LinearizabilityReport, check_linearizable
+from repro.core.history_store import (
+    SpillingHistory,
+    VerdictCache,
+    check_linearizable_streaming,
+    default_verdict_cache,
+)
 from repro.deploy.base import Capabilities, Deployment, build_deployment
 from repro.deploy.spec import DeploymentSpec
 from repro.netsim.faults import FaultEvent, FaultSchedule
@@ -76,6 +85,22 @@ class ScenarioChecks:
 
     #: Check the recorded history for per-key linearizability.
     linearizability: bool = True
+    #: ``"memory"`` buffers the whole history in RAM (the default, as
+    #: before); ``"spill"`` streams completed operations to an NDJSON run
+    #: directory and verifies through the bounded-memory streaming checker
+    #: (:mod:`repro.core.history_store`), so run size no longer dictates
+    #: peak RSS.
+    history_mode: str = "memory"
+    #: Run directory for ``history_mode="spill"``; a temporary directory
+    #: is created (and reported on the result) when unset.
+    run_dir: Optional[Union[str, Path]] = None
+    #: Worker processes for the streaming checker (0 = in-process).
+    verify_workers: int = 0
+    #: Verdict memoization for the streaming checker: ``"default"`` shares
+    #: the process-wide cache (repeated seed x backend x fault scenarios
+    #: skip re-checking unchanged key streams), ``None`` disables caching,
+    #: or pass an explicit :class:`~repro.core.history_store.VerdictCache`.
+    verdict_cache: Any = "default"
     #: Require at least one *successful* operation per load client (a
     #: wedged or all-failing client must not hide behind the others).
     require_progress: bool = True
@@ -112,8 +137,17 @@ class ScenarioResult:
     mean_write_latency: float = 0.0
     #: 99th-percentile read latency (0.0 when no reads completed).
     read_latency_p99: float = 0.0
-    history: Optional[History] = None
+    history: Optional[Union[History, SpillingHistory]] = None
     linearizability: Optional[LinearizabilityReport] = None
+    #: Run directory holding the spilled NDJSON history (spill mode only);
+    #: re-check offline with ``python -m repro.core.history_store check``.
+    run_dir: Optional[Path] = None
+    #: Process peak RSS (bytes) observed after verification, for the
+    #: perf report's ``verify`` section (0 when unavailable).
+    peak_rss_bytes: int = 0
+    #: Keys whose linearizability verdict was served from the memoized
+    #: verdict cache instead of a fresh search (spill mode only).
+    verdict_cache_hits: int = 0
     #: The injector's replayable trace (empty without a fault schedule).
     fault_trace: List[FaultEvent] = field(default_factory=list)
     #: Human-readable check failures (empty == all checks passed).
@@ -132,12 +166,19 @@ class ScenarioResult:
         """A hashable per-operation trace for replay-identity assertions.
 
         Two runs of the same spec+workload+seed must produce *identical*
-        signatures -- operation order, values, outcomes and timestamps.
+        signatures -- operation order, values, outcomes and timestamps --
+        whether the history was buffered in memory or spilled to NDJSON
+        (operations are ordered by invocation id, which both recording
+        modes assign identically).
         """
         if self.history is None:
             return []
+        if hasattr(self.history, "ops"):
+            ops = self.history.ops
+        else:  # spilled: NDJSON order is completion order; re-sort
+            ops = sorted(self.history.iter_ops(), key=lambda op: op.op_id)
         return [(op.client, op.op, op.key, op.value, op.output, op.ok,
-                 op.invoked_at, op.returned_at) for op in self.history.ops]
+                 op.invoked_at, op.returned_at) for op in ops]
 
 
 def run_scenario(spec: DeploymentSpec,
@@ -161,12 +202,25 @@ def run_scenario(spec: DeploymentSpec,
             "run_scenario needs a preloaded store (store_size >= 1): the "
             "workload targets the preloaded keys, so an empty store would "
             "measure nothing but KEY_NOT_FOUND failures")
+    if checks.history_mode not in ("memory", "spill"):
+        raise ValueError(f"history_mode must be 'memory' or 'spill', "
+                         f"got {checks.history_mode!r}")
     if deployment is None:
         deployment = build_deployment(spec)
     sim = deployment.sim
 
-    history: Optional[History] = History(sim) if checks.linearizability else None
     initial = deployment.initial_values() if checks.linearizability else None
+    history: Optional[Union[History, SpillingHistory]] = None
+    run_dir: Optional[Path] = None
+    if checks.linearizability:
+        if checks.history_mode == "spill":
+            run_dir = Path(checks.run_dir) if checks.run_dir is not None \
+                else Path(tempfile.mkdtemp(prefix="scenario-run-"))
+            history = SpillingHistory(
+                sim, run_dir, initial=initial,
+                meta={"backend": spec.backend, "seed": spec.seed})
+        else:
+            history = History(sim)
 
     clients = deployment.clients(workload.num_clients)
     load_clients: List[LoadClient] = []
@@ -258,7 +312,21 @@ def run_scenario(spec: DeploymentSpec,
             f"{result.failed_ops}/{result.completed_ops} operations failed "
             f"(max_failed_fraction={checks.max_failed_fraction})")
     if checks.linearizability and history is not None:
-        report = check_linearizable(history, initial=initial)
+        if checks.history_mode == "spill":
+            store = history.finish()
+            cache = checks.verdict_cache
+            if cache == "default":
+                cache = default_verdict_cache()
+            elif cache is not None and not isinstance(cache, VerdictCache):
+                raise TypeError(f"verdict_cache must be 'default', None or a "
+                                f"VerdictCache, got {type(cache).__name__}")
+            report = check_linearizable_streaming(
+                store, initial=initial, workers=checks.verify_workers,
+                cache=cache)
+            result.run_dir = run_dir
+            result.verdict_cache_hits = report.cache_hits
+        else:
+            report = check_linearizable(history, initial=initial)
         result.linearizability = report
         if not report.ok:
             result.failures.append(report.summary())
@@ -270,6 +338,11 @@ def run_scenario(spec: DeploymentSpec,
         message = check(result)
         if message:
             result.failures.append(message)
+
+    # ru_maxrss is the process high-water mark (KiB on Linux), read after
+    # verification so spill-mode runs report what the pipeline peaked at.
+    result.peak_rss_bytes = \
+        resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
 
     deployment.teardown()
     return result

@@ -31,6 +31,11 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.core.controller import ControllerConfig
 from repro.core.detector import DetectorConfig
 from repro.core.history import History, LinearizabilityReport, check_linearizable
+from repro.core.history_store import (
+    SpillingHistory,
+    check_linearizable_streaming,
+    default_verdict_cache,
+)
 from repro.core.invariants import invariant_observer, sample_chain_invariants
 from repro.core.reconfig import MigrationCoordinator, MigrationReport, ReconfigConfig
 from repro.deploy import DeploymentSpec, NetChainDeployment, build_deployment
@@ -59,6 +64,10 @@ class ReconfigScenarioResult:
     invariant_violations: List[str] = field(default_factory=list)
     history: Optional[History] = None
     linearizability: Optional[LinearizabilityReport] = None
+    #: Run directory with the spilled NDJSON history (spill mode only).
+    run_dir: Optional[str] = None
+    #: Keys whose verdict came from the memoized cache (spill mode only).
+    verdict_cache_hits: int = 0
     drop_report: Dict[str, Dict[str, int]] = field(default_factory=dict)
     deployment: Optional[NetChainDeployment] = None
     #: One report per executed membership change, in order.
@@ -99,6 +108,8 @@ def run_reconfig_scenario(changes: Sequence[MembershipChange],
                           drain: float = 0.5,
                           value_size: int = 32,
                           link_new_to: Optional[List[str]] = None,
+                          history_mode: str = "memory",
+                          run_dir=None,
                           ) -> ReconfigScenarioResult:
     """Run planned membership changes under a recorded mixed workload.
 
@@ -137,7 +148,17 @@ def run_reconfig_scenario(changes: Sequence[MembershipChange],
         initial[history_key(key)] = (item.value if item is not None and item.valid
                                      else None)
 
-    history = History(cluster.sim)
+    if history_mode == "spill":
+        import tempfile
+        run_dir = run_dir or tempfile.mkdtemp(prefix="reconfig-scenario-")
+        history = SpillingHistory(cluster.sim, run_dir, initial=initial,
+                                  meta={"harness": "reconfig-scenario",
+                                        "seed": seed})
+    elif history_mode == "memory":
+        history = History(cluster.sim)
+    else:
+        raise ValueError(f"history_mode must be 'memory' or 'spill', "
+                         f"got {history_mode!r}")
     clients: List[LoadClient] = []
     host_names = sorted(cluster.agents)
     for index in range(num_clients):
@@ -193,7 +214,10 @@ def run_reconfig_scenario(changes: Sequence[MembershipChange],
     if schedule is not None:
         schedule.cancel()
 
-    result.completed_ops = len(history.completed_ops())
+    if history_mode == "spill":
+        result.completed_ops = history.finish().completed_ops
+    else:
+        result.completed_ops = len(history.completed_ops())
     result.failed_ops = sum(client.failed_queries for client in clients)
     result.fault_trace = list(injector.trace)
     result.drop_report = injector.drop_report()
@@ -212,7 +236,13 @@ def run_reconfig_scenario(changes: Sequence[MembershipChange],
         item = store.read(key) if store is not None else None
         if item is None:
             result.lost_keys.append(key)
-    result.linearizability = check_linearizable(history, initial=initial)
+    if history_mode == "spill":
+        result.run_dir = str(history.run_dir)
+        result.linearizability = check_linearizable_streaming(
+            history.finish(), initial=initial, cache=default_verdict_cache())
+        result.verdict_cache_hits = result.linearizability.cache_hits
+    else:
+        result.linearizability = check_linearizable(history, initial=initial)
     return result
 
 

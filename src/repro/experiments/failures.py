@@ -34,10 +34,15 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.core.client import _raw_key
+from repro.core.client import canonical_key
 from repro.core.controller import ControllerConfig
 from repro.core.detector import DetectorConfig
 from repro.core.history import History, LinearizabilityReport, check_linearizable
+from repro.core.history_store import (
+    SpillingHistory,
+    check_linearizable_streaming,
+    default_verdict_cache,
+)
 from repro.core.invariants import invariant_observer
 from repro.deploy import DeploymentSpec, NetChainDeployment, build_deployment
 from repro.netsim.faults import FaultEvent, FaultSchedule
@@ -194,6 +199,10 @@ class FaultScenarioResult:
     invariant_violations: List[str] = field(default_factory=list)
     history: Optional[History] = None
     linearizability: Optional[LinearizabilityReport] = None
+    #: Run directory with the spilled NDJSON history (spill mode only).
+    run_dir: Optional[str] = None
+    #: Keys whose verdict came from the memoized cache (spill mode only).
+    verdict_cache_hits: int = 0
     #: Per-link delivery/drop counters, keyed by link name.
     drop_report: Dict[str, Dict[str, int]] = field(default_factory=dict)
     #: The deployment the scenario ran on (controller, detector, agents).
@@ -225,6 +234,8 @@ def run_fault_scenario(build_schedule: Callable[..., FaultSchedule],
                        deployment: Optional[NetChainDeployment] = None,
                        drain: float = 0.5,
                        value_size: int = 32,
+                       history_mode: str = "memory",
+                       run_dir=None,
                        ) -> FaultScenarioResult:
     """Run one seeded fault schedule under a recorded mixed workload.
 
@@ -268,7 +279,17 @@ def run_fault_scenario(build_schedule: Callable[..., FaultSchedule],
         initial[history_key(key)] = (item.value if item is not None and item.valid
                                      else None)
 
-    history = History(cluster.sim)
+    if history_mode == "spill":
+        import tempfile
+        run_dir = run_dir or tempfile.mkdtemp(prefix="fault-scenario-")
+        history = SpillingHistory(cluster.sim, run_dir, initial=initial,
+                                  meta={"harness": "fault-scenario",
+                                        "seed": seed})
+    elif history_mode == "memory":
+        history = History(cluster.sim)
+    else:
+        raise ValueError(f"history_mode must be 'memory' or 'spill', "
+                         f"got {history_mode!r}")
     clients: List[LoadClient] = []
     host_names = sorted(cluster.agents)
     for index in range(num_clients):
@@ -299,7 +320,10 @@ def run_fault_scenario(build_schedule: Callable[..., FaultSchedule],
     cluster.detector.stop()
     schedule.cancel()
 
-    result.completed_ops = len(history.completed_ops())
+    if history_mode == "spill":
+        result.completed_ops = history.finish().completed_ops
+    else:
+        result.completed_ops = len(history.completed_ops())
     result.failed_ops = sum(client.failed_queries for client in clients)
     result.fault_trace = list(injector.trace)
     result.drop_report = injector.drop_report()
@@ -313,10 +337,21 @@ def run_fault_scenario(build_schedule: Callable[..., FaultSchedule],
     from repro.core.invariants import sample_chain_invariants
     result.invariant_violations.extend(
         sample_chain_invariants(controller, raise_on_violation=False))
-    result.linearizability = check_linearizable(history, initial=initial)
+    if history_mode == "spill":
+        result.run_dir = str(history.run_dir)
+        result.linearizability = check_linearizable_streaming(
+            history.finish(), initial=initial, cache=default_verdict_cache())
+        result.verdict_cache_hits = result.linearizability.cache_hits
+    else:
+        result.linearizability = check_linearizable(history, initial=initial)
     return result
 
 
 def history_key(key) -> bytes:
-    """The raw-bytes form a :class:`History` records keys under."""
-    return _raw_key(key)
+    """The canonical bytes form a :class:`History` records keys under.
+
+    Normalization happens once, at record time (:func:`canonical_key`), so
+    initial-state snapshots built here match the per-key streams of both
+    the in-memory history and a spilled NDJSON run.
+    """
+    return canonical_key(key)

@@ -1,0 +1,177 @@
+"""Property tests: streaming checker ≡ in-memory checker ≡ brute force.
+
+Three independent implementations must agree on every history:
+
+* :func:`repro.core.history.check_linearizable` -- the memoized Wing &
+  Gong DFS over in-memory per-key lists;
+* :func:`repro.core.history_store.check_linearizable_streaming` -- the
+  same per-key search driven over spilled NDJSON per-key streams;
+* a brute-force permutation search (below) with no memoization and no
+  pruning, feasible for tiny histories.
+
+Histories come from the seeded generator
+(:mod:`repro.core.history_gen`), which produces concurrent histories that
+are linearizable by construction -- and, with ``corruption_rate``, flips
+read outputs so exactly the corrupted keys must be rejected.  That gives
+each comparison a known ground truth rather than just mutual agreement.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import pytest
+
+from repro.core.history import (
+    MISSING,
+    HistoryOp,
+    _step,
+    _step_ambiguous_success,
+    check_linearizable,
+    group_ops_by_key,
+)
+from repro.core.history_gen import generate_history
+from repro.core.history_store import (
+    HistoryStore,
+    HistoryWriter,
+    check_linearizable_streaming,
+)
+
+_FAIL = _step(HistoryOp(op_id=0, client="", op="read", key=b"", ok=True,
+                        output=b"x", returned_at=1.0), MISSING)
+
+
+def brute_force_key_ok(ops: List[HistoryOp], initial: Optional[bytes],
+                       ) -> bool:
+    """Exhaustive linearization search for one key's tiny history.
+
+    Mirrors the checker's semantics for non-retried histories: certain
+    operations apply exactly once in an order respecting real-time
+    precedence; ambiguous (lost-reply) reads constrain nothing; ambiguous
+    writes may apply any number of times (capped at ``n + 1`` -- more
+    applications than distinct intervening states cannot matter);
+    ambiguous CAS/delete/insert apply at most once, and a CAS only from a
+    matching state.  No Lowe memoization of the *search order*, no
+    relevance pruning -- only a visited set over exact configurations so
+    revisiting the identical (state, remaining, counts) triple is not
+    re-explored, which changes nothing about what is searched.  Feasible
+    only because the histories are <= 7 operations.
+    """
+    assert all(op.retries == 0 for op in ops), \
+        "echo semantics are out of scope for the brute-force model"
+    certain = [op for op in ops if not op.ambiguous]
+    ambiguous = [op for op in ops if op.ambiguous and op.op != "read"]
+    budget = len(ops) + 1
+    visited = set()
+
+    def horizon(remaining: Tuple[int, ...]) -> float:
+        return min((certain[i].returned_at for i in remaining),
+                   default=float("inf"))
+
+    def search(state, remaining: Tuple[int, ...],
+               amb_counts: Tuple[int, ...]) -> bool:
+        if not remaining:
+            return True
+        marker = (state, remaining, amb_counts)
+        if marker in visited:
+            return False
+        visited.add(marker)
+        limit = horizon(remaining)
+        for i in remaining:
+            if certain[i].invoked_at <= limit:
+                stepped = _step(certain[i], state)
+                if stepped is not _FAIL and search(
+                        stepped, tuple(j for j in remaining if j != i),
+                        amb_counts):
+                    return True
+        for j, count in enumerate(amb_counts):
+            if count == 0 or ambiguous[j].invoked_at > limit:
+                continue
+            applied = _step_ambiguous_success(ambiguous[j], state)
+            if applied is _FAIL:
+                continue
+            next_counts = tuple(
+                (count - 1 if k == j else c)
+                if ambiguous[k].op in ("write", "insert") else
+                (0 if k == j else c)
+                for k, c in enumerate(amb_counts))
+            if search(applied, remaining, next_counts):
+                return True
+        return False
+
+    return search(initial, tuple(range(len(certain))),
+                  tuple(budget for _ in ambiguous))
+
+
+def spill(tmp_path, ops, tag: str) -> HistoryStore:
+    run_dir = tmp_path / tag
+    with HistoryWriter(run_dir) as writer:
+        for op in ops:
+            writer.append(op)
+    return HistoryStore(run_dir)
+
+
+# Seed ranges per regime: 300 clean + 120 corrupted + 80 timeout-heavy =
+# 500 randomized histories, every one checked by both implementations.
+REGIMES = [
+    ("clean", range(0, 300),
+     dict(clients=3, keys=3, ops=40, timeout_rate=0.05)),
+    ("corrupted", range(1000, 1120),
+     dict(clients=3, keys=3, ops=40, timeout_rate=0.05,
+          corruption_rate=0.08)),
+    ("timeout-heavy", range(2000, 2080),
+     dict(clients=4, keys=2, ops=30, timeout_rate=0.35)),
+]
+
+
+@pytest.mark.parametrize("name,seeds,params", REGIMES,
+                         ids=[regime[0] for regime in REGIMES])
+def test_streaming_equals_memory_on_generated_histories(
+        name, seeds, params, tmp_path):
+    mismatches = []
+    for seed in seeds:
+        gen = generate_history(seed, **params)
+        memory = check_linearizable(gen.ops, initial=gen.initial)
+        store = spill(tmp_path, gen.ops, f"s{seed}")
+        streaming = check_linearizable_streaming(store, initial=gen.initial)
+        if memory.ok != streaming.ok or \
+                {k: r.ok for k, r in memory.keys.items()} != \
+                {k: r.ok for k, r in streaming.keys.items()}:
+            mismatches.append(seed)
+            continue
+        # Ground truth: exactly the corrupted keys violate.
+        flagged = sorted(k for k, r in memory.keys.items() if not r.ok)
+        if flagged != sorted(gen.corrupted_keys):
+            mismatches.append(seed)
+        assert not memory.exhausted_keys()
+    assert not mismatches, \
+        f"{name}: checkers disagree (or miss ground truth) on seeds {mismatches}"
+
+
+def test_total_property_histories_at_least_500():
+    assert sum(len(regime[1]) for regime in REGIMES) >= 500
+
+
+@pytest.mark.parametrize("regime,seeds,corruption", [
+    ("tiny-clean", range(3000, 3250), 0.0),
+    ("tiny-corrupted", range(4000, 4150), 0.25),
+], ids=["tiny-clean", "tiny-corrupted"])
+def test_brute_force_agrees_on_tiny_histories(regime, seeds, corruption):
+    """<= 7-op histories: the memoized DFS must match pure permutation
+    search key for key (retry echoes excluded -- the generator emits
+    ``retries=0`` only; the golden corpus covers echoes)."""
+    checked = 0
+    for seed in seeds:
+        ops_count = 2 + seed % 6  # 2..7 operations
+        gen = generate_history(seed, clients=2, keys=1 + seed % 2,
+                               ops=ops_count, timeout_rate=0.3,
+                               corruption_rate=corruption)
+        report = check_linearizable(gen.ops, initial=gen.initial)
+        for key, key_ops in group_ops_by_key(gen.ops).items():
+            expected = brute_force_key_ok(key_ops, gen.initial.get(key, MISSING))
+            assert report.keys[key].ok == expected, \
+                (f"{regime} seed {seed} key {key!r}: DFS said "
+                 f"{report.keys[key].ok}, brute force said {expected}:\n"
+                 + "\n".join(op.describe() for op in key_ops))
+            checked += 1
+    assert checked > len(seeds)  # multiple keys actually exercised

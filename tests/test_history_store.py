@@ -1,0 +1,392 @@
+"""Out-of-core history store: spill format, index, streaming checker.
+
+Covers the storage layer (NDJSON round trips, per-key offset index,
+rebuild, crash safety), the streaming verification pipeline (agreement
+with the in-memory checker, worker pool, verdict memoization), the
+record-time key canonicalization contract, and the scenario integration
+(``history_mode="spill"`` replays byte-identically to memory mode and
+bounds peak memory).
+"""
+
+from __future__ import annotations
+
+import json
+import tracemalloc
+
+import pytest
+
+from repro.core.client import canonical_key
+from repro.core.history import History, HistoryOp, check_linearizable
+from repro.core.history_gen import generate_history, initial_values, iter_history
+from repro.core.history_store import (
+    HistoryStore,
+    HistoryWriter,
+    SpillingHistory,
+    TruncatedHistoryError,
+    VerdictCache,
+    check_linearizable_streaming,
+    decode_bytes,
+    encode_bytes,
+    iter_ndjson,
+    load_ndjson,
+    main as store_cli,
+    op_to_record,
+    rebuild_index,
+    record_to_op,
+    write_ndjson,
+)
+from repro.deploy import DeploymentSpec, ScenarioChecks, WorkloadSpec, run_scenario
+
+
+def write_run(run_dir, ops, meta=None):
+    with HistoryWriter(run_dir, meta=meta) as writer:
+        for op in ops:
+            writer.append(op)
+    return HistoryStore(run_dir)
+
+
+# --------------------------------------------------------------------- #
+# Record encoding.
+# --------------------------------------------------------------------- #
+
+def test_bytes_encoding_round_trips():
+    for data in (b"plain", b"", b"\x00\xff\x10", b"hex:dec0y", b" spaces ",
+                 b"k\x00\x00"):
+        assert decode_bytes(encode_bytes(data)) == data
+    assert encode_bytes(None) is None and decode_bytes(None) is None
+    # Binary data is hex-escaped; a literal "hex:" prefix must be too,
+    # or decoding would misread it.
+    assert encode_bytes(b"\x00\x01") == "hex:0001"
+    assert encode_bytes(b"hex:dec0y").startswith("hex:")
+
+
+def test_op_record_round_trips_every_field():
+    op = HistoryOp(op_id=7, client="c1", op="cas", key=b"key-1",
+                   value=b"new", expected=b"old", invoked_at=1.25,
+                   returned_at=2.5, ok=False, output=None, not_found=False,
+                   cas_failed=True, timed_out=False, retries=3,
+                   version=(2, 9))
+    assert record_to_op(op_to_record(op)) == op
+    pending = HistoryOp(op_id=0, client="c0", op="write", key=b"k",
+                        value=b"v", invoked_at=0.5)
+    back = record_to_op(op_to_record(pending))
+    assert back == pending and not back.completed and back.ambiguous
+
+
+# --------------------------------------------------------------------- #
+# Writer + store.
+# --------------------------------------------------------------------- #
+
+def test_writer_builds_per_key_streams_and_index(tmp_path):
+    gen = generate_history(3, clients=3, keys=4, ops=200)
+    store = write_run(tmp_path / "run", gen.ops, meta={"seed": 3})
+    assert len(store) == 200
+    assert store.meta["seed"] == 3
+    assert sum(store.key_count(key) for key in store.keys()) == 200
+    for key in store.keys():
+        ops = store.ops_for_key(key)
+        assert ops and all(op.key == key for op in ops)
+    # Sequential iteration sees the same records as indexed access.
+    by_id = sorted(store.iter_ops(), key=lambda op: op.op_id)
+    assert [op.op_id for op in by_id] == list(range(200))
+
+
+def test_padded_and_unpadded_key_spellings_share_one_stream(tmp_path):
+    """Record-time canonicalization: the wire pads keys to 16 bytes with
+    NULs, clients use the raw string -- both spellings are one key, in the
+    in-memory history and in the spilled run alike."""
+    padded, unpadded = b"kv-7" + b"\x00" * 12, b"kv-7"
+    assert canonical_key(padded) == canonical_key(unpadded) == unpadded
+
+    class FakeSim:
+        now = 0.0
+
+    history = History(FakeSim())
+    a = history.invoke("c0", "write", padded, value=b"x")
+    b = history.invoke("c1", "read", unpadded)
+    assert a.key == b.key == unpadded
+    assert list(history.per_key()) == [unpadded]
+
+    ops = [HistoryOp(op_id=0, client="c0", op="write", key=padded,
+                     value=b"x", invoked_at=1.0, returned_at=2.0, ok=True),
+           HistoryOp(op_id=1, client="c1", op="read", key=unpadded,
+                     invoked_at=3.0, returned_at=4.0, ok=True, output=b"x")]
+    store = write_run(tmp_path / "run", ops)
+    assert store.keys() == [unpadded]
+    assert store.key_count(unpadded) == 2
+    # The padded spelling queries the same stream.
+    assert [op.op_id for op in store.ops_for_key(padded)] == [0, 1]
+
+
+def test_initial_values_round_trip_through_meta(tmp_path):
+    class FakeSim:
+        now = 0.0
+
+    initial = {b"a" + b"\x00" * 3: b"va", b"b": None}
+    spilling = SpillingHistory(FakeSim(), tmp_path / "run", initial=initial)
+    record = spilling.invoke("c0", "read", b"a")
+
+    class Result:
+        ok = True
+        not_found = cas_failed = timed_out = False
+        retries = 0
+        value = b"va"
+        raw = None
+
+    spilling.complete(record, Result())
+    store = spilling.finish()
+    assert store.initial_values() == {b"a": b"va", b"b": None}
+    # The recorded initial state feeds the check when none is passed.
+    assert check_linearizable_streaming(store).ok
+
+
+# --------------------------------------------------------------------- #
+# Crash safety.
+# --------------------------------------------------------------------- #
+
+def test_truncated_file_surfaces_clean_error_with_offset(tmp_path):
+    gen = generate_history(5, clients=2, keys=2, ops=50)
+    store = write_run(tmp_path / "run", gen.ops)
+    path = store.ops_path
+    data = path.read_bytes()
+    lines = data.splitlines(keepends=True)
+    intact = b"".join(lines[:-1])
+    path.write_bytes(intact + lines[-1][:10])  # cut the last record short
+
+    with pytest.raises(TruncatedHistoryError) as exc_info:
+        list(iter_ndjson(path))
+    err = exc_info.value
+    assert err.offset == len(intact)
+    assert str(err.offset) in str(err) and "truncated" in str(err)
+
+    # Corrupt JSON mid-file is reported the same way, not as a raw
+    # json.JSONDecodeError traceback.
+    garbled = intact[:len(lines[0]) + len(lines[1])] + b'{"id": oops}\n'
+    path.write_bytes(garbled)
+    with pytest.raises(TruncatedHistoryError) as exc_info:
+        list(iter_ndjson(path))
+    assert exc_info.value.offset == len(lines[0]) + len(lines[1])
+
+
+def test_index_rebuilds_from_intact_prefix(tmp_path):
+    gen = generate_history(6, clients=2, keys=2, ops=50)
+    store = write_run(tmp_path / "run", gen.ops)
+    path = store.ops_path
+    data = path.read_bytes()
+    cut = data.splitlines(keepends=True)
+    path.write_bytes(b"".join(cut[:-1]) + cut[-1][:5])
+
+    with pytest.raises(TruncatedHistoryError):
+        rebuild_index(tmp_path / "run")
+    total, truncated_at = rebuild_index(tmp_path / "run",
+                                        allow_truncated=True)
+    assert total == 49
+    assert truncated_at == len(b"".join(cut[:-1]))
+    recovered = HistoryStore(tmp_path / "run")
+    assert len(recovered) == 49
+    assert sorted(op.op_id for op in recovered.iter_ops()) == list(range(49))
+
+
+def test_stale_index_is_detected_not_garbled(tmp_path):
+    store = write_run(tmp_path / "run",
+                      generate_history(7, keys=1, ops=10).ops)
+    # Truncate the data file *without* rebuilding the index: indexed reads
+    # past the end must fail cleanly.
+    data = store.ops_path.read_bytes()
+    store.ops_path.write_bytes(data[: len(data) - 20])
+    with pytest.raises(TruncatedHistoryError):
+        HistoryStore(tmp_path / "run").ops_for_key(b"k0")
+
+
+# --------------------------------------------------------------------- #
+# Streaming checker.
+# --------------------------------------------------------------------- #
+
+def test_streaming_matches_memory_and_workers_match_serial(tmp_path):
+    gen = generate_history(11, clients=6, keys=10, ops=600,
+                           timeout_rate=0.05)
+    store = write_run(tmp_path / "run", list(gen.ops))
+    memory = check_linearizable(gen.ops, initial=gen.initial)
+    serial = check_linearizable_streaming(store, initial=gen.initial)
+    parallel = check_linearizable_streaming(store, initial=gen.initial,
+                                            workers=2)
+    assert memory.ok == serial.ok == parallel.ok is True
+    for key in store.keys():
+        assert (memory.keys[key].ok, memory.keys[key].ops) == \
+            (serial.keys[key].ok, serial.keys[key].ops) == \
+            (parallel.keys[key].ok, parallel.keys[key].ops)
+
+
+def test_verdict_cache_memoizes_by_stream_content(tmp_path):
+    gen = generate_history(13, clients=3, keys=6, ops=300)
+    store = write_run(tmp_path / "a", list(gen.ops))
+    cache = VerdictCache()
+    first = check_linearizable_streaming(store, initial=gen.initial,
+                                         cache=cache)
+    second = check_linearizable_streaming(store, initial=gen.initial,
+                                          cache=cache)
+    assert first.cache_hits == 0
+    assert second.cache_hits == len(store.keys())
+    assert first.ok == second.ok
+    assert {k: r.ok for k, r in first.keys.items()} == \
+        {k: r.ok for k, r in second.keys.items()}
+
+    # A different initial value is a different verdict: no false hits.
+    shifted = dict(gen.initial)
+    shifted[store.keys()[0]] = b"something-else"
+    third = check_linearizable_streaming(store, initial=shifted, cache=cache)
+    assert third.cache_hits == len(store.keys()) - 1
+
+    # The cache persists and reloads.
+    path = tmp_path / "verdicts.json"
+    stored = VerdictCache(path)
+    check_linearizable_streaming(store, initial=gen.initial, cache=stored)
+    stored.save()
+    reloaded = VerdictCache(path)
+    again = check_linearizable_streaming(store, initial=gen.initial,
+                                         cache=reloaded)
+    assert again.cache_hits == len(store.keys())
+
+
+def test_streaming_flags_the_corrupted_keys(tmp_path):
+    gen = generate_history(17, clients=4, keys=5, ops=400,
+                           corruption_rate=0.05)
+    assert gen.corrupted_keys  # the seed must actually corrupt something
+    store = write_run(tmp_path / "run", list(gen.ops))
+    report = check_linearizable_streaming(store, initial=gen.initial)
+    assert not report.ok
+    flagged = sorted(k for k, r in report.keys.items() if not r.ok)
+    assert flagged == sorted(gen.corrupted_keys)
+
+
+# --------------------------------------------------------------------- #
+# CLI.
+# --------------------------------------------------------------------- #
+
+def test_cli_check_index_info(tmp_path, capsys):
+    run_dir = tmp_path / "run"
+    write_run(run_dir, generate_history(19, keys=3, ops=120).ops,
+              meta={"initial": {encode_bytes(k): encode_bytes(v)
+                                for k, v in initial_values(3).items()}})
+    assert store_cli(["info", str(run_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "ops: 120" in out and "keys: 3" in out
+
+    assert store_cli(["check", str(run_dir), "--cache",
+                      str(tmp_path / "cache.json")]) == 0
+    assert "linearizable" in capsys.readouterr().out
+    # Second check hits the persisted cache for every key.
+    assert store_cli(["check", str(run_dir), "--cache",
+                      str(tmp_path / "cache.json")]) == 0
+    assert "verdict cache hits: 3/3" in capsys.readouterr().out
+
+    (run_dir / "index.json").unlink()
+    (run_dir / "index.bin").unlink()
+    assert store_cli(["index", str(run_dir)]) == 0
+    assert store_cli(["check", str(run_dir)]) == 0
+
+    bad = tmp_path / "bad"
+    ops = load_ndjson_ops()
+    write_run(bad, ops)
+    assert store_cli(["check", str(bad)]) == 1
+
+
+def load_ndjson_ops():
+    """A tiny non-linearizable history (stale read)."""
+    return [
+        HistoryOp(op_id=0, client="c0", op="write", key=b"k", value=b"B",
+                  invoked_at=1.0, returned_at=2.0, ok=True),
+        HistoryOp(op_id=1, client="c1", op="read", key=b"k",
+                  invoked_at=3.0, returned_at=4.0, ok=True, output=b"B"),
+        HistoryOp(op_id=2, client="c1", op="read", key=b"k",
+                  invoked_at=5.0, returned_at=6.0, ok=True, output=b"Z"),
+    ]
+
+
+def test_write_ndjson_standalone_round_trip(tmp_path):
+    path = tmp_path / "history.ndjson"
+    ops = load_ndjson_ops()
+    write_ndjson(path, ops, meta={"name": "stale-read"})
+    loaded = load_ndjson(path)
+    assert loaded == ops
+    header = json.loads(path.read_bytes().splitlines()[0])
+    assert header["schema"] == "history/v1"
+    assert header["meta"]["name"] == "stale-read"
+
+
+# --------------------------------------------------------------------- #
+# Scenario integration.
+# --------------------------------------------------------------------- #
+
+SPEC = DeploymentSpec(backend="netchain", store_size=16, seed=9)
+WORKLOAD = WorkloadSpec(duration=0.4)
+
+
+def test_scenario_spill_replays_identically_to_memory(tmp_path):
+    memory = run_scenario(SPEC, WORKLOAD)
+    spill_a = run_scenario(SPEC, WORKLOAD, ScenarioChecks(
+        history_mode="spill", run_dir=tmp_path / "a",
+        verdict_cache=VerdictCache()))
+    spill_b = run_scenario(SPEC, WORKLOAD, ScenarioChecks(
+        history_mode="spill", run_dir=tmp_path / "b",
+        verdict_cache=VerdictCache()))
+    assert memory.ok(), memory.failures
+    assert spill_a.ok(), spill_a.failures
+    assert memory.signature() == spill_a.signature() == spill_b.signature()
+    # Two spilled runs of the same seed are byte-identical on disk (minus
+    # the self-describing run path, which lives outside the data file).
+    assert (tmp_path / "a" / "ops.ndjson").read_bytes() == \
+        (tmp_path / "b" / "ops.ndjson").read_bytes()
+    assert spill_a.run_dir == tmp_path / "a"
+    assert spill_a.peak_rss_bytes > 0
+    assert spill_a.linearizability is not None and spill_a.linearizability.ok
+
+
+def test_scenario_spill_shares_verdicts_across_the_matrix(tmp_path):
+    cache = VerdictCache()
+    first = run_scenario(SPEC, WORKLOAD, ScenarioChecks(
+        history_mode="spill", run_dir=tmp_path / "a", verdict_cache=cache))
+    second = run_scenario(SPEC, WORKLOAD, ScenarioChecks(
+        history_mode="spill", run_dir=tmp_path / "b", verdict_cache=cache))
+    assert first.verdict_cache_hits == 0
+    assert second.verdict_cache_hits == len(second.linearizability.keys)
+
+
+def test_scenario_rejects_unknown_history_mode():
+    with pytest.raises(ValueError, match="history_mode"):
+        run_scenario(SPEC, WORKLOAD, ScenarioChecks(history_mode="disk"))
+
+
+# --------------------------------------------------------------------- #
+# Bounded memory.
+# --------------------------------------------------------------------- #
+
+def test_spill_pipeline_peaks_well_below_in_memory(tmp_path):
+    """The acceptance bound: spilling + streaming verification must peak
+    at <= 1/4 of the in-memory equivalent (same ops, same checker
+    semantics).  Measured with tracemalloc since RSS high-water marks are
+    monotonic within one process."""
+    params = dict(clients=8, keys=96, ops=30_000, timeout_rate=0.01)
+    seed = 23
+
+    tracemalloc.start()
+    ops = list(iter_history(seed, **params))  # buffered, like History.ops
+    in_memory = check_linearizable(ops, initial=initial_values(96))
+    _, memory_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    assert in_memory.ok
+    del ops
+
+    tracemalloc.start()
+    with HistoryWriter(tmp_path / "run") as writer:
+        for op in iter_history(seed, **params):  # streamed, never buffered
+            writer.append(op)
+    streamed = check_linearizable_streaming(HistoryStore(tmp_path / "run"),
+                                            initial=initial_values(96))
+    _, spill_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    assert streamed.ok
+    assert streamed.total_ops == in_memory.total_ops == 30_000
+
+    assert spill_peak * 4 <= memory_peak, \
+        f"spill pipeline peaked at {spill_peak} vs {memory_peak} in-memory"
