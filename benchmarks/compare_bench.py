@@ -14,9 +14,10 @@ events/sec numbers (useful when both reports come from the same machine).
 
 Improvements are reported but never fail the comparison.  One exception
 to the tolerance rule: ``verify.data_bytes`` (the spilled NDJSON size at
-a fixed seed and op count) is seed-deterministic and gated on *any*
-change in either direction -- a drift there means the on-disk history
-encoding changed and the baseline needs a deliberate refresh.
+a fixed seed and op count) and ``observability.trace_bytes`` (the
+spilled ``trace/v1`` size of the traced macro) are seed-deterministic
+and gated on *any* change in either direction -- a drift there means an
+on-disk encoding changed and the baseline needs a deliberate refresh.
 """
 
 from __future__ import annotations
@@ -192,6 +193,49 @@ def compare(old: dict, new: dict, tolerance: float, include_raw: bool = False) -
             "verify.peak_rss_bytes",
             old_verify.get("peak_rss_bytes"),
             new_verify.get("peak_rss_bytes"),
+            higher_is_better=False,
+            gated=include_raw,
+        )
+
+    # The traced macro (telemetry plane enabled), gated only when both
+    # reports carry the section.  trace_bytes mirrors verify.data_bytes:
+    # seed-deterministic, so any drift means the trace/v1 encoding or the
+    # instrumented event set changed -- tolerance 0, refresh deliberately.
+    old_obs = old.get("observability")
+    new_obs = new.get("observability")
+    if old_obs and new_obs:
+        cmp.check(
+            "observability.events_per_sec_calibrated",
+            old_obs.get("events_per_sec_calibrated"),
+            new_obs.get("events_per_sec_calibrated"),
+            higher_is_better=True,
+            gated=_long_enough(old_obs, new_obs),
+        )
+        cmp.check(
+            "observability.events_per_sec",
+            old_obs.get("events_per_sec"),
+            new_obs.get("events_per_sec"),
+            higher_is_better=True,
+            gated=include_raw,
+        )
+        if (
+            old_obs.get("seed") == new_obs.get("seed")
+            and old_obs.get("processed_events") == new_obs.get("processed_events")
+        ):
+            old_bytes = old_obs.get("trace_bytes")
+            new_bytes = new_obs.get("trace_bytes")
+            if old_bytes is not None and new_bytes is not None:
+                delta = (new_bytes - old_bytes) / old_bytes if old_bytes else 0.0
+                drifted = old_bytes != new_bytes
+                cmp.rows.append(
+                    ("observability.trace_bytes", old_bytes, new_bytes, delta, drifted, True)
+                )
+                if drifted:
+                    cmp.regressions.append("observability.trace_bytes")
+        cmp.check(
+            "observability.overhead_ratio",
+            old_obs.get("overhead_ratio"),
+            new_obs.get("overhead_ratio"),
             higher_is_better=False,
             gated=include_raw,
         )

@@ -34,6 +34,11 @@ Schema (stable; additions are allowed, renames/removals are a new version):
   size, write ratio, loss rate, latency, failover), each with wall clock
   and a calibrated cost (wall clock x calibration events/sec; lower is
   better and machine-independent).
+* ``observability`` -- the macro scenario re-run with the deterministic
+  telemetry plane enabled (``trace/v1`` run dir): spilled span/metrics/
+  event byte counts and their sha256 (seed-deterministic), traced-run
+  events/sec (raw + calibrated), and the tracing overhead ratio against
+  the untraced macro wall clock.
 
 Determinism: everything stochastic derives from the fixed seeds below, so
 ``processed_events`` and ``completed_ops`` are bit-stable across runs and
@@ -44,10 +49,10 @@ from __future__ import annotations
 
 import argparse
 import gc
+import hashlib
 import json
 import os
 import platform
-import resource
 import subprocess
 import sys
 import tempfile
@@ -66,6 +71,7 @@ from repro.deploy import (  # noqa: E402  (path bootstrap above)
     run_scenario,
 )
 from repro.netsim.engine import Simulator  # noqa: E402
+from repro.netsim.telemetry import peak_rss_bytes  # noqa: E402
 
 SCHEMA = "netchain-perf-report/v1"
 
@@ -74,13 +80,6 @@ SEED = 11
 
 #: Events in the calibration spin (pure engine churn, no network model).
 CALIBRATION_EVENTS = 200_000
-
-
-def peak_rss_bytes() -> int:
-    """Peak resident set size of this process, in bytes."""
-    rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
-    # ru_maxrss is KB on Linux, bytes on macOS.
-    return rss_kb * 1024 if sys.platform != "darwin" else rss_kb
 
 
 def calibrate(events: int = CALIBRATION_EVENTS) -> dict:
@@ -249,6 +248,39 @@ def _verify_section(quick: bool, calibration_eps: float) -> dict:
     }
 
 
+def _observability_section(workload: WorkloadSpec, macro: dict,
+                           calibration_eps: float) -> dict:
+    """Time the macro scenario with the telemetry plane enabled.
+
+    The spilled ``trace/v1`` artifacts are seed-deterministic, so their
+    byte counts and digest are gateable exactly (like ``verify``'s NDJSON
+    fingerprint); the wall-clock overhead ratio against the untraced
+    macro is calibrated-noise territory and only reported.
+    """
+    with tempfile.TemporaryDirectory(prefix="perf-trace-") as tmp:
+        run_dir = Path(tmp) / "trace-run"
+        spec = DeploymentSpec(backend="netchain", store_size=64, value_size=64,
+                              seed=SEED, telemetry={"run_dir": str(run_dir)})
+        timing = _timed_scenario(spec, workload, calibration_eps)
+        digest = hashlib.sha256()
+        trace_bytes = 0
+        files = {}
+        for name in ("spans.ndjson", "metrics.ndjson", "events.ndjson"):
+            data = (run_dir / name).read_bytes()
+            trace_bytes += len(data)
+            files[name] = len(data)
+            digest.update(data)
+    macro_wall = macro["wall_clock_s"]
+    return {
+        **timing,
+        "trace_bytes": trace_bytes,
+        "trace_files": files,
+        "trace_sha256": digest.hexdigest(),
+        "overhead_ratio": (timing["wall_clock_s"] / macro_wall
+                           if macro_wall else 0.0),
+    }
+
+
 def build_report(quick: bool = False) -> dict:
     """Run every benchmark and assemble the report dict."""
     calibration = calibrate(CALIBRATION_EVENTS // (10 if quick else 1))
@@ -288,6 +320,8 @@ def build_report(quick: bool = False) -> dict:
 
     verify = _verify_section(quick, calibration_eps)
 
+    observability = _observability_section(workload, macro, calibration_eps)
+
     return {
         "schema": SCHEMA,
         "generated_by": "benchmarks/perf_report.py",
@@ -304,6 +338,7 @@ def build_report(quick: bool = False) -> dict:
         "backends": backends,
         "figures": figures,
         "verify": verify,
+        "observability": observability,
         "peak_rss_bytes": peak_rss_bytes(),
     }
 
@@ -339,6 +374,15 @@ def summarize(report: dict) -> str:
             f"pipeline peak RSS "
             f"{verify['peak_rss_bytes'] / (1024 * 1024):.0f} MiB, "
             f"linearizable={verify['linearizable']}")
+    observability = report.get("observability")
+    if observability:
+        lines.append(
+            f"observability (traced macro): "
+            f"{observability['events_per_sec']:,.0f} events/sec "
+            f"(calibrated {observability['events_per_sec_calibrated']:.3f}, "
+            f"{observability['overhead_ratio']:.2f}x untraced wall), "
+            f"{observability['trace_bytes']:,} trace bytes, "
+            f"sha256 {observability['trace_sha256'][:12]}")
     lines += [
         "",
         "| backend | events/sec | calibrated | wall (s) | ops |",

@@ -35,7 +35,6 @@ from __future__ import annotations
 import argparse
 import hashlib
 import json
-import resource
 import shutil
 import sys
 import tempfile
@@ -51,13 +50,9 @@ from repro.core.history_store import (  # noqa: E402
     HistoryWriter,
     check_linearizable_streaming,
 )
+from repro.netsim.telemetry import peak_rss_bytes  # noqa: E402
 
 SCHEMA = "netchain-verify-report/v1"
-
-
-def peak_rss_bytes() -> int:
-    rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
-    return rss_kb * 1024 if sys.platform != "darwin" else rss_kb
 
 
 def sha256_of(path: Path) -> str:

@@ -105,6 +105,8 @@ class _Pending:
     retries: int = 0
     timer: object = None
     done: bool = False
+    #: Telemetry trace id (0 = untraced), stamped into every transmission.
+    trace_id: int = 0
 
 
 class NetChainAgent(KVClient):
@@ -136,6 +138,9 @@ class NetChainAgent(KVClient):
         self.read_cache = None
         #: Hot-key-tier rotated-read routing, when the directory offers it.
         self._read_route = getattr(directory, "read_route_for_key", None)
+        #: Optional telemetry tracer (:class:`repro.core.trace.Tracer`);
+        #: ``None`` keeps the query path untraced.
+        self.telemetry = None
         # Statistics.
         self.latency = LatencyRecorder()
         self.read_latency = LatencyRecorder()
@@ -322,6 +327,9 @@ class NetChainAgent(KVClient):
                            value=value, cas_expected=cas_expected,
                            future=future, op_name=op_name)
         self._pending[query_id] = pending
+        tel = self.telemetry
+        if tel is not None:
+            pending.trace_id = tel.query_submit(self, pending)
         self._transmit(pending)
         return future
 
@@ -329,6 +337,9 @@ class NetChainAgent(KVClient):
         header, dst_ip = self._build_query(pending)
         packet = build_query_packet(self.host.ip, self.udp_port, dst_ip, header,
                                     created_at=pending.created_at)
+        if pending.trace_id:
+            packet.trace_id = pending.trace_id
+            self.telemetry.query_tx(self, pending, dst_ip)
         self.host.send(packet)
         pending.timer = self.sim.schedule(
             self.config.retry_timeout, self._on_timeout, pending.query_id)
@@ -345,6 +356,9 @@ class NetChainAgent(KVClient):
             result = QueryResult(ok=False, op=pending.op, key=pending.key,
                                  timed_out=True, retries=pending.retries,
                                  latency=self.sim.now - pending.created_at)
+            tel = self.telemetry
+            if tel is not None:
+                tel.query_timeout(self, pending)
             self._finish(pending, result)
             return
         pending.retries += 1
@@ -374,6 +388,9 @@ class NetChainAgent(KVClient):
             self.read_latency.record(latency)
         elif header.op in (OpCode.WRITE_REPLY, OpCode.CAS_REPLY, OpCode.DELETE_REPLY):
             self.write_latency.record(latency)
+        tel = self.telemetry
+        if tel is not None:
+            tel.query_reply(self, pending, header, latency)
         self._finish(pending, result)
 
     def _finish(self, pending: _Pending, result: QueryResult) -> None:

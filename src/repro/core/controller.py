@@ -163,6 +163,12 @@ class NetChainController:
         #: when the tier is enabled; ``None`` keeps routing on the plain
         #: chain-table path.
         self.hotkey_manager = None
+        #: Optional structured event log
+        #: (:class:`repro.netsim.telemetry.ControlEventLog`), attached by
+        #: the telemetry plane; ``None`` keeps ``_emit`` a no-op.  The
+        #: detector, migration coordinator and hot-key manager also emit
+        #: through :meth:`_emit`.
+        self.event_log = None
         install_shortest_path_routes(topology)
 
     # ------------------------------------------------------------------ #
@@ -186,6 +192,12 @@ class NetChainController:
 
     def _log(self, message: str) -> None:
         self.events.append((self.sim.now, message))
+
+    def _emit(self, kind: str, **fields) -> None:
+        """Emit a structured control-plane event when telemetry is attached."""
+        log = self.event_log
+        if log is not None:
+            log.emit(kind, **fields)
 
     # ------------------------------------------------------------------ #
     # Directory API used by agents.
@@ -419,6 +431,7 @@ class NetChainController:
                 program.set_vgroup_epoch(vgroup, epoch)
         self.members.append(name)
         self._log(f"provisioned {name} as a member switch")
+        self._emit("provisioned", switch=name)
 
     def decommission_switch(self, name: str) -> None:
         """Retire a member switch after migration drained it: it stops being
@@ -427,6 +440,7 @@ class NetChainController:
         if name in self.members:
             self.members.remove(name)
         self._log(f"decommissioned {name}")
+        self._emit("decommissioned", switch=name)
 
     # ------------------------------------------------------------------ #
     # Fast failover (Algorithm 2).
@@ -464,6 +478,7 @@ class NetChainController:
             self.hotkey_manager.on_switch_failed(failed)
         failed_ip = self.switch_ip(failed)
         self._log(f"fast failover: {failed} ({failed_ip})")
+        self._emit("fast_failover", switch=failed)
         # The underlay's fast rerouting steers traffic around the failed
         # device; NetChain relies on it for reachability (Section 4.2).
         reroute_around_failures(self.topology, self.failed_switches)
@@ -516,6 +531,7 @@ class NetChainController:
         self.recovering.add(failed)
         groups = self.affected_vgroups(failed)
         self._log(f"failure recovery of {failed}: {len(groups)} virtual groups")
+        self._emit("recovery_start", switch=failed, groups=len(groups))
         if not self._live_switches(failed):
             self.recovering.discard(failed)
             raise RuntimeError("no live switches available for recovery")
@@ -525,6 +541,11 @@ class NetChainController:
                 report.finished_at = self.sim.now
                 self.recovering.discard(failed)
                 self._log(f"failure recovery of {failed} complete")
+                self._emit("recovery_complete", switch=failed,
+                           recovered=report.groups_recovered,
+                           shrunk=report.groups_shrunk,
+                           skipped=report.groups_skipped,
+                           items=report.items_copied)
                 return
             # Re-derive liveness per group: further switches may have failed
             # while earlier groups were being synchronized.
@@ -534,6 +555,7 @@ class NetChainController:
                 report.finished_at = self.sim.now
                 self.recovering.discard(failed)
                 self._log(f"failure recovery of {failed} aborted: no live switches")
+                self._emit("recovery_aborted", switch=failed)
                 return
             vgroup = groups[index]
             self._recover_group(failed, vgroup, new_switch, live, report,
@@ -684,6 +706,8 @@ class NetChainController:
                 report.groups_recovered += 1
                 report.replacements[vgroup] = new_name
                 self._log(f"recovered vgroup {vgroup}: {failed} -> {new_name}")
+                self._emit("group_recovered", vgroup=vgroup,
+                           replacement=new_name)
                 on_done()
 
             self.sim.schedule(2 * rule_delay, finish)
@@ -713,6 +737,7 @@ class NetChainController:
             report.groups_shrunk += 1
             self._log(f"shrunk vgroup {vgroup}: {failed} removed, "
                       f"chain -> {live_chain}")
+            self._emit("group_shrunk", vgroup=vgroup)
             on_done()
 
         self.sim.schedule(self.config.rule_install_latency, finish)

@@ -539,6 +539,9 @@ class HotKeyManager:
         self.stats.widened += 1
         controller._log(f"hotkeys: widened {raw.rstrip(chr(0).encode())!r} "
                         f"to {wide}")
+        controller._emit("hotkey_widen",
+                         key=raw.rstrip(b"\x00").decode("ascii", "replace"),
+                         vgroup=vgroup, width=len(wide))
 
     # -- narrowing --------------------------------------------------------- #
 
@@ -568,6 +571,9 @@ class HotKeyManager:
         self._chain_version_seen = controller._chain_version
         self.stats.narrowed += 1
         controller._log(f"hotkeys: narrowed {raw.rstrip(chr(0).encode())!r}")
+        controller._emit("hotkey_narrow",
+                         key=raw.rstrip(b"\x00").decode("ascii", "replace"),
+                         vgroup=route.vgroup)
         return True
 
     def narrow_all(self) -> None:

@@ -321,6 +321,9 @@ class MigrationCoordinator:
             if name not in controller.members:
                 controller.provision_switch(name)
         controller._log(f"migration started: {self.plan.summary()}")
+        controller._emit("migration_start", steps=len(self.plan.steps),
+                         joins=len(self.plan.joins),
+                         leaves=len(self.plan.leaves))
         self._run_step(0)
         return self.report
 
@@ -386,6 +389,10 @@ class MigrationCoordinator:
         self.report.finished_at = self.sim.now
         self.report.done = True
         controller._log(f"migration finished: {self.report.summary()}")
+        controller._emit("migration_finish",
+                         committed=len(self.report.committed_steps()),
+                         keys_moved=self.report.total_keys_moved(),
+                         aborted=self.report.aborted)
 
     def _rehome_stragglers(self) -> None:
         """Directly move keys still registered to a retiring group.
@@ -534,6 +541,8 @@ class MigrationCoordinator:
         if report.freeze_started and not report.freeze_ended:
             report.freeze_ended = self.sim.now
         self.controller._log(f"migration vgroup {step.vgroup} skipped: {reason}")
+        self.controller._emit("migration_skip", vgroup=step.vgroup,
+                              reason=reason)
         self._notify(report)
         self._run_step(index + 1)
 
@@ -672,6 +681,9 @@ class MigrationCoordinator:
             f"migration vgroup {step.vgroup} committed: chain -> {target_chain}, "
             f"{report.keys_moved} keys moved, "
             f"freeze {report.freeze_window * 1e3:.2f}ms")
+        controller._emit("migration_step", vgroup=step.vgroup,
+                         keys_moved=report.keys_moved,
+                         freeze=report.freeze_window)
 
         if gc_targets:
             self.sim.schedule(self.config.gc_delay,

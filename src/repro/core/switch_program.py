@@ -150,6 +150,9 @@ class NetChainSwitchProgram(PipelineProgram):
         #: write, installed on the wide-chain tail of each hot key.
         self._clean_notify: Dict[bytes, tuple] = {}
         self.stats = ProgramStats()
+        #: Optional telemetry tracer (:class:`repro.core.trace.Tracer`);
+        #: ``None`` keeps the query path at its steady-state cost.
+        self.telemetry = None
         #: When False the switch ignores NetChain queries entirely (used by
         #: the controller before a replacement switch is activated).
         self.active = True
@@ -298,6 +301,9 @@ class NetChainSwitchProgram(PipelineProgram):
             # A reply addressed to the switch itself is a protocol error;
             # drop it rather than loop.
             return _DROP
+        tel = self.telemetry
+        if tel is not None:
+            tel.switch_stage(switch, packet, header)
         # Reconfiguration guards, checked before the store lookup so a
         # straggler addressed under a superseded chain layout drops even
         # after its keys were garbage-collected here (replying NOT_FOUND
@@ -454,6 +460,9 @@ class NetChainSwitchProgram(PipelineProgram):
     def _make_reply(self, switch: Switch, packet: Packet, header: NetChainHeader,
                     status: QueryStatus) -> None:
         """Turn the query packet into a reply addressed back to the client."""
+        tel = self.telemetry
+        if tel is not None:
+            tel.op_complete(header)  # header.op is still the request op here
         header.op = REPLY_FOR.get(header.op, header.op)
         header.status = status
         header.chain = []

@@ -1,0 +1,626 @@
+"""Causal per-query tracing and the telemetry plane (``trace/v1``).
+
+This is the *policy* half of the telemetry stack (the mechanism half --
+registry, histograms, sampler, event log -- lives in
+:mod:`repro.netsim.telemetry`):
+
+* :class:`Tracer` -- the single object instrumented hot paths talk to.
+  Hosts, links, switches, switch programs and agents each hold a
+  ``telemetry`` attribute that is ``None`` by default; when a scenario
+  enables telemetry it points at one shared tracer, and every hop of a
+  traced query emits one span record keyed on sim-time.
+* ``trace/v1`` run directories -- spans, metric time series and
+  control-plane events spill as NDJSON, mirroring the ``history/v1``
+  idiom (header line, compact sorted-key ASCII records, incremental
+  flush), so a seeded run's telemetry is byte-identical across replays.
+* :class:`TelemetryPlane` -- composes tracer + metrics registry +
+  periodic sampler + control event log for one scenario, wired through
+  ``DeploymentSpec(telemetry=...)``.
+* Reconstruction -- :func:`trace_breakdowns` / :func:`stage_percentiles`
+  / :func:`format_report` rebuild per-query critical paths (host stack,
+  NIC queue, link transit, switch queue, pipeline stages) and per-stage
+  percentiles from a spilled run; ``python -m repro.netsim.telemetry
+  report <run_dir>`` is the CLI front end.
+
+Span records (``spans.ndjson``) -- all carry ``t`` (sim-time), ``id``
+(per-run trace id, dense from 1) and ``ev``:
+
+``sub``
+    query submitted by an agent: ``n`` agent, ``op``, ``key``.
+``qtx``
+    one (re)transmission: ``n`` agent, ``r`` retry index, ``dst`` IP.
+``htx`` / ``hrx``
+    host TX/RX path: ``n`` host, ``d`` stack delay, ``q`` NIC-queue wait
+    (omitted when zero).
+``lnk``
+    link transit: ``n`` link, ``l`` latency (propagation+serialization).
+``swq``
+    switch ingress: ``n`` switch, ``w`` queue wait (omitted when zero),
+    ``p`` pipeline delay.
+``swp``
+    switch-program stage on a chain hop: ``n`` switch, ``op``, ``vg``
+    vgroup, ``sc`` remaining chain hops (chain position).
+``rep`` / ``tmo``
+    terminal reply / retry exhaustion: ``n`` agent, ``st`` status,
+    ``l`` end-to-end latency, ``r`` retries.
+
+Nothing machine- or process-dependent appears in any record: trace ids
+are allocated per run (not the process-global query ids), times are
+sim-times, and the header carries only the deployment meta.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.core.history_store import encode_bytes
+from repro.netsim.telemetry import (
+    ControlEventLog,
+    MetricsRegistry,
+    PeriodicSampler,
+    TelemetryConfig,
+    failure_timeline,
+)
+
+TRACE_SCHEMA = "trace/v1"
+METRICS_SCHEMA = "trace-metrics/v1"
+EVENTS_SCHEMA = "trace-events/v1"
+
+SPANS_FILE = "spans.ndjson"
+METRICS_FILE = "metrics.ndjson"
+EVENTS_FILE = "events.ndjson"
+
+#: Critical-path stages a query's latency decomposes into.  ``other`` is
+#: the residual (retry timeouts, in-flight waits not covered by spans).
+STAGES = ("host_stack", "nic_queue", "link", "switch_queue",
+          "switch_pipeline")
+
+
+def _record_line(record: Dict[str, Any]) -> bytes:
+    return json.dumps(record, sort_keys=True,
+                      separators=(",", ":")).encode("ascii") + b"\n"
+
+
+def _key_label(raw: bytes) -> str:
+    """Human-readable spelling of a fixed-width key (trailing NULs stripped)."""
+    return encode_bytes(raw.rstrip(b"\x00")) or ""
+
+
+class TraceWriter:
+    """Incremental NDJSON writer: header line first, one record per line."""
+
+    def __init__(self, path, schema: str, meta: Optional[dict] = None,
+                 flush_every: int = 4096) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._file = open(self.path, "wb")
+        header: Dict[str, Any] = {"schema": schema}
+        if meta:
+            header["meta"] = dict(meta)
+        self._file.write(_record_line(header))
+        self.records = 0
+        self.flush_every = max(1, flush_every)
+        self.closed = False
+
+    def write(self, record: Dict[str, Any]) -> None:
+        self._file.write(_record_line(record))
+        self.records += 1
+        if self.records % self.flush_every == 0:
+            self._file.flush()
+
+    def close(self) -> None:
+        if not self.closed:
+            self.closed = True
+            self._file.flush()
+            self._file.close()
+
+
+class Tracer:
+    """The one object every instrumented hot path talks to.
+
+    Call sites keep a ``telemetry`` attribute that defaults to ``None``
+    and guard with a single ``if tel is not None`` -- the whole cost of
+    the disabled mode.  When attached, the tracer stamps a fresh trace id
+    into each sampled query's packet (carried in the slotted ``Packet``
+    header and across ``copy()``), emits one span per hop, accumulates
+    per-link bit counts for the utilization time series, the per-vgroup
+    op mix, and the query-latency histograms.
+    """
+
+    __slots__ = ("sim", "writer", "registry", "trace_packets",
+                 "sample_every", "submits", "span_count", "opmix",
+                 "_next_id")
+
+    def __init__(self, sim, writer: Optional[TraceWriter] = None,
+                 registry: Optional[MetricsRegistry] = None,
+                 trace_packets: bool = True, sample_every: int = 1) -> None:
+        self.sim = sim
+        self.writer = writer
+        self.registry = registry
+        self.trace_packets = trace_packets and writer is not None
+        self.sample_every = max(1, sample_every)
+        self.submits = 0
+        self.span_count = 0
+        #: ``(vgroup, op_name) -> completed queries`` -- sampled into the
+        #: metrics time series and totalled in the summary.
+        self.opmix: Dict[Tuple[int, str], int] = {}
+        self._next_id = 1
+
+    @property
+    def traces(self) -> int:
+        """Trace ids allocated so far."""
+        return self._next_id - 1
+
+    def _span(self, record: Dict[str, Any]) -> None:
+        self.span_count += 1
+        self.writer.write(record)
+
+    # ------------------------------------------------------------------ #
+    # Agent hooks.
+    # ------------------------------------------------------------------ #
+
+    def query_submit(self, agent, pending) -> int:
+        """Allocate (or decline) a trace id for a freshly submitted query."""
+        self.submits += 1
+        if not self.trace_packets:
+            return 0
+        if self.sample_every > 1 and (self.submits - 1) % self.sample_every:
+            return 0
+        tid = self._next_id
+        self._next_id = tid + 1
+        self._span({"t": self.sim._now, "id": tid, "ev": "sub",
+                    "n": agent.name, "op": pending.op_name or pending.op.name.lower(),
+                    "key": _key_label(pending.key)})
+        return tid
+
+    def query_tx(self, agent, pending, dst_ip: str) -> None:
+        self._span({"t": self.sim._now, "id": pending.trace_id, "ev": "qtx",
+                    "n": agent.name, "r": pending.retries, "dst": dst_ip})
+
+    def query_reply(self, agent, pending, header, latency: float) -> None:
+        registry = self.registry
+        if registry is not None:
+            registry.histogram("query_latency_s").record(latency)
+            if pending.op_name:
+                registry.histogram(f"query_latency_s:{pending.op_name}").record(latency)
+        if pending.trace_id:
+            rec = {"t": self.sim._now, "id": pending.trace_id, "ev": "rep",
+                   "n": agent.name, "st": header.status.name.lower(),
+                   "l": latency}
+            if pending.retries:
+                rec["r"] = pending.retries
+            self._span(rec)
+
+    def query_timeout(self, agent, pending) -> None:
+        registry = self.registry
+        if registry is not None:
+            registry.inc("query_timeouts")
+        if pending.trace_id:
+            self._span({"t": self.sim._now, "id": pending.trace_id,
+                        "ev": "tmo", "n": agent.name, "r": pending.retries})
+
+    # ------------------------------------------------------------------ #
+    # Netsim hooks (hosts, links, switches).
+    # ------------------------------------------------------------------ #
+
+    def host_tx(self, host, packet, delay: float) -> None:
+        tid = packet.trace_id
+        if tid:
+            stack = host.config.stack_delay
+            rec = {"t": self.sim._now, "id": tid, "ev": "htx",
+                   "n": host.name, "d": stack}
+            queue = delay - stack
+            if queue > 0:
+                rec["q"] = queue
+            self._span(rec)
+
+    def host_rx(self, host, packet, delay: float) -> None:
+        tid = packet.trace_id
+        if tid:
+            stack = host.config.stack_delay
+            rec = {"t": self.sim._now, "id": tid, "ev": "hrx",
+                   "n": host.name, "d": stack}
+            queue = delay - stack
+            if queue > 0:
+                rec["q"] = queue
+            self._span(rec)
+
+    def link_tx(self, link, packet, latency: float, size: int) -> None:
+        link.tel_bits += size * 8.0
+        tid = packet.trace_id
+        if tid:
+            self._span({"t": self.sim._now, "id": tid, "ev": "lnk",
+                        "n": link.name, "l": latency})
+
+    def switch_enq(self, switch, packet, wait: float) -> None:
+        tid = packet.trace_id
+        if tid:
+            rec = {"t": self.sim._now, "id": tid, "ev": "swq",
+                   "n": switch.name, "p": switch.config.pipeline_delay}
+            if wait > 0:
+                rec["w"] = wait
+            self._span(rec)
+
+    # ------------------------------------------------------------------ #
+    # Switch-program hooks.
+    # ------------------------------------------------------------------ #
+
+    def switch_stage(self, switch, packet, header) -> None:
+        tid = packet.trace_id
+        if tid:
+            self._span({"t": self.sim._now, "id": tid, "ev": "swp",
+                        "n": switch.name, "op": header.op.name.lower(),
+                        "vg": header.vgroup, "sc": len(header.chain)})
+
+    def op_complete(self, header) -> None:
+        """Called by the switch program as a reply is minted (op mix)."""
+        key = (header.vgroup, header.op.name.lower())
+        self.opmix[key] = self.opmix.get(key, 0) + 1
+
+
+class TelemetryPlane:
+    """Tracer + registry + sampler + event log for one scenario run.
+
+    Built by :func:`repro.deploy.scenario.run_scenario` when the spec
+    carries ``telemetry=...``; deployments wire it to their nodes via
+    ``Deployment.attach_telemetry``.  :meth:`finish` spills the metric
+    time series and control events next to the spans and returns the
+    deterministic summary dict stored on ``ScenarioResult.metrics``.
+    """
+
+    def __init__(self, sim, config: TelemetryConfig, run_dir,
+                 meta: Optional[dict] = None) -> None:
+        config.validate()
+        self.sim = sim
+        self.config = config
+        self.run_dir = Path(run_dir)
+        self.run_dir.mkdir(parents=True, exist_ok=True)
+        self.meta = dict(meta or {})
+        self.registry = MetricsRegistry()
+        writer = None
+        if config.trace:
+            writer = TraceWriter(self.run_dir / SPANS_FILE, TRACE_SCHEMA,
+                                 meta=self.meta)
+        self.tracer = Tracer(sim, writer=writer, registry=self.registry,
+                             trace_packets=config.trace,
+                             sample_every=config.trace_sample)
+        self.event_log = ControlEventLog(sim) if config.events else None
+        self.sampler: Optional[PeriodicSampler] = None
+        self._topology = None
+        self.finished = False
+
+    # -- wiring -------------------------------------------------------- #
+
+    def attach_topology(self, topology) -> None:
+        """Instrument every host, switch and link of a topology."""
+        self._topology = topology
+        tracer = self.tracer
+        for host in topology.hosts.values():
+            host.telemetry = tracer
+        for switch in topology.switches.values():
+            switch.telemetry = tracer
+        for link in topology.links:
+            link.telemetry = tracer
+
+    def attach_netchain(self, cluster) -> None:
+        """Instrument the NetChain-family pieces: agents, programs, controller."""
+        tracer = self.tracer
+        for agent in cluster.agent_list():
+            agent.telemetry = tracer
+        controller = cluster.controller
+        for program in controller.programs.values():
+            program.telemetry = tracer
+        if self.event_log is not None:
+            controller.event_log = self.event_log
+
+    def start(self) -> None:
+        if self.config.metrics and self._topology is not None:
+            self.sampler = PeriodicSampler(
+                self.sim, self.registry, self._topology,
+                self.config.sample_interval, opmix_source=self.tracer)
+            self.sampler.start()
+
+    # -- teardown ------------------------------------------------------ #
+
+    def finish(self) -> dict:
+        """Stop sampling, spill metrics + events, close the span file."""
+        if self.finished:
+            return self.summary()
+        self.finished = True
+        if self.sampler is not None:
+            self.sampler.stop()
+
+        if self.config.metrics:
+            writer = TraceWriter(self.run_dir / METRICS_FILE, METRICS_SCHEMA,
+                                 meta=self.meta)
+            for record in self.registry.series:
+                writer.write(record)
+            writer.close()
+        if self.event_log is not None:
+            writer = TraceWriter(self.run_dir / EVENTS_FILE, EVENTS_SCHEMA,
+                                 meta=self.meta)
+            for record in self.event_log.as_records():
+                writer.write(record)
+            writer.close()
+        if self.tracer.writer is not None:
+            self.tracer.writer.close()
+        return self.summary()
+
+    def summary(self) -> dict:
+        """Deterministic scenario-level metrics (``ScenarioResult.metrics``)."""
+        tracer = self.tracer
+        registry = self.registry
+        out: Dict[str, Any] = {
+            "schema": "telemetry/v1",
+            "spans": tracer.span_count,
+            "traces": tracer.traces,
+            "queries": tracer.submits,
+            "sampled_ticks": len(registry.series),
+            "gauges": {k: registry.gauges[k] for k in sorted(registry.gauges)},
+            "counters": {k: registry.counters[k]
+                         for k in sorted(registry.counters)},
+            "histograms": {k: registry.histograms[k].summary()
+                           for k in sorted(registry.histograms)},
+            "opmix": {f"vg{vg}:{op}": count
+                      for (vg, op), count in sorted(tracer.opmix.items())},
+            "engine": self.sim.stats(),
+        }
+        if self.event_log is not None:
+            out["events"] = len(self.event_log.events)
+        return out
+
+
+# --------------------------------------------------------------------- #
+# Reading + reconstruction.
+# --------------------------------------------------------------------- #
+
+def read_ndjson(path) -> Tuple[dict, List[dict]]:
+    """Read one trace NDJSON file: (header, records)."""
+    path = Path(path)
+    header: dict = {}
+    records: List[dict] = []
+    with open(path, "rb") as handle:
+        for i, line in enumerate(handle):
+            record = json.loads(line)
+            if i == 0:
+                header = record
+            else:
+                records.append(record)
+    return header, records
+
+
+def iter_spans(run_dir) -> Iterator[dict]:
+    path = Path(run_dir) / SPANS_FILE
+    if not path.exists():  # metrics-only run (TelemetryConfig(trace=False))
+        return
+    with open(path, "rb") as handle:
+        first = True
+        for line in handle:
+            if first:
+                first = False
+                continue
+            yield json.loads(line)
+
+
+def run_info(run_dir) -> dict:
+    """Headers and record counts of every file in a trace/v1 run dir."""
+    run_dir = Path(run_dir)
+    info: Dict[str, Any] = {"run_dir": str(run_dir)}
+    for name in (SPANS_FILE, METRICS_FILE, EVENTS_FILE):
+        path = run_dir / name
+        if not path.exists():
+            continue
+        header, records = read_ndjson(path)
+        info[name] = {
+            "schema": header.get("schema"),
+            "meta": header.get("meta", {}),
+            "records": len(records),
+            "bytes": path.stat().st_size,
+        }
+    return info
+
+
+def trace_breakdowns(spans) -> Dict[int, dict]:
+    """Group spans by trace id and decompose each trace's latency.
+
+    Returns ``{trace_id: {"op", "key", "start", "latency", "status",
+    "retries", "completed", "hops", "chain_hops", "stages": {stage:
+    seconds}, "spans": [...]}}``.  A retried query aggregates the spans
+    of *all* its transmissions, so stage sums describe work performed,
+    and ``other`` (latency minus the stage sums) absorbs retry waits.
+    """
+    traces: Dict[int, dict] = {}
+
+    def entry(tid: int) -> dict:
+        trace = traces.get(tid)
+        if trace is None:
+            trace = traces[tid] = {
+                "id": tid, "op": "?", "key": "", "start": None,
+                "latency": None, "status": None, "retries": 0,
+                "completed": False, "hops": 0, "chain_hops": 0,
+                "stages": {name: 0.0 for name in STAGES}, "spans": [],
+            }
+        return trace
+
+    for span in spans:
+        tid = span.get("id")
+        if not tid:
+            continue
+        trace = entry(tid)
+        trace["spans"].append(span)
+        ev = span["ev"]
+        stages = trace["stages"]
+        if ev == "sub":
+            trace["op"] = span.get("op", "?")
+            trace["key"] = span.get("key", "")
+            trace["start"] = span["t"]
+        elif ev in ("htx", "hrx"):
+            stages["host_stack"] += span.get("d", 0.0)
+            stages["nic_queue"] += span.get("q", 0.0)
+        elif ev == "lnk":
+            stages["link"] += span.get("l", 0.0)
+            trace["hops"] += 1
+        elif ev == "swq":
+            stages["switch_queue"] += span.get("w", 0.0)
+            stages["switch_pipeline"] += span.get("p", 0.0)
+        elif ev == "swp":
+            trace["chain_hops"] += 1
+        elif ev == "rep":
+            trace["latency"] = span.get("l")
+            trace["status"] = span.get("st")
+            trace["retries"] = span.get("r", 0)
+            trace["completed"] = True
+        elif ev == "tmo":
+            trace["retries"] = span.get("r", 0)
+            trace["status"] = "timeout"
+
+    for trace in traces.values():
+        if trace["completed"] and trace["latency"] is not None:
+            trace["other"] = max(
+                0.0, trace["latency"] - sum(trace["stages"].values()))
+    return traces
+
+
+def _exact_percentile(ordered: List[float], p: float) -> float:
+    if not ordered:
+        return 0.0
+    import math
+    rank = max(0, min(len(ordered) - 1,
+                      int(math.ceil(p / 100.0 * len(ordered))) - 1))
+    return ordered[rank]
+
+
+def stage_percentiles(traces: Dict[int, dict],
+                      ps=(50.0, 95.0, 99.0)) -> Dict[str, Dict[str, float]]:
+    """Per-stage latency percentiles over all completed traces."""
+    completed = [t for t in traces.values() if t["completed"]]
+    out: Dict[str, Dict[str, float]] = {}
+    for stage in STAGES + ("other", "total"):
+        if stage == "total":
+            values = sorted(t["latency"] for t in completed)
+        elif stage == "other":
+            values = sorted(t.get("other", 0.0) for t in completed)
+        else:
+            values = sorted(t["stages"][stage] for t in completed)
+        if not values:
+            continue
+        out[stage] = {"mean": sum(values) / len(values)}
+        for p in ps:
+            out[stage][f"p{p:g}"] = _exact_percentile(values, p)
+    return out
+
+
+def _fmt_us(seconds: float) -> str:
+    return f"{seconds * 1e6:10.2f}"
+
+
+def format_report(run_dir, top: int = 1) -> str:
+    """Human/CI-facing report: stage percentiles, slowest traces, timeline."""
+    run_dir = Path(run_dir)
+    info = run_info(run_dir)
+    lines: List[str] = []
+    meta = {}
+    for name in (SPANS_FILE, METRICS_FILE, EVENTS_FILE):
+        meta = info.get(name, {}).get("meta", {})
+        if meta:
+            break
+    lines.append(f"## Trace report: {run_dir.name}")
+    lines.append("")
+    lines.append(f"- meta: `{json.dumps(meta, sort_keys=True)}`")
+    for name in (SPANS_FILE, METRICS_FILE, EVENTS_FILE):
+        if name in info:
+            lines.append(f"- {name}: {info[name]['records']} records, "
+                         f"{info[name]['bytes']} bytes")
+
+    traces = trace_breakdowns(iter_spans(run_dir))
+    completed = [t for t in traces.values() if t["completed"]]
+    timed_out = [t for t in traces.values() if t["status"] == "timeout"]
+    lines.append(f"- traces: {len(traces)} "
+                 f"({len(completed)} completed, {len(timed_out)} timed out)")
+    lines.append("")
+
+    if completed:
+        pct = stage_percentiles(traces)
+        lines.append("### Critical-path stages (us, over completed traces)")
+        lines.append("")
+        lines.append("| stage | mean | p50 | p95 | p99 |")
+        lines.append("|---|---|---|---|---|")
+        for stage in STAGES + ("other", "total"):
+            row = pct.get(stage)
+            if row is None:
+                continue
+            lines.append(
+                f"| {stage} | {row['mean'] * 1e6:.2f} "
+                f"| {row['p50'] * 1e6:.2f} | {row['p95'] * 1e6:.2f} "
+                f"| {row['p99'] * 1e6:.2f} |")
+        lines.append("")
+
+        slowest = sorted(completed, key=lambda t: (-t["latency"], t["id"]))
+        for trace in slowest[:max(0, top)]:
+            lines.append(
+                f"### Slowest trace #{trace['id']}: {trace['op']} "
+                f"{trace['key']!r} -- {trace['latency'] * 1e6:.2f} us, "
+                f"{trace['chain_hops']} chain hop(s), "
+                f"{trace['retries']} retries")
+            lines.append("")
+            lines.append("| t (us) | hop | detail |")
+            lines.append("|---|---|---|")
+            start = trace["start"] or 0.0
+            for span in trace["spans"]:
+                offset = (span["t"] - start) * 1e6
+                detail = {k: v for k, v in span.items()
+                          if k not in ("t", "id", "ev", "n")}
+                lines.append(f"| {offset:.2f} | {span['ev']} {span.get('n', '')} "
+                             f"| `{json.dumps(detail, sort_keys=True)}` |")
+            lines.append("")
+
+    events_path = run_dir / EVENTS_FILE
+    if events_path.exists():
+        _, events = read_ndjson(events_path)
+        if events:
+            lines.append("### Control-plane events")
+            lines.append("")
+            for rec in events:
+                fields = {k: v for k, v in rec.items() if k not in ("t", "ev")}
+                lines.append(f"- `{rec['t'] * 1e3:9.3f} ms` **{rec['ev']}** "
+                             f"`{json.dumps(fields, sort_keys=True)}`")
+            lines.append("")
+            timeline = failure_timeline(events)
+            if timeline:
+                lines.append("### Failure/recovery timeline (derived)")
+                lines.append("")
+                for e in timeline:
+                    parts = [f"switch {e['switch']}"]
+                    if "failover_latency" in e:
+                        parts.append(
+                            f"failover {e['failover_latency'] * 1e3:.3f} ms "
+                            f"after detection")
+                    if "recovery_duration" in e:
+                        parts.append(
+                            f"recovery {e['recovery_duration'] * 1e3:.3f} ms"
+                            f" ({e.get('recovery_outcome', '?')})")
+                    lines.append("- " + "; ".join(parts))
+                lines.append("")
+
+    metrics_path = run_dir / METRICS_FILE
+    if metrics_path.exists():
+        header, series = read_ndjson(metrics_path)
+        if series:
+            lines.append("### Sampled time series")
+            lines.append("")
+            lines.append(f"- {len(series)} ticks at "
+                         f"{meta.get('sample_interval', '?')} s")
+            peak_q = 0.0
+            peak_util = 0.0
+            for rec in series:
+                for entry in rec.get("switches", {}).values():
+                    peak_q = max(peak_q, entry.get("q", 0.0))
+                for util in rec.get("links", {}).values():
+                    peak_util = max(peak_util, util)
+            lines.append(f"- peak switch queue backlog: {peak_q * 1e6:.2f} us")
+            lines.append(f"- peak link utilization: {peak_util:.1%}")
+            lines.append("")
+
+    return "\n".join(lines).rstrip() + "\n"

@@ -99,6 +99,13 @@ class _NetChainFamilyDeployment(Deployment):
     def start_fault_reaction(self, options: Dict) -> None:
         self.cluster.start_failure_detector(options.get("detector_config"))
 
+    def attach_telemetry(self, plane) -> None:
+        """Topology plus the NetChain-specific surfaces: agents (per-query
+        spans + latency histograms), switch programs (chain-stage spans,
+        op mix) and the controller's structured event log."""
+        plane.attach_topology(self.topology)
+        plane.attach_netchain(self.cluster)
+
     def teardown(self) -> None:
         if self.hotkey_manager is not None:
             self.hotkey_manager.stop()

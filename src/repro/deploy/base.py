@@ -123,6 +123,18 @@ class Deployment:
         options (e.g. ``detector_config``).
         """
 
+    # -- telemetry ------------------------------------------------------- #
+
+    def attach_telemetry(self, plane) -> None:
+        """Wire a :class:`repro.core.trace.TelemetryPlane` into this
+        deployment.
+
+        The default instruments the topology (hosts, switches, links),
+        which every backend has; backends with richer surfaces (agents,
+        switch programs, a controller event log) override and extend.
+        """
+        plane.attach_topology(self.topology)
+
     # -- state ----------------------------------------------------------- #
 
     def initial_values(self) -> Dict[bytes, Optional[bytes]]:

@@ -22,7 +22,6 @@ Usage::
 from __future__ import annotations
 
 import random
-import resource
 import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -35,9 +34,12 @@ from repro.core.history_store import (
     check_linearizable_streaming,
     default_verdict_cache,
 )
+from repro.core.trace import TelemetryPlane
 from repro.deploy.base import Capabilities, Deployment, build_deployment
 from repro.deploy.spec import DeploymentSpec
 from repro.netsim.faults import FaultEvent, FaultSchedule
+from repro.netsim.stats import LatencyRecorder
+from repro.netsim.telemetry import TelemetryConfig, peak_rss_bytes
 from repro.workloads.clients import LoadClient
 from repro.workloads.generators import KeyValueWorkload, WorkloadConfig
 
@@ -157,6 +159,12 @@ class ScenarioResult:
     #: Whether the adaptive hot-key tier was running during the scenario
     #: (``spec.hotkey_tier`` requested it *and* the backend supports it).
     hotkey_tier_active: bool = False
+    #: Deterministic telemetry summary (``telemetry/v1`` dict) when the
+    #: spec enabled the telemetry plane; ``None`` otherwise.
+    metrics: Optional[dict] = None
+    #: ``trace/v1`` run directory holding spilled spans / metric series /
+    #: control events (telemetry-enabled runs only).
+    telemetry_dir: Optional[Path] = None
 
     def ok(self) -> bool:
         """All requested checks passed."""
@@ -208,6 +216,20 @@ def run_scenario(spec: DeploymentSpec,
     if deployment is None:
         deployment = build_deployment(spec)
     sim = deployment.sim
+
+    plane: Optional[TelemetryPlane] = None
+    telemetry_config = TelemetryConfig.coerce(spec.telemetry)
+    if telemetry_config is not None:
+        telemetry_dir = Path(telemetry_config.run_dir) \
+            if telemetry_config.run_dir is not None \
+            else Path(tempfile.mkdtemp(prefix="telemetry-run-"))
+        plane = TelemetryPlane(
+            sim, telemetry_config, telemetry_dir,
+            meta={"backend": spec.backend, "seed": spec.seed,
+                  "sample_interval": telemetry_config.sample_interval,
+                  "trace_sample": telemetry_config.trace_sample})
+        deployment.attach_telemetry(plane)
+        plane.start()
 
     initial = deployment.initial_values() if checks.linearizability else None
     history: Optional[Union[History, SpillingHistory]] = None
@@ -262,6 +284,9 @@ def run_scenario(spec: DeploymentSpec,
     sim.run(until=window_end + workload.drain)
     if schedule is not None:
         schedule.cancel()
+    telemetry_summary: Optional[dict] = None
+    if plane is not None:
+        telemetry_summary = plane.finish()
 
     result = ScenarioResult(spec=spec, workload=workload,
                             backend=deployment.backend_name,
@@ -277,21 +302,23 @@ def run_scenario(spec: DeploymentSpec,
                              for c in load_clients)
     result.scaled_qps = result.success_qps * (
         deployment.scale if deployment.capabilities.scaled_throughput else 1.0)
-    read_samples: List[float] = []
-    write_samples: List[float] = []
+    read_latency = LatencyRecorder()
+    write_latency = LatencyRecorder()
     for load_client in load_clients:
-        read_samples.extend(load_client.read_latency.samples)
-        write_samples.extend(load_client.write_latency.samples)
-    result.read_ops = len(read_samples)
-    result.write_ops = len(write_samples)
-    if read_samples:
-        result.mean_read_latency = sum(read_samples) / len(read_samples)
-        ordered = sorted(read_samples)
-        result.read_latency_p99 = ordered[int(0.99 * (len(ordered) - 1))]
-    if write_samples:
-        result.mean_write_latency = sum(write_samples) / len(write_samples)
+        read_latency.merge(load_client.read_latency)
+        write_latency.merge(load_client.write_latency)
+    result.read_ops = read_latency.count()
+    result.write_ops = write_latency.count()
+    if result.read_ops:
+        result.mean_read_latency = read_latency.mean()
+        result.read_latency_p99 = read_latency.percentile(99.0)
+    if result.write_ops:
+        result.mean_write_latency = write_latency.mean()
     if schedule is not None:
         result.fault_trace = list(schedule.injector.trace)
+    if plane is not None:
+        result.metrics = telemetry_summary
+        result.telemetry_dir = plane.run_dir
 
     # -- checks ---------------------------------------------------------- #
 
@@ -339,10 +366,9 @@ def run_scenario(spec: DeploymentSpec,
         if message:
             result.failures.append(message)
 
-    # ru_maxrss is the process high-water mark (KiB on Linux), read after
-    # verification so spill-mode runs report what the pipeline peaked at.
-    result.peak_rss_bytes = \
-        resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+    # The process high-water mark, read after verification so spill-mode
+    # runs report what the pipeline peaked at.
+    result.peak_rss_bytes = peak_rss_bytes()
 
     deployment.teardown()
     return result

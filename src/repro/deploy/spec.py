@@ -49,6 +49,15 @@ class DeploymentSpec:
         faults: declarative fault schedule, one ``(at, action, *args)``
             tuple per event, armed on the deployment's fault injector
             when a scenario runs (e.g. ``(0.5, "fail_switch", "S1")``).
+        telemetry: the deterministic telemetry plane.  ``None``/``False``
+            (default) keeps every hot path on its untraced branch;
+            ``True`` enables tracing + metrics + the control event log
+            with defaults; a dict or
+            :class:`repro.netsim.telemetry.TelemetryConfig` sets the
+            knobs (``run_dir``, ``sample_interval``, ``trace``,
+            ``metrics``, ``events``, ``trace_sample``).  The scenario
+            runner spills a ``trace/v1`` run directory and stores the
+            summary on ``ScenarioResult.metrics``.
         options: backend-specific knobs (documented per backend).
     """
 
@@ -68,6 +77,7 @@ class DeploymentSpec:
     key_prefix: str = "k"
     extra_keys: List[str] = field(default_factory=list)
     faults: List[Tuple] = field(default_factory=list)
+    telemetry: Any = None
     options: Dict[str, Any] = field(default_factory=dict)
 
     # ------------------------------------------------------------------ #
@@ -116,6 +126,9 @@ class DeploymentSpec:
                 raise ValueError(f"fault action must be a string, got {action!r}")
             if at < 0:
                 raise ValueError(f"fault time must be >= 0, got {at}")
+        if self.telemetry is not None and self.telemetry is not False:
+            from repro.netsim.telemetry import TelemetryConfig
+            TelemetryConfig.coerce(self.telemetry).validate()
         return self
 
     # ------------------------------------------------------------------ #

@@ -77,6 +77,9 @@ class Host(Node):
         self._rx_busy_until = 0.0
         self.tx_dropped = 0
         self.failed = False
+        #: Optional telemetry tracer (:class:`repro.core.trace.Tracer`);
+        #: ``None`` keeps send/receive on the untraced fast path.
+        self.telemetry = None
 
     # ------------------------------------------------------------------ #
     # Socket API.
@@ -128,6 +131,9 @@ class Host(Node):
             self._tx_busy_until = busy_until + service
             delay += backlog
         packet.ip.src_ip = packet.ip.src_ip or self.ip
+        tel = self.telemetry
+        if tel is not None:
+            tel.host_tx(self, packet, delay)
         self.sim.call_after(delay, self.transmit, packet, port)
 
     def send_udp(self, dst_ip: str, dst_port: int, payload, payload_bytes: int,
@@ -159,6 +165,9 @@ class Host(Node):
                 busy_until = now
             self._rx_busy_until = busy_until + 1.0 / rx_pps
             delay += backlog
+        tel = self.telemetry
+        if tel is not None:
+            tel.host_rx(self, packet, delay)
         self.sim.call_after(delay, self._dispatch, packet)
 
     def _dispatch(self, packet: Packet) -> None:

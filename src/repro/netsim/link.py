@@ -66,6 +66,11 @@ class Link:
         #: Optional fault model installed by :mod:`repro.netsim.faults`;
         #: anything with an ``on_transmit(packet) -> FaultVerdict`` method.
         self.faults = None
+        #: Optional telemetry tracer (:class:`repro.core.trace.Tracer`);
+        #: ``None`` keeps transmission on the untraced fast path.
+        self.telemetry = None
+        #: Bits carried (accumulated by the tracer for utilization series).
+        self.tel_bits = 0.0
         port_a.link = self
         port_b.link = self
 
@@ -135,6 +140,12 @@ class Link:
                 self.stats.delayed += 1
             if verdict.reordered:
                 self.stats.reordered += 1
+        tel = self.telemetry
+        if tel is not None:
+            tel.link_tx(self, packet, latency,
+                        packet.payload_bytes + (UDP_WIRE_OVERHEAD
+                                                if packet.udp is not None
+                                                else IP_WIRE_OVERHEAD))
         self.sim.call_after(latency, self._deliver, packet, dst_port)
 
     def _deliver(self, packet: Packet, dst_port: Port) -> None:

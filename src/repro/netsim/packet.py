@@ -155,7 +155,7 @@ class Packet:
     """
 
     __slots__ = ("eth", "ip", "udp", "payload", "payload_bytes", "packet_id",
-                 "pipeline_passes", "created_at")
+                 "pipeline_passes", "created_at", "trace_id")
 
     def __init__(self, eth: Optional[EthernetHeader] = None,
                  ip: Optional[IPv4Header] = None,
@@ -164,7 +164,8 @@ class Packet:
                  payload_bytes: int = 0,
                  packet_id: Optional[int] = None,
                  pipeline_passes: int = 0,
-                 created_at: float = 0.0) -> None:
+                 created_at: float = 0.0,
+                 trace_id: int = 0) -> None:
         self.eth = eth if eth is not None else EthernetHeader()
         self.ip = ip if ip is not None else IPv4Header()
         self.udp = udp
@@ -175,6 +176,9 @@ class Packet:
         self.pipeline_passes = pipeline_passes
         #: Creation timestamp, stamped by hosts for latency measurement.
         self.created_at = created_at
+        #: Telemetry trace id (0 = untraced); stamped by agents when the
+        #: telemetry plane is on and carried across every hop and copy.
+        self.trace_id = trace_id
 
     def size_bytes(self) -> int:
         """Total on-wire size of the packet."""
@@ -195,7 +199,8 @@ class Packet:
                       udp=self.udp.copy() if self.udp is not None else None,
                       payload=payload, payload_bytes=self.payload_bytes,
                       pipeline_passes=self.pipeline_passes,
-                      created_at=self.created_at)
+                      created_at=self.created_at,
+                      trace_id=self.trace_id)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         proto = "udp" if self.udp is not None else "ip"

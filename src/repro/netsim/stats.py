@@ -42,27 +42,96 @@ class LinkStats:
         return self.dropped_down + self.dropped_loss + self.dropped_corrupt
 
 
-class LatencyRecorder:
-    """Collects per-query latencies and reports summary statistics."""
+#: Exact samples a :class:`LatencyRecorder` keeps before collapsing into
+#: a bounded histogram.  Small figure runs stay exact; 1M-op runs stay
+#: in fixed memory.
+DEFAULT_MAX_EXACT_SAMPLES = 65536
 
-    def __init__(self) -> None:
+
+class LatencyRecorder:
+    """Collects per-query latencies and reports summary statistics.
+
+    Up to ``max_exact_samples`` samples are kept verbatim, so small runs
+    (the figure experiments, the property tests) get exact nearest-rank
+    percentiles -- identical numerics to the historical all-samples
+    recorder.  Past the threshold the recorder collapses into a fixed
+    :class:`~repro.netsim.telemetry.LogBucketHistogram` (bounded memory,
+    <~3% relative quantile error) and keeps recording there.  Pass
+    ``max_exact_samples=None`` to force exact mode regardless of size, or
+    ``0`` to go straight to the histogram.
+    """
+
+    def __init__(self, max_exact_samples: int | None = DEFAULT_MAX_EXACT_SAMPLES) -> None:
         self.samples: List[float] = []
+        self.max_exact_samples = max_exact_samples
+        self._hist = None
+
+    def _collapse(self):
+        """Move the exact samples into a histogram; further recording is bounded."""
+        from repro.netsim.telemetry import LogBucketHistogram
+
+        hist = self._hist = LogBucketHistogram()
+        for sample in self.samples:
+            hist.record(sample)
+        self.samples = []
+        return hist
+
+    @property
+    def collapsed(self) -> bool:
+        """Whether the recorder has switched to bounded-histogram mode."""
+        return self._hist is not None
 
     def record(self, latency: float) -> None:
         """Add one latency sample (seconds)."""
+        hist = self._hist
+        if hist is not None:
+            hist.record(latency)
+            return
         self.samples.append(latency)
+        limit = self.max_exact_samples
+        if limit is not None and len(self.samples) > limit:
+            self._collapse()
+
+    def merge(self, other: "LatencyRecorder") -> None:
+        """Fold another recorder's samples into this one.
+
+        Stays exact while the combined sample count fits under this
+        recorder's threshold; collapses (both sides' views) into the
+        histogram otherwise.
+        """
+        if (self._hist is None and other._hist is None
+                and (self.max_exact_samples is None
+                     or len(self.samples) + len(other.samples)
+                     <= self.max_exact_samples)):
+            self.samples.extend(other.samples)
+            return
+        hist = self._hist if self._hist is not None else self._collapse()
+        if other._hist is not None:
+            hist.merge(other._hist)
+        else:
+            for sample in other.samples:
+                hist.record(sample)
 
     def count(self) -> int:
+        hist = self._hist
+        if hist is not None:
+            return hist.count
         return len(self.samples)
 
     def mean(self) -> float:
-        """Mean latency, 0.0 when empty."""
+        """Mean latency, 0.0 when empty (exact in both modes)."""
+        hist = self._hist
+        if hist is not None:
+            return hist.mean()
         if not self.samples:
             return 0.0
         return sum(self.samples) / len(self.samples)
 
     def percentile(self, p: float) -> float:
-        """p-th percentile (0-100), nearest-rank."""
+        """p-th percentile (0-100): nearest-rank while exact, bucketed after."""
+        hist = self._hist
+        if hist is not None:
+            return hist.percentile(p)
         if not self.samples:
             return 0.0
         ordered = sorted(self.samples)
@@ -77,6 +146,7 @@ class LatencyRecorder:
 
     def clear(self) -> None:
         self.samples.clear()
+        self._hist = None
 
 
 class ThroughputTimeSeries:

@@ -120,6 +120,9 @@ class Switch(Node):
         self.dropped_not_serving = 0
         #: When ``True`` the switch silently discards everything (fail-stop).
         self.failed = False
+        #: Optional telemetry tracer (:class:`repro.core.trace.Tracer`);
+        #: ``None`` keeps the ingress path untraced.
+        self.telemetry = None
         #: Gray failure: when ``False`` the switch still performs L3 transit
         #: forwarding but no longer runs its pipeline programs, so packets
         #: addressed to the device itself (NetChain queries, control traffic)
@@ -174,6 +177,9 @@ class Switch(Node):
         cfg = self.config
         capacity = cfg.capacity_pps
         if capacity is None:
+            tel = self.telemetry
+            if tel is not None:
+                tel.switch_enq(self, packet, 0.0)
             self.sim.call_after(cfg.pipeline_delay, self._process, packet, port)
             return
         # Single-server queue with tail drop.  The packet waits for the
@@ -192,6 +198,9 @@ class Switch(Node):
             self.dropped_capacity += 1
             return
         self._busy_until = busy_until + service_time
+        tel = self.telemetry
+        if tel is not None:
+            tel.switch_enq(self, packet, backlog)
         self.sim.call_after(backlog + cfg.pipeline_delay, self._process,
                             packet, port)
 

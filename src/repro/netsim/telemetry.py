@@ -1,0 +1,506 @@
+"""Deterministic telemetry primitives for the network simulator.
+
+This module holds the *mechanism* half of the telemetry plane: a metrics
+registry (counters, gauges, fixed log-bucket histograms), a sim-time
+periodic sampler that turns queue depths, link utilization and SRAM
+occupancy into time series, and a structured control-plane event log.
+The *policy* half -- per-query span tracing, the ``trace/v1`` run-dir
+format and the scenario wiring -- lives in :mod:`repro.core.trace`,
+which composes these pieces into a :class:`~repro.core.trace.TelemetryPlane`.
+
+Everything here is keyed on **sim-time only**: no wall clock, no PIDs,
+no process-global counters leak into the output, so a seeded run spills
+byte-identical telemetry every time it is replayed.  When telemetry is
+disabled (the default) none of this module is on the hot path at all --
+instrumented call sites carry a single ``if tel is not None`` branch on
+an attribute that stays ``None``.
+
+``python -m repro.netsim.telemetry`` is the operator CLI::
+
+    run    -- execute one traced seeded scenario into a trace/v1 run dir
+    report -- reconstruct critical-path breakdowns + per-stage percentiles
+    info   -- print the run header and record counts
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import resource
+import sys
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+
+def peak_rss_bytes() -> int:
+    """Peak RSS of this process in bytes.
+
+    ``ru_maxrss`` is reported in KiB on Linux but in bytes on macOS; this
+    is the one shared, platform-aware conversion point (used by the perf
+    report, the scenario runner and the at-scale verifier).
+    """
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return rss if sys.platform == "darwin" else rss * 1024
+
+
+class LogBucketHistogram:
+    """Fixed log-bucket histogram with bounded memory.
+
+    Values land in geometric buckets of ``buckets_per_decade`` per decade
+    starting at ``lo``; percentile queries answer with the geometric
+    midpoint of the covering bucket, clamped to the observed [min, max].
+    With the default 40 buckets/decade the relative quantile error is
+    under ~3%, and memory is a fixed few KiB regardless of sample count
+    -- the point of the exercise at 1M-op scales.
+    """
+
+    __slots__ = ("lo", "buckets_per_decade", "counts", "count", "total",
+                 "min", "max")
+
+    def __init__(self, lo: float = 1e-9, decades: int = 12,
+                 buckets_per_decade: int = 40) -> None:
+        self.lo = lo
+        self.buckets_per_decade = buckets_per_decade
+        # Bucket 0 is the underflow bucket (<= lo); the last bucket
+        # catches overflow past ``decades`` decades.
+        self.counts = [0] * (decades * buckets_per_decade + 2)
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def _bucket(self, value: float) -> int:
+        if value <= self.lo:
+            return 0
+        idx = int(math.log10(value / self.lo) * self.buckets_per_decade) + 1
+        last = len(self.counts) - 1
+        return idx if idx < last else last
+
+    def record(self, value: float) -> None:
+        self.counts[self._bucket(value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        if not self.count:
+            return 0.0
+        rank = max(1, int(math.ceil(p / 100.0 * self.count)))
+        seen = 0
+        for i, n in enumerate(self.counts):
+            if not n:
+                continue
+            seen += n
+            if seen >= rank:
+                # The underflow/overflow buckets have no midpoint; the
+                # observed extremes are the only defensible estimates.
+                if i == 0:
+                    return self.min
+                if i == len(self.counts) - 1:
+                    return self.max
+                # Geometric midpoint of bucket i, clamped to observations.
+                mid = self.lo * 10.0 ** ((i - 0.5) / self.buckets_per_decade)
+                return min(self.max, max(self.min, mid))
+        return self.max
+
+    def merge(self, other: "LogBucketHistogram") -> None:
+        if (other.lo != self.lo
+                or other.buckets_per_decade != self.buckets_per_decade
+                or len(other.counts) != len(self.counts)):
+            raise ValueError("cannot merge histograms with different bucketing")
+        for i, n in enumerate(other.counts):
+            if n:
+                self.counts[i] += n
+        self.count += other.count
+        self.total += other.total
+        if other.count:
+            self.min = min(self.min, other.min)
+            self.max = max(self.max, other.max)
+
+    def summary(self) -> Dict[str, float]:
+        if not self.count:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "mean": self.mean(),
+            "min": self.min,
+            "max": self.max,
+            "p50": self.percentile(50.0),
+            "p95": self.percentile(95.0),
+            "p99": self.percentile(99.0),
+        }
+
+
+class MetricsRegistry:
+    """Named counters, gauges and histograms plus the sampled time series.
+
+    Counters are monotonic floats, gauges are last-write-wins, histograms
+    are :class:`LogBucketHistogram`.  ``series`` holds one dict per
+    sampler tick (``{"t": sim_time, ...}``) -- the raw material for the
+    queue-depth / link-utilization / SRAM time series.
+    """
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+        self.histograms: Dict[str, LogBucketHistogram] = {}
+        self.series: List[dict] = []
+
+    def inc(self, name: str, value: float = 1.0) -> None:
+        self.counters[name] = self.counters.get(name, 0.0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = value
+
+    def histogram(self, name: str) -> LogBucketHistogram:
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = LogBucketHistogram()
+        return hist
+
+    def add_sample(self, record: dict) -> None:
+        self.series.append(record)
+
+    def summary(self) -> dict:
+        out: Dict[str, Any] = {
+            "counters": {k: self.counters[k] for k in sorted(self.counters)},
+            "gauges": {k: self.gauges[k] for k in sorted(self.gauges)},
+            "histograms": {
+                k: self.histograms[k].summary() for k in sorted(self.histograms)
+            },
+            "sampled_ticks": len(self.series),
+        }
+        return out
+
+
+class ControlEventLog:
+    """Structured control-plane events keyed on sim-time.
+
+    The controller, failure detector, migration coordinator and hot-key
+    manager emit ``(sim_time, kind, fields)`` tuples through
+    ``Controller._emit``; the Figure-10 style failure/recovery timeline
+    is *derived* from these records (see :func:`failure_timeline`) rather
+    than hand-instrumented.
+    """
+
+    __slots__ = ("sim", "events")
+
+    def __init__(self, sim) -> None:
+        self.sim = sim
+        self.events: List[Tuple[float, str, dict]] = []
+
+    def emit(self, kind: str, **fields) -> None:
+        self.events.append((self.sim._now, kind, fields))
+
+    def as_records(self) -> List[dict]:
+        records = []
+        for t, kind, fields in self.events:
+            rec = {"t": t, "ev": kind}
+            rec.update(fields)
+            records.append(rec)
+        return records
+
+
+def failure_timeline(events: List[dict]) -> List[dict]:
+    """Derive per-switch failure/recovery phase durations from event records.
+
+    Returns one dict per failed switch with the detection, fast-failover
+    and recovery timestamps plus derived durations -- the data behind the
+    paper's Figure-10 timeline.
+    """
+    timeline: Dict[str, dict] = {}
+
+    def entry(name: str) -> dict:
+        if name not in timeline:
+            timeline[name] = {"switch": name}
+        return timeline[name]
+
+    for rec in events:
+        kind = rec.get("ev")
+        t = rec.get("t")
+        if kind == "failure_detected":
+            entry(rec["switch"])["detected_at"] = t
+        elif kind == "fast_failover":
+            entry(rec["switch"]).setdefault("failover_at", t)
+        elif kind == "recovery_start":
+            entry(rec["switch"])["recovery_start_at"] = t
+        elif kind in ("recovery_complete", "recovery_aborted"):
+            e = entry(rec["switch"])
+            e["recovery_end_at"] = t
+            e["recovery_outcome"] = kind
+            for key in ("recovered", "shrunk", "skipped", "items"):
+                if key in rec:
+                    e[key] = rec[key]
+    out = []
+    for name in sorted(timeline):
+        e = timeline[name]
+        detected = e.get("detected_at")
+        if detected is not None and e.get("failover_at") is not None:
+            e["failover_latency"] = e["failover_at"] - detected
+        if e.get("recovery_start_at") is not None and e.get("recovery_end_at") is not None:
+            e["recovery_duration"] = e["recovery_end_at"] - e["recovery_start_at"]
+        out.append(e)
+    return out
+
+
+@dataclass
+class TelemetryConfig:
+    """Configuration accepted by ``DeploymentSpec(telemetry=...)``.
+
+    ``True`` or ``{}`` enables everything with defaults; a dict may set
+    any field below.  ``run_dir=None`` spills into a fresh temp dir
+    (recorded on the result as ``telemetry_dir``).
+    """
+
+    sample_interval: float = 5e-3   #: sim-seconds between metric samples
+    trace: bool = True              #: per-query span tracing
+    metrics: bool = True            #: periodic sampler + registry
+    events: bool = True             #: control-plane event log
+    run_dir: Optional[str] = None   #: trace/v1 output directory
+    trace_sample: int = 1           #: trace every Nth submitted query
+
+    @classmethod
+    def coerce(cls, value) -> Optional["TelemetryConfig"]:
+        """Normalize the spec field: None/False off, True/dict/instance on."""
+        if value is None or value is False:
+            return None
+        if value is True:
+            return cls()
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, dict):
+            try:
+                config = cls(**value)
+            except TypeError as exc:
+                raise ValueError(f"invalid telemetry config: {exc}") from exc
+            return config
+        raise ValueError(
+            f"telemetry must be None, bool, dict or TelemetryConfig, "
+            f"got {type(value).__name__}"
+        )
+
+    def validate(self) -> None:
+        if self.sample_interval <= 0:
+            raise ValueError("telemetry sample_interval must be positive")
+        if self.trace_sample < 1:
+            raise ValueError("telemetry trace_sample must be >= 1")
+
+
+class PeriodicSampler:
+    """Samples topology state into the registry on a fixed sim-time cadence.
+
+    Each tick appends one record to ``registry.series``::
+
+        {"t": ..., "hosts": {name: tx_backlog_s}, "switches": {name:
+         {"q": queue_backlog_s, "sram": bytes}}, "links": {name: bits or
+         utilization}, "engine": {...}, "opmix": {"vg:op": count}}
+
+    The sampler is strictly read-only over the simulation (it never
+    touches RNGs or mutates node state), so enabling it cannot perturb
+    the seeded event order.
+    """
+
+    def __init__(self, sim, registry: MetricsRegistry, topology,
+                 interval: float, opmix_source=None) -> None:
+        self.sim = sim
+        self.registry = registry
+        self.topology = topology
+        self.interval = interval
+        self.opmix_source = opmix_source
+        self._cancel = None
+        self._last_link_bits: Dict[str, float] = {}
+        self._last_events = 0
+
+    def start(self) -> None:
+        self._last_events = self.sim.processed_events
+        self._cancel = self.sim.every(self.interval, self._tick,
+                                      start=self.interval)
+
+    def stop(self) -> None:
+        if self._cancel is not None:
+            self._cancel()
+            self._cancel = None
+
+    def _tick(self) -> None:
+        sim = self.sim
+        now = sim._now
+        rec: Dict[str, Any] = {"t": now}
+
+        hosts = {}
+        for name, host in self.topology.hosts.items():
+            backlog = host._tx_busy_until - now
+            if backlog > 0:
+                hosts[name] = backlog
+        if hosts:
+            rec["hosts"] = hosts
+
+        switches = {}
+        max_queue = 0.0
+        max_sram = 0
+        for name, switch in self.topology.switches.items():
+            backlog = max(0.0, switch._busy_until - now)
+            sram = switch.registers.allocated_bytes()
+            if backlog > max_queue:
+                max_queue = backlog
+            if sram > max_sram:
+                max_sram = sram
+            if backlog > 0 or sram:
+                entry: Dict[str, Any] = {}
+                if backlog > 0:
+                    entry["q"] = backlog
+                if sram:
+                    entry["sram"] = sram
+                switches[name] = entry
+        if switches:
+            rec["switches"] = switches
+
+        links = {}
+        for link in self.topology.links:
+            bits = link.tel_bits
+            name = link.name
+            delta = bits - self._last_link_bits.get(name, 0.0)
+            self._last_link_bits[name] = bits
+            if delta <= 0:
+                continue
+            bandwidth = link.config.bandwidth_bps
+            if bandwidth:
+                links[name] = delta / (bandwidth * self.interval)
+            else:
+                links[name] = delta
+        if links:
+            rec["links"] = links
+
+        stats = sim.stats()
+        rec["engine"] = {
+            "d": stats["processed_events"] - self._last_events,
+            "pending": stats["pending_live"],
+        }
+        self._last_events = stats["processed_events"]
+
+        source = self.opmix_source
+        if source is not None and source.opmix:
+            rec["opmix"] = {
+                f"vg{vg}:{op}": count
+                for (vg, op), count in sorted(source.opmix.items())
+            }
+
+        registry = self.registry
+        registry.add_sample(rec)
+        gauges = registry.gauges
+        if max_queue > gauges.get("max_switch_queue_s", 0.0):
+            registry.gauge("max_switch_queue_s", max_queue)
+        if max_sram > gauges.get("max_sram_bytes", 0):
+            registry.gauge("max_sram_bytes", max_sram)
+        host_peak = max(hosts.values(), default=0.0)
+        if host_peak > gauges.get("max_host_tx_backlog_s", 0.0):
+            registry.gauge("max_host_tx_backlog_s", host_peak)
+        if links:
+            peak_util = max(links.values())
+            if peak_util > gauges.get("max_link_utilization", 0.0):
+                registry.gauge("max_link_utilization", peak_util)
+
+
+# ---------------------------------------------------------------------------
+# CLI -- lazy imports keep netsim free of module-level repro.core/deploy deps.
+# ---------------------------------------------------------------------------
+
+def _cmd_run(args) -> int:
+    from repro.deploy import (
+        DeploymentSpec,
+        ScenarioChecks,
+        WorkloadSpec,
+        run_scenario,
+    )
+
+    faults = []
+    if args.failover:
+        faults = [(args.duration / 2.0, "fail_switch", "S1")]
+    spec = DeploymentSpec(
+        backend=args.backend,
+        store_size=args.store_size,
+        value_size=64,
+        seed=args.seed,
+        faults=faults,
+        options={"fault_reaction": True} if args.failover else {},
+        telemetry={
+            "run_dir": args.out,
+            "sample_interval": args.sample_interval,
+        },
+    )
+    workload = WorkloadSpec(
+        num_clients=args.clients,
+        concurrency=4,
+        write_ratio=args.write_ratio,
+        duration=args.duration,
+        drain=0.1,
+    )
+    checks = ScenarioChecks(linearizability=True)
+    result = run_scenario(spec, workload, checks)
+    print(f"backend={spec.backend} seed={spec.seed} "
+          f"ops={result.completed_ops} failed={result.failed_ops} "
+          f"qps={result.success_qps:.0f}")
+    print(f"trace run dir: {result.telemetry_dir}")
+    metrics = result.metrics or {}
+    print(json.dumps(metrics, sort_keys=True, indent=2, default=str))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.core import trace as trace_mod
+
+    print(trace_mod.format_report(args.run_dir, top=args.top))
+    return 0
+
+
+def _cmd_info(args) -> int:
+    from repro.core import trace as trace_mod
+
+    info = trace_mod.run_info(args.run_dir)
+    print(json.dumps(info, sort_keys=True, indent=2))
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.netsim.telemetry",
+        description="Trace/metrics tooling for seeded simulator runs.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one traced seeded scenario")
+    run.add_argument("--backend", default="netchain")
+    run.add_argument("--seed", type=int, default=11)
+    run.add_argument("--store-size", type=int, default=64)
+    run.add_argument("--clients", type=int, default=2)
+    run.add_argument("--write-ratio", type=float, default=0.3)
+    run.add_argument("--duration", type=float, default=0.1)
+    run.add_argument("--sample-interval", type=float, default=5e-3)
+    run.add_argument("--failover", action="store_true",
+                     help="fail switch S1 mid-run and react")
+    run.add_argument("--out", required=True, help="trace/v1 run directory")
+    run.set_defaults(func=_cmd_run)
+
+    report = sub.add_parser(
+        "report", help="critical-path breakdown + per-stage percentiles")
+    report.add_argument("run_dir")
+    report.add_argument("--top", type=int, default=1,
+                        help="show the N slowest traces hop by hop")
+    report.set_defaults(func=_cmd_report)
+
+    info = sub.add_parser("info", help="print run header and record counts")
+    info.add_argument("run_dir")
+    info.set_defaults(func=_cmd_info)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

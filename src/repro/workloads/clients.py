@@ -146,8 +146,8 @@ def measure_load(clients: List[LoadClient], warmup: float,
     read_lat = LatencyRecorder()
     write_lat = LatencyRecorder()
     for client in clients:
-        read_lat.samples.extend(client.read_latency.samples)
-        write_lat.samples.extend(client.write_latency.samples)
+        read_lat.merge(client.read_latency)
+        write_lat.merge(client.write_latency)
     return LoadMeasurement(qps=total, success_qps=success,
                            mean_read_latency=read_lat.mean(),
                            mean_write_latency=write_lat.mean(),

@@ -1,0 +1,378 @@
+"""The deterministic telemetry plane: tracing, metrics, event log.
+
+Covers the building blocks (log-bucket histograms, the bounded
+``LatencyRecorder``, ``TelemetryConfig`` coercion), the determinism
+contracts (two traced seeded runs spill byte-identical ``trace/v1``
+artifacts; enabling telemetry leaves the replay signature untouched),
+the control-plane event log and its derived failure timeline under an
+injected switch failure, and the ``python -m repro.netsim.telemetry``
+report CLI.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+import pytest
+
+from repro.core import trace as trace_mod
+from repro.core.trace import (
+    STAGES,
+    iter_spans,
+    read_ndjson,
+    run_info,
+    stage_percentiles,
+    trace_breakdowns,
+)
+from repro.deploy import DeploymentSpec, ScenarioChecks, WorkloadSpec, run_scenario
+from repro.netsim.stats import LatencyRecorder
+from repro.netsim.telemetry import (
+    LogBucketHistogram,
+    MetricsRegistry,
+    TelemetryConfig,
+    failure_timeline,
+    main as telemetry_cli,
+    peak_rss_bytes,
+)
+
+SEED = 11
+
+TRACE_FILES = ("spans.ndjson", "metrics.ndjson", "events.ndjson")
+
+
+def _spec(seed=SEED, telemetry=None, **overrides) -> DeploymentSpec:
+    return DeploymentSpec(backend="netchain", store_size=32, value_size=64,
+                          seed=seed, telemetry=telemetry, **overrides)
+
+
+def _workload(duration=0.03) -> WorkloadSpec:
+    return WorkloadSpec(num_clients=2, concurrency=4, write_ratio=0.3,
+                        duration=duration, drain=0.05)
+
+
+def _run(spec, workload=None, checks=None):
+    return run_scenario(spec, workload or _workload(),
+                        checks or ScenarioChecks(linearizability=True))
+
+
+def _dir_digests(run_dir):
+    return {name: hashlib.sha256((run_dir / name).read_bytes()).hexdigest()
+            for name in TRACE_FILES}
+
+
+# --------------------------------------------------------------------- #
+# Log-bucket histogram.
+# --------------------------------------------------------------------- #
+
+
+def test_histogram_counts_and_bounds():
+    hist = LogBucketHistogram()
+    for value in (1e-6, 2e-6, 1e-3, 0.5):
+        hist.record(value)
+    assert hist.count == 4
+    assert hist.min == pytest.approx(1e-6)
+    assert hist.max == pytest.approx(0.5)
+    assert hist.mean() == pytest.approx((1e-6 + 2e-6 + 1e-3 + 0.5) / 4)
+    # Percentiles land within a bucket's relative error of the exact value
+    # and are clamped to the observed range.
+    assert hist.percentile(0.0) == pytest.approx(1e-6, rel=0.06)
+    assert hist.percentile(100.0) == pytest.approx(0.5, rel=0.06)
+    p50 = hist.percentile(50.0)
+    assert 9e-7 <= p50 <= 1.1e-3
+
+
+def test_histogram_relative_error_bound():
+    # 40 buckets per decade -> ~6% relative width; the geometric-midpoint
+    # estimate stays within half a bucket of any recorded value.
+    hist = LogBucketHistogram()
+    value = 3.7e-4
+    hist.record(value)
+    estimate = hist.percentile(50.0)
+    assert abs(estimate - value) / value < 0.06
+
+
+def test_histogram_underflow_overflow():
+    hist = LogBucketHistogram()
+    hist.record(0.0)       # below lo -> underflow bucket
+    hist.record(1e30)      # above the top decade -> overflow bucket
+    assert hist.count == 2
+    assert hist.percentile(0.0) == pytest.approx(0.0)
+    assert hist.percentile(100.0) == pytest.approx(1e30)
+
+
+def test_histogram_merge_matches_combined():
+    a, b, combined = (LogBucketHistogram() for _ in range(3))
+    for i in range(100):
+        value = (i + 1) * 1e-5
+        (a if i % 2 else b).record(value)
+        combined.record(value)
+    a.merge(b)
+    assert a.count == combined.count
+    assert a.counts == combined.counts
+    assert a.min == combined.min and a.max == combined.max
+    assert a.mean() == pytest.approx(combined.mean())
+    for p in (50.0, 95.0, 99.0):
+        assert a.percentile(p) == combined.percentile(p)
+
+
+# --------------------------------------------------------------------- #
+# Bounded LatencyRecorder.
+# --------------------------------------------------------------------- #
+
+
+def test_recorder_exact_until_limit():
+    recorder = LatencyRecorder(max_exact_samples=8)
+    for value in range(1, 8):
+        recorder.record(float(value))
+    assert not recorder.collapsed
+    assert recorder.percentile(50) == 4.0  # exact nearest-rank
+    recorder.record(8.0)
+    recorder.record(9.0)  # ninth sample crosses the limit
+    assert recorder.collapsed
+    assert recorder.samples == []
+    assert recorder.count() == 9
+    assert recorder.mean() == pytest.approx(5.0)
+    assert recorder.percentile(50) == pytest.approx(5.0, rel=0.06)
+
+
+def test_recorder_collapsed_memory_is_bounded():
+    recorder = LatencyRecorder(max_exact_samples=100)
+    for i in range(100_000):
+        recorder.record(1e-6 * (1 + i % 1000))
+    assert recorder.collapsed
+    assert len(recorder.samples) == 0
+    assert recorder.count() == 100_000
+
+
+def test_recorder_merge_modes():
+    exact_a = LatencyRecorder(max_exact_samples=10)
+    exact_b = LatencyRecorder(max_exact_samples=10)
+    for value in (1.0, 2.0, 3.0):
+        exact_a.record(value)
+    for value in (4.0, 5.0):
+        exact_b.record(value)
+    exact_a.merge(exact_b)
+    assert not exact_a.collapsed  # 5 <= 10 stays exact
+    assert exact_a.count() == 5
+    assert exact_a.percentile(100) == 5.0
+
+    big = LatencyRecorder(max_exact_samples=4)
+    big.merge(exact_a)  # 5 > 4 collapses on merge
+    assert big.collapsed
+    assert big.count() == 5
+    assert big.mean() == pytest.approx(3.0)
+
+
+def test_recorder_unbounded_mode_matches_legacy():
+    recorder = LatencyRecorder(max_exact_samples=None)
+    for i in range(200_000):
+        recorder.record(float(i))
+    assert not recorder.collapsed
+    assert recorder.count() == 200_000
+
+
+# --------------------------------------------------------------------- #
+# Config coercion, registry, event log units.
+# --------------------------------------------------------------------- #
+
+
+def test_telemetry_config_coercion():
+    assert TelemetryConfig.coerce(None) is None
+    assert TelemetryConfig.coerce(False) is None
+    assert isinstance(TelemetryConfig.coerce(True), TelemetryConfig)
+    cfg = TelemetryConfig.coerce({"sample_interval": 1e-3, "trace": False})
+    assert cfg.sample_interval == 1e-3 and cfg.trace is False
+    same = TelemetryConfig()
+    assert TelemetryConfig.coerce(same) is same
+    with pytest.raises(ValueError):
+        TelemetryConfig.coerce({"no_such_knob": 1})
+    with pytest.raises(ValueError):
+        TelemetryConfig(sample_interval=0.0).validate()
+    with pytest.raises(ValueError):
+        TelemetryConfig(trace_sample=0).validate()
+
+
+def test_spec_validates_telemetry():
+    _spec(telemetry={"sample_interval": 1e-3}).validate()
+    with pytest.raises(ValueError):
+        _spec(telemetry={"bogus": True}).validate()
+    with pytest.raises(ValueError):
+        _spec(telemetry={"sample_interval": -1.0}).validate()
+
+
+def test_metrics_registry_summary():
+    registry = MetricsRegistry()
+    registry.inc("queries")
+    registry.inc("queries", 2)
+    registry.gauge("depth", 4.0)
+    registry.gauge("depth", 2.0)  # gauges keep the last value
+    registry.histogram("lat").record(1e-4)
+    summary = registry.summary()
+    assert summary["counters"]["queries"] == 3
+    assert summary["gauges"]["depth"] == 2.0
+    assert summary["histograms"]["lat"]["count"] == 1
+
+
+def test_peak_rss_bytes_positive():
+    assert peak_rss_bytes() > 0
+
+
+def test_failure_timeline_derivation():
+    events = [
+        {"t": 0.10, "ev": "failure_detected", "switch": "S1"},
+        {"t": 0.10, "ev": "fast_failover", "switch": "S1"},
+        {"t": 0.10, "ev": "recovery_start", "switch": "S1", "groups": 3},
+        {"t": 0.25, "ev": "recovery_complete", "switch": "S1", "recovered": 3},
+    ]
+    timeline = failure_timeline(events)
+    entry = next(e for e in timeline if e["switch"] == "S1")
+    assert entry["detected_at"] == pytest.approx(0.10)
+    assert entry["failover_latency"] == pytest.approx(0.0)
+    assert entry["recovery_duration"] == pytest.approx(0.15)
+    assert entry["recovery_outcome"] == "recovery_complete"
+
+
+# --------------------------------------------------------------------- #
+# Scenario integration: determinism contracts.
+# --------------------------------------------------------------------- #
+
+
+def test_traced_runs_are_byte_identical(tmp_path):
+    digests = []
+    signatures = []
+    for label in ("a", "b"):
+        run_dir = tmp_path / label
+        result = _run(_spec(telemetry={"run_dir": str(run_dir)}))
+        assert result.ok()
+        assert result.telemetry_dir == run_dir
+        assert result.metrics is not None
+        assert result.metrics["schema"] == "telemetry/v1"
+        assert result.metrics["spans"] > 0
+        digests.append(_dir_digests(run_dir))
+        signatures.append(result.signature())
+    assert digests[0] == digests[1]
+    assert signatures[0] == signatures[1]
+
+
+def test_telemetry_does_not_perturb_replay(tmp_path):
+    off = _run(_spec(telemetry=None))
+    on = _run(_spec(telemetry={"run_dir": str(tmp_path / "run")}))
+    assert off.signature() == on.signature()
+    assert off.completed_ops == on.completed_ops
+    assert off.metrics is None and off.telemetry_dir is None
+
+
+def test_trace_run_dir_layout_and_schemas(tmp_path):
+    run_dir = tmp_path / "run"
+    _run(_spec(telemetry={"run_dir": str(run_dir)}))
+    for name, schema in (("spans.ndjson", "trace/v1"),
+                         ("metrics.ndjson", "trace-metrics/v1"),
+                         ("events.ndjson", "trace-events/v1")):
+        header, records = read_ndjson(run_dir / name)
+        assert header["schema"] == schema
+        assert header["meta"]["seed"] == SEED
+        for record in records:
+            assert "t" in record
+    # Span records are ASCII NDJSON with sorted keys (canonical bytes).
+    with open(run_dir / "spans.ndjson", "rb") as handle:
+        next(handle)  # header
+        line = next(handle)
+        record = json.loads(line)
+        canonical = json.dumps(record, sort_keys=True,
+                               separators=(",", ":")).encode("ascii") + b"\n"
+        assert line == canonical
+    info = run_info(run_dir)
+    assert info["spans.ndjson"]["records"] > 0
+
+
+def test_trace_breakdowns_account_latency(tmp_path):
+    run_dir = tmp_path / "run"
+    _run(_spec(telemetry={"run_dir": str(run_dir)}))
+    traces = trace_breakdowns(iter_spans(run_dir))
+    assert traces
+    completed = [t for t in traces.values() if t["completed"]]
+    assert completed
+    for entry in completed:
+        total = sum(entry["stages"].values()) + entry["other"]
+        assert total == pytest.approx(entry["latency"], rel=1e-6, abs=1e-12)
+        assert entry["op"] in ("read", "write", "insert", "delete", "cas")
+    table = stage_percentiles(traces)
+    assert set(table) == set(STAGES) | {"other", "total"}
+    assert table["total"]["p50"] > 0
+
+
+def test_trace_sampling_reduces_spans(tmp_path):
+    full = tmp_path / "full"
+    sampled = tmp_path / "sampled"
+    r_full = _run(_spec(telemetry={"run_dir": str(full)}))
+    r_sampled = _run(_spec(telemetry={"run_dir": str(sampled),
+                                      "trace_sample": 8}))
+    assert r_full.signature() == r_sampled.signature()
+    assert 0 < r_sampled.metrics["traces"] < r_full.metrics["traces"]
+    assert r_sampled.metrics["spans"] < r_full.metrics["spans"]
+
+
+def test_metrics_only_mode(tmp_path):
+    run_dir = tmp_path / "run"
+    result = _run(_spec(telemetry={"run_dir": str(run_dir), "trace": False}))
+    assert not (run_dir / "spans.ndjson").exists()
+    _, records = read_ndjson(run_dir / "metrics.ndjson")
+    assert records
+    assert result.metrics["spans"] == 0
+    # The sampler still tracked engine + queue state.
+    assert result.metrics["sampled_ticks"] == len(records)
+
+
+# --------------------------------------------------------------------- #
+# Control-plane event log under an injected failure.
+# --------------------------------------------------------------------- #
+
+
+def test_event_log_records_failover(tmp_path):
+    run_dir = tmp_path / "run"
+    spec = _spec(telemetry={"run_dir": str(run_dir)},
+                 faults=[(0.02, "fail_switch", "S1")],
+                 options={"fault_reaction": True})
+    result = run_scenario(spec, _workload(duration=0.05),
+                          ScenarioChecks(linearizability=True))
+    assert result.ok()
+    _, events = read_ndjson(run_dir / "events.ndjson")
+    kinds = [event["ev"] for event in events]
+    assert "failure_detected" in kinds
+    assert "fast_failover" in kinds
+    assert "recovery_start" in kinds
+    detected = next(e for e in events if e["ev"] == "failure_detected")
+    assert detected["switch"] == "S1"
+    assert detected["t"] >= 0.02
+    # Events are time-ordered (single sim clock, append order).
+    times = [event["t"] for event in events]
+    assert times == sorted(times)
+    timeline = failure_timeline(events)
+    entry = next(e for e in timeline if e["switch"] == "S1")
+    assert entry["detected_at"] >= 0.02
+
+
+# --------------------------------------------------------------------- #
+# CLI.
+# --------------------------------------------------------------------- #
+
+
+def test_cli_report_smoke(tmp_path, capsys):
+    run_dir = tmp_path / "run"
+    _run(_spec(telemetry={"run_dir": str(run_dir)}))
+    assert telemetry_cli(["report", str(run_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "Critical-path stages" in out
+    assert "host_stack" in out
+    assert "Slowest trace" in out
+    assert telemetry_cli(["info", str(run_dir)]) == 0
+    info = json.loads(capsys.readouterr().out)
+    assert info["spans.ndjson"]["records"] > 0
+
+
+def test_format_report_handles_empty_events(tmp_path):
+    run_dir = tmp_path / "run"
+    _run(_spec(telemetry={"run_dir": str(run_dir)}))
+    report = trace_mod.format_report(run_dir)
+    assert "Control-plane events" not in report or "(none)" not in report
