@@ -40,7 +40,8 @@ def record_result(name: str, title: str, lines: Iterable[str]) -> List[str]:
     path.write_text("\n".join(rows) + "\n", encoding="utf-8")
     json_path = RESULTS_DIR / f"{name}.json"
     json_path.write_text(
-        json.dumps({"name": name, "title": title, "rows": body}, indent=2) + "\n",
+        json.dumps({"name": name, "title": title, "rows": body},
+                   indent=2, sort_keys=True) + "\n",
         encoding="utf-8")
     print()
     for row in rows:

@@ -11,11 +11,7 @@ from __future__ import annotations
 import pytest
 
 from bench_utils import full_mode, record_result
-from repro.experiments import (
-    netchain_max_throughput_qps,
-    netchain_throughput,
-    zookeeper_throughput,
-)
+from repro.experiments import netchain_max_throughput_qps, netchain_throughput, zookeeper_throughput
 
 VALUE_SIZES = [16, 64, 128] if not full_mode() else [16, 32, 64, 96, 128]
 NETCHAIN_SCALE = 50000.0

@@ -9,7 +9,6 @@ timeouts.
 
 from __future__ import annotations
 
-
 from bench_utils import full_mode, record_result
 from repro.experiments import netchain_throughput, zookeeper_throughput
 from repro.experiments.throughput import zookeeper_loss_degradation

@@ -31,13 +31,13 @@ def test_fig9f_scalability(benchmark):
     writes = [p.write_bqps for p in points]
     sizes = [p.num_switches for p in points]
     # Monotonic, roughly linear growth for both series.
-    assert all(b > a for a, b in zip(reads, reads[1:]))
-    assert all(b > a for a, b in zip(writes, writes[1:]))
+    assert all(b > a for a, b in zip(reads, reads[1:], strict=False))
+    assert all(b > a for a, b in zip(writes, writes[1:], strict=False))
     growth = reads[-1] / reads[0]
     size_growth = sizes[-1] / sizes[0]
     assert growth > 0.6 * size_growth
     # Reads above writes everywhere; both in the tens of BQPS at ~100 switches
     # (paper: ~80 read / ~40 write BQPS at 96 switches).
-    assert all(r > w for r, w in zip(reads, writes))
+    assert all(r > w for r, w in zip(reads, writes, strict=True))
     assert 40 < reads[-1] < 160
     assert 25 < writes[-1] < 100

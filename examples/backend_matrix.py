@@ -14,13 +14,7 @@ Run:  PYTHONPATH=src python examples/backend_matrix.py
 
 from __future__ import annotations
 
-from repro.deploy import (
-    DeploymentSpec,
-    WorkloadSpec,
-    available_backends,
-    get_backend,
-    run_scenario,
-)
+from repro.deploy import DeploymentSpec, WorkloadSpec, available_backends, get_backend, run_scenario
 
 
 def main() -> None:

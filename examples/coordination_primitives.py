@@ -14,12 +14,7 @@ Run:  python examples/coordination_primitives.py
 
 from __future__ import annotations
 
-from repro.core.coordination import (
-    Barrier,
-    ConfigurationStore,
-    DistributedLock,
-    GroupMembership,
-)
+from repro.core.coordination import Barrier, ConfigurationStore, DistributedLock, GroupMembership
 from repro.deploy import DeploymentSpec, build_deployment
 
 

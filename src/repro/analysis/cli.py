@@ -1,0 +1,142 @@
+"""Command-line interface: ``python -m repro.analysis check|explain|baseline``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis.baseline import DEFAULT_BASELINE_PATH, Baseline
+from repro.analysis.engine import check_paths
+from repro.analysis.report import build_report, dump_report, format_markdown, format_text
+from repro.analysis.rules import RULES, rule_by_id
+
+DEFAULT_PATHS = ["src", "benchmarks", "tests"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="detlint: determinism & hot-path static analysis for the simulator",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    check = sub.add_parser("check", help="run every rule and fail on new findings")
+    check.add_argument("paths", nargs="*", default=DEFAULT_PATHS, help="files or directories")
+    check.add_argument("--root", default=".", help="repository root (paths are relative to it)")
+    check.add_argument(
+        "--baseline",
+        default=None,
+        help=f"baseline JSON (default: {DEFAULT_BASELINE_PATH} under --root, if present)",
+    )
+    check.add_argument("--no-baseline", action="store_true", help="ignore any baseline file")
+    check.add_argument("--format", choices=("text", "json"), default="text")
+    check.add_argument("-o", "--output", default=None, help="also write the JSON report here")
+    check.add_argument(
+        "--summary", action="store_true", help="print a markdown summary (for CI step summaries)"
+    )
+    check.add_argument(
+        "--include-fixtures",
+        action="store_true",
+        help="scan the intentionally-broken tests/fixtures/detlint corpus too",
+    )
+    check.add_argument(
+        "--fail-stale",
+        action="store_true",
+        help="also fail when baseline entries no longer match any finding",
+    )
+
+    explain = sub.add_parser("explain", help="print rule documentation")
+    explain.add_argument("rules", nargs="*", help="rule ids (default: all)")
+
+    baseline = sub.add_parser("baseline", help="write the current findings as the baseline")
+    baseline.add_argument("paths", nargs="*", default=DEFAULT_PATHS)
+    baseline.add_argument("--root", default=".")
+    baseline.add_argument("-o", "--output", default=str(DEFAULT_BASELINE_PATH))
+    baseline.add_argument("--include-fixtures", action="store_true")
+    return parser
+
+
+def _resolve_baseline(args: argparse.Namespace, root: Path) -> Optional[Path]:
+    if args.no_baseline:
+        return None
+    if args.baseline is not None:
+        return Path(args.baseline)
+    default = root / DEFAULT_BASELINE_PATH
+    return default if default.exists() else None
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    root = Path(args.root)
+    result = check_paths(args.paths, root=root, include_fixtures=args.include_fixtures)
+    baseline_path = _resolve_baseline(args, root)
+    baseline = Baseline.load(baseline_path) if baseline_path else Baseline()
+    new, baselined, stale = baseline.partition(result.findings)
+    report = build_report(
+        result, new, baselined, stale, str(baseline_path) if baseline_path else None
+    )
+    if args.output:
+        Path(args.output).write_text(dump_report(report), encoding="utf-8")
+    if args.summary:
+        sys.stdout.write(format_markdown(result, new, baselined, stale))
+    elif args.format == "json":
+        sys.stdout.write(dump_report(report))
+    else:
+        sys.stdout.write(format_text(result, new, baselined, stale))
+    if new:
+        return 1
+    if stale and args.fail_stale:
+        return 1
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    wanted: List[str] = args.rules or [rule.id for rule in RULES]
+    unknown = [rule_id for rule_id in wanted if rule_by_id(rule_id) is None]
+    if unknown:
+        sys.stderr.write(f"unknown rule id(s): {', '.join(unknown)}\n")
+        return 2
+    blocks: List[str] = []
+    for rule_id in wanted:
+        rule = rule_by_id(rule_id)
+        lines = [
+            f"{rule.id}: {rule.title}",
+            "=" * (len(rule.id) + len(rule.title) + 2),
+            "",
+            rule.summary,
+            "",
+            rule.rationale,
+            "",
+            f"Scope: {rule.scope_doc()}",
+        ]
+        if rule.bad_example:
+            lines += ["", "Bad:"] + [f"    {ln}" for ln in rule.bad_example.splitlines()]
+        if rule.good_example:
+            lines += ["", "Good:"] + [f"    {ln}" for ln in rule.good_example.splitlines()]
+        blocks.append("\n".join(lines))
+    sys.stdout.write("\n\n".join(blocks) + "\n")
+    return 0
+
+
+def _cmd_baseline(args: argparse.Namespace) -> int:
+    root = Path(args.root)
+    result = check_paths(args.paths, root=root, include_fixtures=args.include_fixtures)
+    baseline = Baseline.from_findings(result.findings)
+    output = Path(args.output)
+    if not output.is_absolute():
+        output = root / output
+    baseline.dump(output)
+    sys.stdout.write(
+        f"detlint: wrote {len(baseline.entries)} baseline entrie(s) to {output}\n"
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "check":
+        return _cmd_check(args)
+    if args.command == "explain":
+        return _cmd_explain(args)
+    return _cmd_baseline(args)

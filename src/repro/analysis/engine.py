@@ -1,0 +1,423 @@
+"""Core driver for detlint: parse, run rules, apply pragmas, fingerprint.
+
+The engine is deliberately boring: one :func:`ast.parse` per file, parent
+links threaded through the tree, a per-file import/alias map shared by all
+rules, and a pragma pass that consumes ``# detlint: disable=...`` comments.
+Everything stochastic-free and wall-clock-free by construction -- reports
+for identical trees are byte-identical, which lets CI diff them.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: Path segments never scanned (bytecode caches, the intentionally-broken
+#: fixture corpus used to test the rules themselves).
+EXCLUDED_SEGMENTS = ("__pycache__",)
+
+#: The fixture corpus is full of deliberate violations; it is opted back in
+#: explicitly by the analyzer's own tests via ``include_fixtures=True``.
+FIXTURE_MARKER = ("fixtures", "detlint")
+
+PRAGMA_RE = re.compile(
+    r"#\s*detlint:\s*(?P<kind>disable-next|disable-file|disable)\s*="
+    r"\s*(?P<rules>[A-Za-z0-9_, ]+?)\s*(?:--\s*(?P<why>.*\S))?\s*$"
+)
+
+#: Module heads the alias resolver is allowed to track through simple
+#: ``name = module`` assignments.  Restricting the set keeps the resolver
+#: from mistaking arbitrary attribute chains for module paths.
+TRACKED_MODULE_HEADS = (
+    "datetime",
+    "functools",
+    "glob",
+    "json",
+    "numpy",
+    "os",
+    "random",
+    "secrets",
+    "time",
+    "uuid",
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    fingerprint: str = ""
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}"
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """A finding silenced by a justified inline pragma."""
+
+    finding: Finding
+    justification: str
+
+
+@dataclass
+class Pragma:
+    kind: str
+    rules: Tuple[str, ...]
+    justification: str
+    line: int
+    used: bool = False
+
+
+@dataclass
+class FileResult:
+    path: str
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Suppression] = field(default_factory=list)
+
+
+@dataclass
+class CheckResult:
+    """Aggregated outcome of a :func:`check_paths` run."""
+
+    root: str
+    paths: List[str]
+    files_scanned: int = 0
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Suppression] = field(default_factory=list)
+
+    def counts(self) -> Dict[str, int]:
+        table: Dict[str, int] = {}
+        for finding in self.findings:
+            table[finding.rule] = table.get(finding.rule, 0) + 1
+        return table
+
+
+class FileContext:
+    """Everything a rule needs to inspect one parsed module."""
+
+    def __init__(self, relpath: str, source: str, tree: ast.Module) -> None:
+        self.relpath = relpath
+        self.parts = tuple(Path(relpath).parts)
+        self.filename = Path(relpath).name
+        self.source_lines = source.splitlines()
+        self.tree = tree
+        self._link_parents(tree)
+        self.aliases = self._collect_aliases(tree)
+
+    @staticmethod
+    def _link_parents(tree: ast.Module) -> None:
+        for node in ast.walk(tree):
+            for child in ast.iter_child_nodes(node):
+                child._detlint_parent = node  # type: ignore[attr-defined]
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        return getattr(node, "_detlint_parent", None)
+
+    def ancestors(self, node: ast.AST) -> Iterable[ast.AST]:
+        current = self.parent(node)
+        while current is not None:
+            yield current
+            current = self.parent(current)
+
+    def enclosing_function(self, node: ast.AST) -> Optional[ast.AST]:
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                return ancestor
+        return None
+
+    def enclosing_def(self, node: ast.AST) -> Optional[ast.AST]:
+        """Nearest enclosing named function (lambdas are skipped over)."""
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return ancestor
+        return None
+
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.source_lines):
+            return self.source_lines[lineno - 1]
+        return ""
+
+    def _collect_aliases(self, tree: ast.Module) -> Dict[str, str]:
+        """Map local names to dotted module paths (imports + simple assigns)."""
+        aliases: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for name in node.names:
+                    local = name.asname or name.name.split(".")[0]
+                    aliases[local] = name.name if name.asname else name.name.split(".")[0]
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for name in node.names:
+                    if name.name == "*":
+                        continue
+                    aliases[name.asname or name.name] = f"{node.module}.{name.name}"
+        # One extra pass for ``r = random``-style module re-binding; values
+        # must resolve to a tracked module head to count.
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if not isinstance(target, ast.Name):
+                    continue
+                resolved = self._resolve_with(aliases, node.value)
+                if resolved and resolved.split(".")[0] in TRACKED_MODULE_HEADS:
+                    aliases[target.id] = resolved
+        return aliases
+
+    def _resolve_with(self, aliases: Dict[str, str], node: ast.AST) -> Optional[str]:
+        if isinstance(node, ast.Name):
+            return aliases.get(node.id)
+        if isinstance(node, ast.Attribute):
+            base = self._resolve_with(aliases, node.value)
+            if base is None:
+                return None
+            return f"{base}.{node.attr}"
+        return None
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Dotted path of a Name/Attribute chain through the alias map.
+
+        ``import numpy as np`` + ``np.random.shuffle`` -> ``numpy.random.shuffle``.
+        Returns ``None`` for anything that is not a resolvable chain.
+        """
+        return self._resolve_with(self.aliases, node)
+
+    def is_builtin_name(self, name: str) -> bool:
+        """True when ``name`` still refers to the builtin (never rebound)."""
+        if name in self.aliases:
+            return False
+        for node in ast.walk(self.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                if node.name == name:
+                    return False
+            elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+                if node.id == name:
+                    return False
+        return True
+
+
+def _comment_tokens(source: str) -> List[Tuple[int, str]]:
+    """``(line, text)`` for every comment token; strings never match."""
+    comments: List[Tuple[int, str]] = []
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(source).readline):
+            if token.type == tokenize.COMMENT:
+                comments.append((token.start[0], token.string))
+    except (tokenize.TokenError, IndentationError):  # pragma: no cover - ast parsed already
+        pass
+    return comments
+
+
+def parse_pragmas(source: str) -> Tuple[List[Pragma], List[Tuple[int, str]]]:
+    """Extract pragmas; also return ``(line, message)`` for malformed ones."""
+    pragmas: List[Pragma] = []
+    bad: List[Tuple[int, str]] = []
+    for lineno, text in _comment_tokens(source):
+        if "detlint" not in text:
+            continue
+        match = PRAGMA_RE.search(text)
+        if match is None:
+            if re.search(r"#\s*detlint\s*:", text):
+                bad.append((lineno, "malformed detlint pragma (expected 'disable=DET00X -- why')"))
+            continue
+        rules = tuple(part.strip() for part in match.group("rules").split(",") if part.strip())
+        unknown = [rule for rule in rules if not re.fullmatch(r"DET\d{3}", rule)]
+        if unknown:
+            bad.append((lineno, f"unknown rule id(s) in pragma: {', '.join(unknown)}"))
+            continue
+        justification = (match.group("why") or "").strip()
+        if not justification:
+            bad.append((lineno, "detlint pragma without justification ('-- <why>' is required)"))
+            continue
+        pragmas.append(Pragma(match.group("kind"), rules, justification, lineno))
+    return pragmas, bad
+
+
+def _fingerprint(rule: str, relpath: str, line_text: str, occurrence: int) -> str:
+    payload = f"{rule}\x00{relpath}\x00{line_text.strip()}\x00{occurrence}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def assign_fingerprints(
+    relpath: str,
+    findings: List[Finding],
+    line_of: Dict[int, str],
+) -> List[Finding]:
+    """Attach content-based fingerprints that survive unrelated line drift.
+
+    The returned list is aligned with the input order; occurrence indexes
+    (disambiguating identical source lines) are assigned in source order.
+    """
+    seen: Dict[Tuple[str, str], int] = {}
+    out: List[Optional[Finding]] = [None] * len(findings)
+    order = sorted(range(len(findings)), key=lambda i: findings[i].sort_key())
+    for index in order:
+        finding = findings[index]
+        text = line_of.get(finding.line, "")
+        bucket = (finding.rule, text.strip())
+        occurrence = seen.get(bucket, 0)
+        seen[bucket] = occurrence + 1
+        out[index] = Finding(
+            rule=finding.rule,
+            path=relpath,
+            line=finding.line,
+            col=finding.col,
+            message=finding.message,
+            fingerprint=_fingerprint(finding.rule, relpath, text, occurrence),
+        )
+    return [finding for finding in out if finding is not None]
+
+
+def analyze_file(
+    path: Path,
+    relpath: str,
+    rules: Optional[Sequence] = None,
+) -> FileResult:
+    """Run every applicable rule over one file and fold in pragmas."""
+    from repro.analysis.rules import RULES
+
+    active_rules = RULES if rules is None else rules
+    result = FileResult(path=relpath)
+    try:
+        source = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        result.findings.append(
+            Finding("DET000", relpath, 1, 0, f"unreadable file: {exc}", "")
+        )
+        result.findings = assign_fingerprints(relpath, result.findings, {})
+        return result
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        result.findings.append(
+            Finding("DET000", relpath, exc.lineno or 1, 0, f"syntax error: {exc.msg}", "")
+        )
+        result.findings = assign_fingerprints(
+            relpath, result.findings, dict(enumerate(source.splitlines(), start=1))
+        )
+        return result
+
+    ctx = FileContext(relpath, source, tree)
+    raw: List[Finding] = []
+    for rule in active_rules:
+        if not rule.applies(ctx):
+            continue
+        for line, col, message in rule.check(ctx):
+            raw.append(Finding(rule.id, relpath, line, col, message, ""))
+
+    pragmas, bad_pragmas = parse_pragmas(source)
+    for lineno, message in bad_pragmas:
+        raw.append(Finding("DET000", relpath, lineno, 0, message, ""))
+
+    # Partition first (so pragma bookkeeping happens on un-fingerprinted
+    # findings), but fingerprint the *combined* set: suppressing one of two
+    # identical findings must not renumber the other's occurrence index.
+    partition: List[Tuple[Finding, Optional[Pragma]]] = []
+    for finding in raw:
+        pragma = None
+        if finding.rule != "DET000":
+            pragma = _matching_pragma(pragmas, finding)
+            if pragma is not None:
+                pragma.used = True
+        partition.append((finding, pragma))
+
+    for pragma in pragmas:
+        if not pragma.used:
+            partition.append(
+                (
+                    Finding(
+                        "DET000",
+                        relpath,
+                        pragma.line,
+                        0,
+                        f"unused suppression for {', '.join(pragma.rules)} (nothing to silence)",
+                        "",
+                    ),
+                    None,
+                )
+            )
+
+    line_of = dict(enumerate(ctx.source_lines, start=1))
+    fingerprinted = assign_fingerprints(relpath, [f for f, _ in partition], line_of)
+    for final, (_, pragma) in zip(fingerprinted, partition, strict=True):
+        if pragma is None:
+            result.findings.append(final)
+        else:
+            result.suppressed.append(Suppression(final, pragma.justification))
+    result.findings.sort(key=Finding.sort_key)
+    return result
+
+
+def _matching_pragma(pragmas: Sequence[Pragma], finding: Finding) -> Optional[Pragma]:
+    for pragma in pragmas:
+        if finding.rule not in pragma.rules:
+            continue
+        if pragma.kind == "disable" and pragma.line == finding.line:
+            return pragma
+        if pragma.kind == "disable-next" and pragma.line == finding.line - 1:
+            return pragma
+        if pragma.kind == "disable-file":
+            return pragma
+    return None
+
+
+def iter_python_files(paths: Sequence[Path], include_fixtures: bool = False) -> List[Path]:
+    """Deterministically ordered ``.py`` files under the given paths."""
+    out: List[Path] = []
+    for base in paths:
+        if base.is_file():
+            candidates = [base]
+        else:
+            candidates = sorted(base.rglob("*.py"))
+        for candidate in candidates:
+            parts = candidate.parts
+            if any(segment in parts for segment in EXCLUDED_SEGMENTS):
+                continue
+            if not include_fixtures and _in_fixture_corpus(parts):
+                continue
+            out.append(candidate)
+    return out
+
+
+def _in_fixture_corpus(parts: Tuple[str, ...]) -> bool:
+    for index in range(len(parts) - 1):
+        if parts[index : index + 2] == FIXTURE_MARKER:
+            return True
+    return False
+
+
+def check_paths(
+    paths: Sequence,
+    root: Optional[Path] = None,
+    include_fixtures: bool = False,
+    rules: Optional[Sequence] = None,
+) -> CheckResult:
+    """Analyze every python file under ``paths``; the public entry point."""
+    root = Path.cwd() if root is None else Path(root)
+    bases = [Path(p) if Path(p).is_absolute() else root / p for p in paths]
+    result = CheckResult(root=str(root), paths=[str(p) for p in paths])
+    for path in iter_python_files(bases, include_fixtures=include_fixtures):
+        try:
+            relpath = path.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            relpath = path.as_posix()
+        file_result = analyze_file(path, relpath, rules=rules)
+        result.files_scanned += 1
+        result.findings.extend(file_result.findings)
+        result.suppressed.extend(file_result.suppressed)
+    result.findings.sort(key=Finding.sort_key)
+    result.suppressed.sort(key=lambda s: s.finding.sort_key())
+    return result

@@ -6,11 +6,11 @@
 """
 
 from repro.apps.transactions import (
-    TransactionWorkloadConfig,
-    TransactionClient,
     NetChainTransactionClient,
-    ZooKeeperTransactionClient,
+    TransactionClient,
     TransactionStats,
+    TransactionWorkloadConfig,
+    ZooKeeperTransactionClient,
 )
 
 __all__ = [

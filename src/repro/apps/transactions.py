@@ -28,8 +28,8 @@ import random
 from dataclasses import dataclass, field
 from typing import List
 
+from repro.baselines.zk_client import ZkResult, ZooKeeperClient
 from repro.core.client import KVClient, KVResult
-from repro.baselines.zk_client import ZooKeeperClient, ZkResult
 from repro.netsim.stats import IntervalCounter
 
 

@@ -10,27 +10,15 @@
   protocol of Figure 1(a), used for the message-count comparison.
 """
 
+from repro.baselines.chain_server import ServerChainCluster, ServerChainKVClient, ServerChainReplica
 from repro.baselines.data_tree import DataTree, Znode, ZnodeError
+from repro.baselines.primary_backup import PrimaryBackupCluster, PrimaryBackupKVClient
+from repro.baselines.zk_client import ZkLock, ZkResult, ZooKeeperClient, ZooKeeperKVClient
 from repro.baselines.zookeeper import (
     ZooKeeperConfig,
-    ZooKeeperServer,
     ZooKeeperEnsemble,
+    ZooKeeperServer,
     build_zookeeper_ensemble,
-)
-from repro.baselines.zk_client import (
-    ZooKeeperClient,
-    ZooKeeperKVClient,
-    ZkLock,
-    ZkResult,
-)
-from repro.baselines.chain_server import (
-    ServerChainCluster,
-    ServerChainKVClient,
-    ServerChainReplica,
-)
-from repro.baselines.primary_backup import (
-    PrimaryBackupCluster,
-    PrimaryBackupKVClient,
 )
 
 __all__ = [

@@ -17,7 +17,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.baselines.server_kv import ServerBaselineKVClient
 from repro.netsim.host import Host
-from repro.netsim.tcp import TcpConnection, TcpConfig, TcpEndpoint
+from repro.netsim.tcp import TcpConfig, TcpConnection, TcpEndpoint
 
 _request_ids = itertools.count(1)
 _client_ids = itertools.count(1)
@@ -212,7 +212,7 @@ class ServerChainCluster:
         self.message_bytes = message_bytes
         self.replicas = [ServerChainReplica(i, host, message_bytes)
                          for i, host in enumerate(hosts)]
-        for left, right in zip(self.replicas, self.replicas[1:]):
+        for left, right in zip(self.replicas, self.replicas[1:], strict=False):
             conn = TcpConnection(left.host, right.host, config=self.tcp_config)
             left.connect_next(conn.endpoint(left.host))
             right_endpoint = conn.endpoint(right.host)

@@ -15,7 +15,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.baselines.server_kv import ServerBaselineKVClient
 from repro.netsim.host import Host
-from repro.netsim.tcp import TcpConnection, TcpConfig, TcpEndpoint
+from repro.netsim.tcp import TcpConfig, TcpConnection, TcpEndpoint
 
 _request_ids = itertools.count(1)
 _client_ids = itertools.count(1)

@@ -28,6 +28,7 @@ from repro.baselines.data_tree import ERR_NO_NODE, ERR_VERSION_MISMATCH
 from repro.baselines.zookeeper import ZooKeeperEnsemble, ZooKeeperServer
 from repro.core.client import KVClient, KVFuture, KVResult, KVTimeout, _raw_key
 from repro.netsim.host import Host
+from repro.netsim.node import stable_name_seed
 from repro.netsim.tcp import TcpConnection
 
 
@@ -56,7 +57,7 @@ class ZooKeeperClient:
         self.ensemble = ensemble
         if server_id is None:
             live = ensemble.live_servers()
-            server_id = live[hash(host.name) % len(live)].server_id
+            server_id = live[stable_name_seed(host.name) % len(live)].server_id
         self.server: ZooKeeperServer = ensemble.servers[server_id]
         self.session_id = ensemble.allocate_session()
         self._conn = TcpConnection(host, self.server.host, config=ensemble.config.tcp)

@@ -29,7 +29,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.baselines.data_tree import DataTree, ZnodeError
 from repro.netsim.host import Host
-from repro.netsim.tcp import TcpConnection, TcpConfig, TcpEndpoint
+from repro.netsim.tcp import TcpConfig, TcpConnection, TcpEndpoint
 
 _session_ids = itertools.count(1)
 
@@ -242,7 +242,7 @@ class ZooKeeperServer:
         self._proposals[zxid] = {"txn": txn, "origin": origin, "acks": {self.server_id}}
         proposal = {"kind": "proposal", "zxid": zxid, "txn": txn, "origin": origin}
         self.proposals_sent += 1
-        for peer_id, endpoint in self.peers.items():
+        for endpoint in self.peers.values():
             self._send(endpoint, proposal)
         # The leader logs the proposal too (group commit latency) before its
         # own ACK counts -- modelled by delaying the quorum check.

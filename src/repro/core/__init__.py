@@ -22,35 +22,25 @@ from:
   detection, self-tuning chain widening, epoch-invalidated client caching.
 """
 
-from repro.core.protocol import OpCode, QueryStatus, NetChainHeader
+from repro.core.agent import AgentConfig, NetChainAgent, QueryResult, QueryTimeout
 from repro.core.client import (
+    KVBatch,
     KVClient,
     KVFuture,
     KVResult,
     KVSession,
-    KVBatch,
     KVTimeout,
-    gather,
     first,
+    gather,
 )
-from repro.core.kvstore import SwitchKVStore, KVStoreConfig, StoreFullError
-from repro.core.ring import ConsistentHashRing, VirtualNode
-from repro.core.switch_program import NetChainSwitchProgram
-from repro.core.agent import NetChainAgent, AgentConfig, QueryResult, QueryTimeout
-from repro.core.controller import NetChainController, ControllerConfig, ChainInfo
+from repro.core.cluster import ClusterConfig, NetChainCluster
+from repro.core.controller import ChainInfo, ControllerConfig, NetChainController
 from repro.core.coordination import (
-    DistributedLock,
-    LockManager,
     Barrier,
     ConfigurationStore,
+    DistributedLock,
     GroupMembership,
-)
-from repro.core.invariants import (
-    check_chain_invariant,
-    check_value_agreement,
-    invariant_observer,
-    sample_chain_invariants,
-    ClientObservationChecker,
+    LockManager,
 )
 from repro.core.detector import DetectorConfig, FailureDetector
 from repro.core.history import (
@@ -60,16 +50,6 @@ from repro.core.history import (
     RecordingClient,
     check_linearizable,
 )
-from repro.core.cluster import NetChainCluster, ClusterConfig
-from repro.core.reconfig import (
-    MigrationCoordinator,
-    MigrationPlan,
-    MigrationReport,
-    ReconfigConfig,
-    ReconfigPlanner,
-    migrate,
-)
-from repro.core.hybrid import HybridStore, HybridPolicy, HybridKVClient
 from repro.core.hotkeys import (
     ClientReadCache,
     HotKeyManager,
@@ -78,6 +58,26 @@ from repro.core.hotkeys import (
     HotRoute,
     SketchConfig,
 )
+from repro.core.hybrid import HybridKVClient, HybridPolicy, HybridStore
+from repro.core.invariants import (
+    ClientObservationChecker,
+    check_chain_invariant,
+    check_value_agreement,
+    invariant_observer,
+    sample_chain_invariants,
+)
+from repro.core.kvstore import KVStoreConfig, StoreFullError, SwitchKVStore
+from repro.core.protocol import NetChainHeader, OpCode, QueryStatus
+from repro.core.reconfig import (
+    MigrationCoordinator,
+    MigrationPlan,
+    MigrationReport,
+    ReconfigConfig,
+    ReconfigPlanner,
+    migrate,
+)
+from repro.core.ring import ConsistentHashRing, VirtualNode
+from repro.core.switch_program import NetChainSwitchProgram
 
 __all__ = [
     "KVClient",

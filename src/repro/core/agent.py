@@ -339,7 +339,9 @@ class NetChainAgent(KVClient):
                                     created_at=pending.created_at)
         if pending.trace_id:
             packet.trace_id = pending.trace_id
-            self.telemetry.query_tx(self, pending, dst_ip)
+            tel = self.telemetry
+            if tel is not None:
+                tel.query_tx(self, pending, dst_ip)
         self.host.send(packet)
         pending.timer = self.sim.schedule(
             self.config.retry_timeout, self._on_timeout, pending.query_id)

@@ -110,6 +110,16 @@ class History:
         self.sim = sim
         self.ops: List[HistoryOp] = []
         self._ids = itertools.count()
+        self._anonymous_clients = itertools.count(1)
+
+    def anonymous_client_name(self) -> str:
+        """A deterministic name for a client that did not pick one.
+
+        Names derived from ``id()`` differ between processes, which makes
+        recorded histories of identical runs diff dirty; a per-history
+        counter is stable across replays.
+        """
+        return f"client-{next(self._anonymous_clients):04d}"
 
     # -- recording ------------------------------------------------------- #
 
@@ -226,7 +236,7 @@ class RecordingClient(KVClient):
         self.history = history
         self.sim = inner.sim
         self.backend = inner.backend
-        self.name = name or f"client-{id(inner) & 0xFFFF:04x}"
+        self.name = name or history.anonymous_client_name()
 
     def _recorded(self, op: str, key, future: KVFuture, value=None,
                   expected=None) -> KVFuture:

@@ -144,7 +144,7 @@ class HotKeySketch:
         """Count one (or ``count``) occurrences; returns the new estimate."""
         width = self.config.width
         estimate = None
-        for salt, row in zip(self._salts, self._rows):
+        for salt, row in zip(self._salts, self._rows, strict=True):
             index = zlib.crc32(key, salt) % width
             value = row[index] + count
             row[index] = value
@@ -158,7 +158,7 @@ class HotKeySketch:
         """Current estimate for ``key`` (an over-estimate, never under)."""
         width = self.config.width
         estimate = None
-        for salt, row in zip(self._salts, self._rows):
+        for salt, row in zip(self._salts, self._rows, strict=True):
             value = row[zlib.crc32(key, salt) % width]
             if estimate is None or value < estimate:
                 estimate = value
@@ -222,7 +222,7 @@ class HotKeySketch:
         estimate = self.estimate(key)
         if estimate:
             width = self.config.width
-            for salt, row in zip(self._salts, self._rows):
+            for salt, row in zip(self._salts, self._rows, strict=True):
                 index = zlib.crc32(key, salt) % width
                 value = row[index] - estimate
                 row[index] = value if value > 0 else 0

@@ -59,7 +59,7 @@ def check_chain_invariant(stores: Sequence[SwitchKVStore], keys: Iterable,
     for key in keys:
         versions = chain_versions(stores, key)
         present = [(i, v) for i, v in enumerate(versions) if v is not None]
-        for (i, vi), (j, vj) in zip(present, present[1:]):
+        for (i, vi), (j, vj) in zip(present, present[1:], strict=False):
             if vi < vj:
                 message = (f"Invariant 1 violated for key {key!r}: "
                            f"position {i} has version {vi} < position {j} version {vj}")

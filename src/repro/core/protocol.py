@@ -43,8 +43,8 @@ from repro.netsim.packet import (
     IPv4Header,
     Packet,
     UDPHeader,
-    ip_to_int,
     int_to_ip,
+    ip_to_int,
 )
 
 #: Fixed key width used by the prototype (Section 7: 16-byte keys).

@@ -33,12 +33,12 @@ from typing import Dict, List, Optional, Set
 from repro.core.kvstore import SwitchKVStore
 from repro.core.protocol import (
     NETCHAIN_UDP_PORT,
-    NetChainHeader,
-    OpCode,
-    QueryStatus,
     REPLY_FOR,
     REPLY_OPS,
     REQUEST_OPS,
+    NetChainHeader,
+    OpCode,
+    QueryStatus,
     make_clean,
 )
 from repro.netsim.node import Port

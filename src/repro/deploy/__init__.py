@@ -19,7 +19,13 @@ Every future workload/backend combination is a config change, not a new
 builder.
 """
 
-from repro.deploy.spec import DeploymentSpec
+from repro.deploy.backends import (
+    HybridDeployment,
+    NetChainDeployment,
+    PrimaryBackupDeployment,
+    ServerChainDeployment,
+    ZooKeeperDeployment,
+)
 from repro.deploy.base import (
     Backend,
     Capabilities,
@@ -29,19 +35,8 @@ from repro.deploy.base import (
     get_backend,
     register_backend,
 )
-from repro.deploy.backends import (
-    HybridDeployment,
-    NetChainDeployment,
-    PrimaryBackupDeployment,
-    ServerChainDeployment,
-    ZooKeeperDeployment,
-)
-from repro.deploy.scenario import (
-    ScenarioChecks,
-    ScenarioResult,
-    WorkloadSpec,
-    run_scenario,
-)
+from repro.deploy.scenario import ScenarioChecks, ScenarioResult, WorkloadSpec, run_scenario
+from repro.deploy.spec import DeploymentSpec
 
 __all__ = [
     "DeploymentSpec",

@@ -30,11 +30,7 @@ from typing import Dict, List, Optional
 from repro.baselines.chain_server import ServerChainCluster
 from repro.baselines.primary_backup import PrimaryBackupCluster
 from repro.baselines.zk_client import ZooKeeperClient, ZooKeeperKVClient
-from repro.baselines.zookeeper import (
-    ZooKeeperConfig,
-    ZooKeeperEnsemble,
-    build_zookeeper_ensemble,
-)
+from repro.baselines.zookeeper import ZooKeeperConfig, ZooKeeperEnsemble, build_zookeeper_ensemble
 from repro.core.client import KVClient
 from repro.core.cluster import ClusterConfig, NetChainCluster
 from repro.core.hybrid import DictBackend, HybridKVClient, HybridPolicy, HybridStore
@@ -45,11 +41,7 @@ from repro.netsim.faults import FaultInjector
 from repro.netsim.host import HostConfig
 from repro.netsim.link import LinkConfig
 from repro.netsim.topology import Topology, build_testbed
-from repro.perfmodel.devices import (
-    KERNEL_STACK_DELAY,
-    ZOOKEEPER_COMMIT_DELAY,
-    scaled_testbed,
-)
+from repro.perfmodel.devices import KERNEL_STACK_DELAY, ZOOKEEPER_COMMIT_DELAY, scaled_testbed
 
 #: Message-processing capacity used for the ZooKeeper servers, calibrated to
 #: the measured ensemble throughput (see repro.baselines.zookeeper).

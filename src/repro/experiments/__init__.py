@@ -16,22 +16,11 @@ from repro.deploy import (
     build_deployment,
     run_scenario,
 )
-from repro.experiments.setup import (
-    NetChainDeployment,
-    ZooKeeperDeployment,
-    build_netchain_deployment,
-    build_zookeeper_deployment,
-)
-from repro.experiments.throughput import (
-    ThroughputResult,
-    netchain_throughput,
-    zookeeper_throughput,
-    netchain_max_throughput_qps,
-)
-from repro.experiments.latency import (
-    LatencyPoint,
-    netchain_latency_curve,
-    zookeeper_latency_curve,
+from repro.experiments.elasticity import (
+    ElasticityTimeline,
+    ReconfigScenarioResult,
+    elasticity_experiment,
+    run_reconfig_scenario,
 )
 from repro.experiments.failures import (
     FailureTimeline,
@@ -39,19 +28,26 @@ from repro.experiments.failures import (
     failure_experiment,
     run_fault_scenario,
 )
-from repro.experiments.elasticity import (
-    ElasticityTimeline,
-    ReconfigScenarioResult,
-    elasticity_experiment,
-    run_reconfig_scenario,
+from repro.experiments.latency import LatencyPoint, netchain_latency_curve, zookeeper_latency_curve
+from repro.experiments.scalability import scalability_experiment
+from repro.experiments.setup import (
+    NetChainDeployment,
+    ZooKeeperDeployment,
+    build_netchain_deployment,
+    build_zookeeper_deployment,
+)
+from repro.experiments.tables import table1
+from repro.experiments.throughput import (
+    ThroughputResult,
+    netchain_max_throughput_qps,
+    netchain_throughput,
+    zookeeper_throughput,
 )
 from repro.experiments.transactions import (
     TransactionResult,
     netchain_transactions,
     zookeeper_transactions,
 )
-from repro.experiments.scalability import scalability_experiment
-from repro.experiments.tables import table1
 
 __all__ = [
     "DeploymentSpec",

@@ -21,12 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
-from repro.deploy import (
-    DeploymentSpec,
-    NetChainDeployment,
-    ZooKeeperDeployment,
-    build_deployment,
-)
+from repro.deploy import DeploymentSpec, NetChainDeployment, ZooKeeperDeployment, build_deployment
 from repro.perfmodel.devices import TOFINO
 from repro.workloads.clients import LoadClient, measure_load
 from repro.workloads.generators import KeyValueWorkload, WorkloadConfig

@@ -16,26 +16,15 @@ The main entry points are:
   (Figure 8) and for spine-leaf fabrics (Section 8.3).
 """
 
-from repro.netsim.engine import Simulator, Event
-from repro.netsim.packet import (
-    Packet,
-    EthernetHeader,
-    IPv4Header,
-    UDPHeader,
-    NETCHAIN_UDP_PORT,
-)
-from repro.netsim.link import Link, LinkConfig
-from repro.netsim.faults import (
-    FaultEvent,
-    FaultInjector,
-    FaultSchedule,
-    LinkFaultModel,
-)
-from repro.netsim.node import Node, Port
-from repro.netsim.switch import Switch, SwitchConfig
+from repro.netsim.engine import Event, Simulator
+from repro.netsim.faults import FaultEvent, FaultInjector, FaultSchedule, LinkFaultModel
 from repro.netsim.host import Host, HostConfig
-from repro.netsim.topology import Topology, build_testbed, build_spine_leaf
+from repro.netsim.link import Link, LinkConfig
+from repro.netsim.node import Node, Port
+from repro.netsim.packet import NETCHAIN_UDP_PORT, EthernetHeader, IPv4Header, Packet, UDPHeader
 from repro.netsim.routing import install_shortest_path_routes
+from repro.netsim.switch import Switch, SwitchConfig
+from repro.netsim.topology import Topology, build_spine_leaf, build_testbed
 
 __all__ = [
     "Simulator",

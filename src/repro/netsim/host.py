@@ -18,9 +18,9 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable, Dict, Optional
 
-from repro.netsim.node import Node, Port
+from repro.netsim.node import Node, Port, stable_name_seed
 from repro.netsim.packet import IPv4Header, Packet, UDPHeader
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -70,7 +70,7 @@ class Host(Node):
                  rng: Optional[random.Random] = None) -> None:
         super().__init__(sim, name, ip)
         self.config = config or HostConfig()
-        self.rng = rng or random.Random(hash(name) & 0xFFFF)
+        self.rng = rng or random.Random(stable_name_seed(name))
         self._sockets: Dict[int, PacketHandler] = {}
         self.default_handler: Optional[PacketHandler] = None
         self._tx_busy_until = 0.0

@@ -13,10 +13,10 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Optional, TYPE_CHECKING
+from typing import TYPE_CHECKING, Optional
 
-from repro.netsim.packet import IP_WIRE_OVERHEAD, Packet, UDP_WIRE_OVERHEAD
 from repro.netsim.node import Port
+from repro.netsim.packet import IP_WIRE_OVERHEAD, UDP_WIRE_OVERHEAD, Packet
 from repro.netsim.stats import LinkStats
 
 if TYPE_CHECKING:  # pragma: no cover

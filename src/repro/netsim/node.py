@@ -8,13 +8,24 @@ after the configured delays.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, TYPE_CHECKING
+import zlib
+from typing import TYPE_CHECKING, Dict, Optional
 
 from repro.netsim.packet import Packet
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from repro.netsim.engine import Simulator
     from repro.netsim.link import Link
+
+
+def stable_name_seed(name: str) -> int:
+    """Deterministic 16-bit seed derived from a device name.
+
+    ``hash(str)`` is salted by PYTHONHASHSEED, so seeding an RNG from it
+    makes replays process-specific; CRC32 of the UTF-8 name is identical on
+    every machine and every run.
+    """
+    return zlib.crc32(name.encode("utf-8")) & 0xFFFF
 
 
 class Port:

@@ -73,7 +73,7 @@ def install_shortest_path_routes(topology: Topology,
         # graph: NetChain's failover relies on packets still flowing toward
         # the failed switch until one of its neighbours intercepts them with
         # a redirect rule (Algorithm 2).
-        for dst_name in excluded_set:
+        for dst_name in sorted(excluded_set):
             if dst_name not in full_graph or dst_name == switch_name:
                 continue
             try:

@@ -25,9 +25,9 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 from enum import Enum, auto
-from typing import Callable, Dict, List, Optional, TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
-from repro.netsim.node import Node, Port
+from repro.netsim.node import Node, Port, stable_name_seed
 from repro.netsim.packet import Packet
 from repro.netsim.registers import RegisterFile
 from repro.netsim.tables import MatchTable
@@ -96,7 +96,7 @@ class Switch(Node):
                  rng: Optional[random.Random] = None) -> None:
         super().__init__(sim, name, ip)
         self.config = config or SwitchConfig()
-        self.rng = rng or random.Random(hash(name) & 0xFFFF)
+        self.rng = rng or random.Random(stable_name_seed(name))
         #: dest-IP -> egress port, installed by the underlay routing protocol.
         self.forwarding_table: Dict[str, Port] = {}
         #: Data-plane programs, run in order on every packet.

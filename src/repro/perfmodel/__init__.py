@@ -8,21 +8,17 @@
 """
 
 from repro.perfmodel.devices import (
-    DeviceModel,
-    TOFINO,
-    NETBRICKS_SERVER,
-    ZOOKEEPER_SERVER,
     DPDK_CLIENT,
-    table1_rows,
-    scaled_switch_config,
+    NETBRICKS_SERVER,
+    TOFINO,
+    ZOOKEEPER_SERVER,
+    DeviceModel,
     scaled_dpdk_host_config,
     scaled_kernel_host_config,
+    scaled_switch_config,
+    table1_rows,
 )
-from repro.perfmodel.scalability import (
-    SpineLeafModel,
-    ScalabilityPoint,
-    scalability_sweep,
-)
+from repro.perfmodel.scalability import ScalabilityPoint, SpineLeafModel, scalability_sweep
 
 __all__ = [
     "DeviceModel",

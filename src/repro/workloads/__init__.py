@@ -8,17 +8,13 @@
   throughput measurement helpers.
 """
 
+from repro.workloads.clients import LoadClient, LoadMeasurement, measure_load
 from repro.workloads.generators import (
-    WorkloadConfig,
     KeyValueWorkload,
     Operation,
     OpType,
+    WorkloadConfig,
     zipf_probabilities,
-)
-from repro.workloads.clients import (
-    LoadClient,
-    LoadMeasurement,
-    measure_load,
 )
 
 __all__ = [

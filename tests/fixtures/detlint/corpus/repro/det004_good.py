@@ -1,0 +1,9 @@
+"""DET004 fixtures: artifact JSON with canonical key order."""
+
+import json
+
+
+def write_report(path, payload):
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, sort_keys=True)

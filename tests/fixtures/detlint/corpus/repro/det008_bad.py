@@ -1,0 +1,9 @@
+"""DET008 fixtures: process-specific identity in ordering and labels."""
+
+
+def order_servers(servers):
+    return sorted(servers, key=lambda server: hash(server.name))
+
+
+def label(obj):
+    return f"client-{id(obj):x}"

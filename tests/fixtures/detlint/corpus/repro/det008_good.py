@@ -1,0 +1,21 @@
+"""DET008 fixtures: deterministic identity; __hash__ stays allowed."""
+
+import itertools
+
+_ids = itertools.count(1)
+
+
+def order_servers(servers):
+    return sorted(servers, key=lambda server: server.name)
+
+
+def label():
+    return f"client-{next(_ids):04d}"
+
+
+class Key:
+    def __init__(self, name):
+        self.name = name
+
+    def __hash__(self):
+        return hash(self.name)

@@ -1,0 +1,15 @@
+"""DET001 fixtures: wall clock and ambient entropy in sim-scope code."""
+
+import datetime
+import os
+import time
+import uuid
+
+
+def stamp_events():
+    started = time.time()
+    deadline = time.monotonic() + 5.0
+    today = datetime.datetime.now()
+    token = uuid.uuid4()
+    noise = os.urandom(8)
+    return started, deadline, today, token, noise

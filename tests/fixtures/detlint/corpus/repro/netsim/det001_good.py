@@ -1,0 +1,10 @@
+"""DET001 fixtures: sim-time code deriving time and randomness correctly."""
+
+import random
+
+
+def stamp_events(sim, seed):
+    started = sim.now
+    rng = random.Random(seed)
+    jitter = rng.uniform(0.0, 1.0)
+    return started, jitter

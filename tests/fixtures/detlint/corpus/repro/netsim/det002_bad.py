@@ -1,0 +1,21 @@
+"""DET002 fixtures: global, unseeded or machine-specifically seeded RNGs."""
+
+import random
+
+import numpy as np
+
+
+def unseeded_everywhere():
+    rng = random.Random()
+    system = random.SystemRandom()
+    gen = np.random.default_rng()
+    np.random.shuffle([1, 2])
+    return rng, system, gen
+
+
+def machine_specific(name):
+    return random.Random(hash(name) & 0xFFFF)
+
+
+def global_plane():
+    return random.uniform(0.0, 1.0)

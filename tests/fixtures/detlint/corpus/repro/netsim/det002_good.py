@@ -1,0 +1,15 @@
+"""DET002 fixtures: explicitly seeded RNGs threaded as parameters."""
+
+import random
+
+import numpy as np
+
+
+def seeded(seed):
+    rng = random.Random(seed)
+    gen = np.random.default_rng(seed)
+    return rng.random() + float(gen.random())
+
+
+def threaded(rng):
+    return rng.uniform(0.0, 1.0)

@@ -1,0 +1,26 @@
+"""DET003 fixtures: iteration order left to hashes or the filesystem."""
+
+import glob
+import os
+from pathlib import Path
+
+NAMES = {"alpha", "beta"}
+
+
+def iterate_sets(extra):
+    for name in NAMES:
+        print(name)
+    for name in {"a", "b"} | extra:
+        print(name)
+    ordered = list({1, 2, 3})
+    combined = ",".join({"x", "y"})
+    return ordered, combined
+
+
+def scan_dirs(base):
+    for entry in os.listdir(base):
+        print(entry)
+    found = glob.glob("*.json")
+    for path in Path(base).glob("*.txt"):
+        print(path)
+    return found

@@ -1,0 +1,22 @@
+"""DET003 fixtures: pinned iteration order; membership and aggregates."""
+
+import os
+from pathlib import Path
+
+NAMES = {"alpha", "beta"}
+
+
+def iterate_sets(extra):
+    for name in sorted(NAMES):
+        print(name)
+    if "alpha" in NAMES:
+        print("member")
+    count = len(NAMES | extra)
+    ordered = sorted({1, 2, 3})
+    return count, ordered
+
+
+def scan_dirs(base):
+    for entry in sorted(os.listdir(base)):
+        print(entry)
+    return [path.name for path in sorted(Path(base).glob("*.txt"))]

@@ -1,0 +1,34 @@
+"""DET005 fixtures: __slots__ drift in plain and dataclass form."""
+
+from dataclasses import dataclass
+
+
+class Entry:
+    __slots__ = ("key", "value")
+
+    def __init__(self, key, value):
+        self.key = key
+        self.value = value
+
+    def touch(self):
+        self.dirty = True
+
+
+class WideEntry(Entry):
+    def widen(self):
+        return self
+
+
+@dataclass(slots=True)
+class Header:
+    proto: int
+    length: int
+
+    def retag(self):
+        self.checksum = 0
+
+
+def module_level():
+    entry = Entry("a", 1)
+    entry.oops = 2
+    return entry

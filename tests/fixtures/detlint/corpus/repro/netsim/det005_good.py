@@ -1,0 +1,31 @@
+"""DET005 fixtures: slots declared for every assigned attribute."""
+
+from dataclasses import dataclass
+from typing import ClassVar
+
+
+class Entry:
+    __slots__ = ("key", "value", "dirty")
+
+    def __init__(self, key, value):
+        self.key = key
+        self.value = value
+        self.dirty = False
+
+
+class WideEntry(Entry):
+    __slots__ = ("extra",)
+
+    def widen(self):
+        self.extra = 1
+
+
+@dataclass(slots=True)
+class Header:
+    MAX_LENGTH: ClassVar[int] = 64
+
+    proto: int
+    length: int
+
+    def shrink(self):
+        self.length = 0

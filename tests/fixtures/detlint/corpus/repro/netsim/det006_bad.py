@@ -1,0 +1,23 @@
+"""DET006 fixtures: per-event closures handed to the scheduler."""
+
+import functools
+
+
+class Pipeline:
+    def __init__(self, sim):
+        self.sim = sim
+
+    def process_packet(self, packet, port):
+        self.sim.call_after(0.1, lambda: self.forward(packet, port))
+
+    def forward_burst(self, packets):
+        def deliver():
+            return packets.pop()
+
+        self.sim.call_after(0.2, deliver)
+
+    def send_probe(self, probe):
+        self.sim.schedule(0.3, functools.partial(self.forward, probe, 0))
+
+    def forward(self, packet, port):
+        return packet, port

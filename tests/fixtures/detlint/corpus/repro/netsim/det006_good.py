@@ -1,0 +1,19 @@
+"""DET006 fixtures: bound callbacks with positional args; cold paths free."""
+
+
+class Pipeline:
+    def __init__(self, sim):
+        self.sim = sim
+
+    def process_packet(self, packet, port):
+        self.sim.call_after(0.1, self.forward, packet, port)
+
+    def start_recovery(self):
+        # Control-plane code fires once per failure; closures are fine here.
+        self.sim.call_after(1.0, lambda: self.rebuild())
+
+    def forward(self, packet, port):
+        return packet, port
+
+    def rebuild(self):
+        return None

@@ -1,0 +1,13 @@
+"""DET007 fixtures: telemetry calls outside the None guard."""
+
+
+class Agent:
+    def __init__(self, telemetry):
+        self.telemetry = telemetry
+
+    def retransmit(self, pending):
+        self.telemetry.query_tx(self, pending)
+
+    def observe(self, packet):
+        tel = self.telemetry
+        tel.packet_rx(packet)

@@ -1,0 +1,34 @@
+"""DET007 fixtures: every accepted guard shape for optional telemetry."""
+
+
+class Tracer:
+    def query_tx(self, agent, pending):
+        return None
+
+    def packet_rx(self, packet):
+        return None
+
+
+class Agent:
+    def __init__(self, telemetry):
+        self.telemetry = telemetry
+
+    def retransmit(self, pending):
+        tel = self.telemetry
+        if tel is not None:
+            tel.query_tx(self, pending)
+
+    def observe(self, packet):
+        tel = self.telemetry
+        if tel is None:
+            return
+        tel.packet_rx(packet)
+
+    def flush(self, packet):
+        tel = self.telemetry
+        if tel is not None and packet is not None:
+            tel.packet_rx(packet)
+
+    def attach(self):
+        self.telemetry = Tracer()
+        self.telemetry.packet_rx(None)

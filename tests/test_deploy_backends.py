@@ -11,12 +11,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core.client import KVFuture, KVResult
-from repro.deploy import (
-    DeploymentSpec,
-    available_backends,
-    build_deployment,
-    get_backend,
-)
+from repro.deploy import DeploymentSpec, available_backends, build_deployment, get_backend
 
 ALL_BACKENDS = ["hybrid", "netchain", "primary-backup", "server-chain", "zookeeper"]
 

@@ -1,0 +1,393 @@
+"""Tests for the detlint static-analysis pass (src/repro/analysis/).
+
+Three layers:
+
+* the fixture corpus under ``tests/fixtures/detlint/corpus/`` exercises every
+  rule in both directions (bad file -> findings, good file -> silence) plus
+  pragma handling and path scoping;
+* the engine pieces (fingerprints, baseline, report, CLI) are tested on
+  synthetic trees;
+* a self-check asserts the repository itself is clean against the committed
+  baseline, and regression tests pin the determinism fixes the pass found.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.baseline import BASELINE_SCHEMA, Baseline
+from repro.analysis.cli import main
+from repro.analysis.engine import check_paths
+from repro.analysis.report import REPORT_SCHEMA, build_report, dump_report
+from repro.analysis.rules import RULES, rule_ids
+from repro.core.history import History, RecordingClient
+from repro.netsim.engine import Simulator
+from repro.netsim.host import Host
+from repro.netsim.node import stable_name_seed
+from repro.netsim.switch import Switch
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+CORPUS = REPO_ROOT / "tests" / "fixtures" / "detlint" / "corpus"
+
+
+def _counts(path: Path):
+    result = check_paths([str(path)], root=REPO_ROOT, include_fixtures=True)
+    table = {}
+    for finding in result.findings:
+        table[finding.rule] = table.get(finding.rule, 0) + 1
+    return table, result
+
+
+# --------------------------------------------------------------------------- #
+# Fixture corpus: every rule, both directions.
+# --------------------------------------------------------------------------- #
+
+CORPUS_EXPECTATIONS = [
+    ("repro/netsim/det001_bad.py", {"DET001": 5}),
+    ("repro/netsim/det001_good.py", {}),
+    ("repro/netsim/det002_bad.py", {"DET002": 6, "DET008": 1}),
+    ("repro/netsim/det002_good.py", {}),
+    ("repro/netsim/det003_bad.py", {"DET003": 7}),
+    ("repro/netsim/det003_good.py", {}),
+    ("repro/det004_bad.py", {"DET004": 2}),
+    ("repro/det004_good.py", {}),
+    ("repro/netsim/det005_bad.py", {"DET005": 4}),
+    ("repro/netsim/det005_good.py", {}),
+    ("repro/netsim/det006_bad.py", {"DET006": 3}),
+    ("repro/netsim/det006_good.py", {}),
+    ("repro/netsim/det007_bad.py", {"DET007": 2}),
+    ("repro/netsim/det007_good.py", {}),
+    ("repro/det008_bad.py", {"DET008": 2}),
+    ("repro/det008_good.py", {}),
+    ("tools/out_of_scope.py", {}),
+]
+
+
+@pytest.mark.parametrize("relpath,expected", CORPUS_EXPECTATIONS)
+def test_corpus_fixture(relpath, expected):
+    table, _ = _counts(CORPUS / relpath)
+    assert table == expected
+
+
+def test_every_rule_covered_both_ways():
+    """Each non-meta rule has at least one firing and one silent fixture."""
+    firing = set()
+    for _relpath, expected in CORPUS_EXPECTATIONS:
+        firing |= set(expected)
+    assert firing >= set(rule_ids()) - {"DET000"}
+    for rule_id in sorted(set(rule_ids()) - {"DET000"}):
+        stem = rule_id.lower()
+        assert (CORPUS / "repro" / "netsim" / f"{stem}_good.py").exists() or (
+            CORPUS / "repro" / f"{stem}_good.py"
+        ).exists()
+
+
+def test_fixtures_excluded_from_normal_scans():
+    result = check_paths([str(CORPUS)], root=REPO_ROOT)
+    assert result.files_scanned == 0
+    included = check_paths([str(CORPUS)], root=REPO_ROOT, include_fixtures=True)
+    assert included.files_scanned >= len(CORPUS_EXPECTATIONS)
+
+
+# --------------------------------------------------------------------------- #
+# Pragmas.
+# --------------------------------------------------------------------------- #
+
+
+def test_pragma_fixture_behaviour():
+    table, result = _counts(CORPUS / "repro" / "pragmas.py")
+    assert table == {"DET000": 3, "DET004": 1}
+    assert len(result.suppressed) == 2
+    justifications = sorted(s.justification for s in result.suppressed)
+    assert justifications == [
+        "exercised by the next line",
+        "key order is the payload under test",
+    ]
+    messages = sorted(f.message for f in result.findings if f.rule == "DET000")
+    assert any("without justification" in m for m in messages)
+    assert any("unused suppression" in m.lower() for m in messages)
+    assert any("malformed" in m for m in messages)
+
+
+def test_pragma_in_string_literal_is_ignored(tmp_path):
+    target = tmp_path / "repro" / "doc.py"
+    target.parent.mkdir(parents=True)
+    target.write_text(
+        'TEXT = "# detlint: disable=DET004"\n'
+        "DOC = '''\n# detlint: disable-file=DET003\n'''\n",
+        encoding="utf-8",
+    )
+    result = check_paths([str(target)], root=tmp_path, include_fixtures=True)
+    assert result.findings == []
+    assert result.suppressed == []
+
+
+# --------------------------------------------------------------------------- #
+# Fingerprints.
+# --------------------------------------------------------------------------- #
+
+_WRITER = "import json\n\n\ndef save(path, payload):\n    path.write_text(json.dumps(payload))\n"
+
+
+def test_fingerprint_survives_line_drift(tmp_path):
+    first = tmp_path / "repro" / "writer.py"
+    first.parent.mkdir(parents=True)
+    first.write_text(_WRITER, encoding="utf-8")
+    drifted = "# a comment\n# another\n\n" + _WRITER
+    before = check_paths([str(first)], root=tmp_path).findings
+    first.write_text(drifted, encoding="utf-8")
+    after = check_paths([str(first)], root=tmp_path).findings
+    assert [f.rule for f in before] == [f.rule for f in after] == ["DET004"]
+    assert before[0].line != after[0].line
+    assert before[0].fingerprint == after[0].fingerprint
+
+
+def test_identical_lines_get_distinct_fingerprints(tmp_path):
+    target = tmp_path / "repro" / "writer.py"
+    target.parent.mkdir(parents=True)
+    body = "    path.write_text(json.dumps(payload))\n"
+    target.write_text("import json\n\n\ndef save(path, payload):\n" + body + body, encoding="utf-8")
+    findings = check_paths([str(target)], root=tmp_path).findings
+    assert len(findings) == 2
+    assert findings[0].fingerprint != findings[1].fingerprint
+
+
+# --------------------------------------------------------------------------- #
+# Baseline.
+# --------------------------------------------------------------------------- #
+
+
+def test_baseline_roundtrip_and_staleness(tmp_path):
+    _, result = _counts(CORPUS / "repro" / "netsim" / "det002_bad.py")
+    baseline = Baseline.from_findings(result.findings)
+    new, baselined, stale = baseline.partition(result.findings)
+    assert new == [] and len(baselined) == len(result.findings) and stale == []
+
+    path = tmp_path / "baseline.json"
+    baseline.dump(path)
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    assert payload["schema"] == BASELINE_SCHEMA
+    reloaded = Baseline.load(path)
+    new, baselined, stale = reloaded.partition(result.findings)
+    assert new == [] and stale == []
+
+    # Dropping one entry turns that finding into a new one; a leftover entry
+    # that matches nothing is reported stale.
+    fingerprint = result.findings[0].fingerprint
+    del reloaded.entries[fingerprint]
+    reloaded.entries["deadbeefdeadbeef"] = {"fingerprint": "deadbeefdeadbeef"}
+    new, baselined, stale = reloaded.partition(result.findings)
+    assert [f.fingerprint for f in new] == [fingerprint]
+    assert [entry["fingerprint"] for entry in stale] == ["deadbeefdeadbeef"]
+
+
+def test_baseline_rejects_wrong_schema(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps({"schema": "bogus/v9", "entries": []}), encoding="utf-8")
+    with pytest.raises(ValueError):
+        Baseline.load(path)
+
+
+# --------------------------------------------------------------------------- #
+# Report.
+# --------------------------------------------------------------------------- #
+
+
+def test_report_schema_and_determinism():
+    _, result = _counts(CORPUS / "repro" / "pragmas.py")
+    new, baselined, stale = Baseline().partition(result.findings)
+    report = build_report(result, new, baselined, stale, None)
+    assert report["schema"] == REPORT_SCHEMA
+    assert report["ok"] is False
+    assert report["counts"]["DET004"] == 1
+    assert {f["rule"] for f in report["findings"]} == {"DET000", "DET004"}
+    assert all(s["justification"] for s in report["suppressed"])
+    assert dump_report(report) == dump_report(build_report(result, new, baselined, stale, None))
+
+
+# --------------------------------------------------------------------------- #
+# CLI.
+# --------------------------------------------------------------------------- #
+
+
+def test_cli_check_fails_on_corpus_and_reports_json(capsys):
+    code = main(
+        [
+            "check",
+            str(CORPUS),
+            "--root",
+            str(REPO_ROOT),
+            "--include-fixtures",
+            "--no-baseline",
+            "--format",
+            "json",
+        ]
+    )
+    assert code == 1
+    report = json.loads(capsys.readouterr().out)
+    assert report["schema"] == REPORT_SCHEMA
+    assert report["ok"] is False
+    assert report["counts"]["DET001"] == 5
+
+
+def test_cli_check_passes_on_good_file(capsys):
+    code = main(
+        [
+            "check",
+            str(CORPUS / "repro" / "netsim" / "det001_good.py"),
+            "--root",
+            str(REPO_ROOT),
+            "--include-fixtures",
+            "--no-baseline",
+        ]
+    )
+    assert code == 0
+    assert "0 finding(s)" in capsys.readouterr().out
+
+
+def test_cli_baseline_then_check_is_clean(tmp_path, capsys):
+    baseline_path = tmp_path / "baseline.json"
+    assert (
+        main(
+            [
+                "baseline",
+                str(CORPUS),
+                "--root",
+                str(REPO_ROOT),
+                "--include-fixtures",
+                "-o",
+                str(baseline_path),
+            ]
+        )
+        == 0
+    )
+    code = main(
+        [
+            "check",
+            str(CORPUS),
+            "--root",
+            str(REPO_ROOT),
+            "--include-fixtures",
+            "--baseline",
+            str(baseline_path),
+        ]
+    )
+    capsys.readouterr()
+    assert code == 0
+
+
+def test_cli_explain(capsys):
+    assert main(["explain", "DET003"]) == 0
+    out = capsys.readouterr().out
+    assert "DET003" in out and "sorted" in out
+    assert main(["explain", "DET999"]) == 2
+
+
+def test_cli_summary_markdown(capsys):
+    code = main(
+        [
+            "check",
+            str(CORPUS / "repro" / "pragmas.py"),
+            "--root",
+            str(REPO_ROOT),
+            "--include-fixtures",
+            "--no-baseline",
+            "--summary",
+        ]
+    )
+    assert code == 1
+    out = capsys.readouterr().out
+    assert out.startswith("## detlint")
+    assert "| DET004 |" in out
+
+
+# --------------------------------------------------------------------------- #
+# Self-checks: the repository obeys its own rules.
+# --------------------------------------------------------------------------- #
+
+
+def test_repository_is_clean_against_committed_baseline():
+    result = check_paths(["src", "benchmarks", "tests"], root=REPO_ROOT)
+    baseline_path = REPO_ROOT / "analysis" / "baseline.json"
+    baseline = Baseline.load(baseline_path) if baseline_path.exists() else Baseline()
+    new, _, stale = baseline.partition(result.findings)
+    assert new == [], "\n".join(f"{f.location()}: {f.rule}: {f.message}" for f in new)
+    assert stale == [], "stale baseline entries; re-run 'python -m repro.analysis baseline'"
+
+
+def test_analyzer_is_clean_on_itself():
+    result = check_paths(["src/repro/analysis"], root=REPO_ROOT)
+    assert result.findings == [] and result.suppressed == []
+    assert result.files_scanned >= 6
+
+
+def test_rule_metadata_complete():
+    for rule in RULES:
+        assert rule.id.startswith("DET") and len(rule.id) == 6
+        assert rule.title and rule.summary and rule.rationale
+        assert rule.scope_doc()
+
+
+# --------------------------------------------------------------------------- #
+# Regression tests for the determinism fixes detlint found.
+# --------------------------------------------------------------------------- #
+
+
+def test_stable_name_seed_is_hashseed_independent():
+    code = (
+        "from repro.netsim.node import stable_name_seed\n"
+        "print(stable_name_seed('spine-3'), stable_name_seed('client-7'))\n"
+    )
+    outputs = set()
+    for hashseed in ("0", "1", "424242"):
+        env = dict(os.environ, PYTHONHASHSEED=hashseed)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        proc = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=str(REPO_ROOT),
+            check=True,
+        )
+        outputs.add(proc.stdout)
+    assert len(outputs) == 1
+
+
+def test_default_device_rngs_replay_per_name():
+    streams = []
+    for _ in range(2):
+        sim = Simulator()
+        host = Host(sim, "host-1", "10.0.0.1")
+        switch = Switch(sim, "tor-1", "10.1.0.1")
+        streams.append(
+            [host.rng.random() for _ in range(3)] + [switch.rng.random() for _ in range(3)]
+        )
+    assert streams[0] == streams[1]
+    assert Host(Simulator(), "host-2", "10.0.0.2").rng.random() != streams[0][0]
+
+
+class _StubSim:
+    now = 0.0
+
+
+class _StubClient:
+    def __init__(self):
+        self.sim = _StubSim()
+        self.backend = "stub"
+
+
+def test_recording_client_anonymous_names_are_deterministic():
+    history = History(_StubSim())
+    first = RecordingClient(_StubClient(), history)
+    second = RecordingClient(_StubClient(), history)
+    named = RecordingClient(_StubClient(), history, name="loader-0")
+    assert first.name == "client-0001"
+    assert second.name == "client-0002"
+    assert named.name == "loader-0"
+    other = History(_StubSim())
+    assert RecordingClient(_StubClient(), other).name == "client-0001"

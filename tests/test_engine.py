@@ -155,7 +155,7 @@ def test_periodic_process_with_jitter_stays_positive():
     sim.every(1.0, lambda: ticks.append(sim.now), jitter=0.5, rng=rng)
     sim.run(until=10.0)
     assert len(ticks) >= 6
-    assert all(b > a for a, b in zip(ticks, ticks[1:]))
+    assert all(b > a for a, b in zip(ticks, ticks[1:], strict=False))
 
 
 # --------------------------------------------------------------------- #

@@ -8,13 +8,8 @@ must be rejected.
 
 from __future__ import annotations
 
-
 from repro.core.client import KVResult
-from repro.core.history import (
-    History,
-    RecordingClient,
-    check_linearizable,
-)
+from repro.core.history import History, RecordingClient, check_linearizable
 from tests.conftest import make_cluster
 
 

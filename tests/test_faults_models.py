@@ -8,12 +8,7 @@ import random
 import pytest
 
 from repro.core.detector import DetectorConfig, FailureDetector
-from repro.netsim.faults import (
-    FaultInjector,
-    FaultSchedule,
-    LinkFaultModel,
-    derive_rng,
-)
+from repro.netsim.faults import FaultInjector, FaultSchedule, LinkFaultModel, derive_rng
 from repro.netsim.host import HostConfig
 from repro.netsim.link import LinkConfig
 from repro.netsim.routing import install_shortest_path_routes

@@ -31,11 +31,7 @@ from repro.core.history import (
     group_ops_by_key,
 )
 from repro.core.history_gen import generate_history
-from repro.core.history_store import (
-    HistoryStore,
-    HistoryWriter,
-    check_linearizable_streaming,
-)
+from repro.core.history_store import HistoryStore, HistoryWriter, check_linearizable_streaming
 
 _FAIL = _step(HistoryOp(op_id=0, client="", op="read", key=b"", ok=True,
                         output=b"x", returned_at=1.0), MISSING)

@@ -57,7 +57,7 @@ def test_sketch_recall_and_precision_on_skewed_stream():
     assert set(top_keys) == set(hot)
     # Precision at the hot/cold margin: estimated counts of the hot keys
     # stay within the CMS overestimate bound (small here by sizing).
-    for key, count in top[:4]:
+    for _key, count in top[:4]:
         assert 100 <= count <= 104
 
 

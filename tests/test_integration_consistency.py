@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import random
 
-
 from repro.core.invariants import (
     ClientObservationChecker,
     check_chain_invariant,

@@ -39,14 +39,14 @@ def test_chain_versions_reports_missing_keys():
 
 def test_invariant_holds_for_monotone_chain():
     stores = make_stores(3)
-    for store, seq in zip(stores, (5, 4, 3)):
+    for store, seq in zip(stores, (5, 4, 3), strict=True):
         write(store, "k", b"v", seq=seq)
     assert check_chain_invariant(stores, ["k"]) == []
 
 
 def test_invariant_violation_detected_and_raised():
     stores = make_stores(3)
-    for store, seq in zip(stores, (1, 5, 2)):
+    for store, seq in zip(stores, (1, 5, 2), strict=True):
         write(store, "k", b"v", seq=seq)
     with pytest.raises(InvariantViolation):
         check_chain_invariant(stores, ["k"])

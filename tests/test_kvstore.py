@@ -4,12 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.kvstore import (
-    KVStoreConfig,
-    StoreFullError,
-    SwitchKVStore,
-    ValueTooLargeError,
-)
+from repro.core.kvstore import KVStoreConfig, StoreFullError, SwitchKVStore, ValueTooLargeError
 from repro.netsim.engine import Simulator
 from repro.netsim.switch import Switch, SwitchConfig
 

@@ -20,18 +20,9 @@ import random
 
 from hypothesis import given, settings, strategies as st
 
-from repro.core.invariants import (
-    ClientObservationChecker,
-    check_chain_invariant,
-)
+from repro.core.invariants import ClientObservationChecker, check_chain_invariant
 from repro.core.kvstore import KVStoreConfig, SwitchKVStore
-from repro.core.protocol import (
-    OpCode,
-    QueryStatus,
-    build_query_packet,
-    make_read,
-    make_write,
-)
+from repro.core.protocol import OpCode, QueryStatus, build_query_packet, make_read, make_write
 from repro.core.switch_program import NetChainSwitchProgram, RedirectRule
 from repro.netsim.engine import Simulator
 from repro.netsim.switch import PipelineAction, Switch, SwitchConfig
@@ -83,7 +74,7 @@ class AbstractChain:
             return
         packet = self.in_flight.pop(index % len(self.in_flight))
         target = None
-        for switch, program in zip(self.switches, self.programs):
+        for switch, program in zip(self.switches, self.programs, strict=True):
             if switch.ip == packet.ip.dst_ip:
                 target = (switch, program)
                 break
@@ -98,7 +89,7 @@ class AbstractChain:
             # the failed switch's neighbours, whose failover rule intercepts
             # it (Algorithm 2).  Model that by processing the packet at the
             # first live switch instead.
-            live = [(s, p) for s, p in zip(self.switches, self.programs)
+            live = [(s, p) for s, p in zip(self.switches, self.programs, strict=True)
                     if s.name not in self.failed]
             if not live:
                 return
@@ -131,7 +122,7 @@ class AbstractChain:
             return
         self.failed.add(name)
         failed_ip = self.switches[index].ip
-        for switch, program in zip(self.switches, self.programs):
+        for switch, program in zip(self.switches, self.programs, strict=True):
             if switch.name in self.failed:
                 continue
             program.add_rule(RedirectRule(match_dst_ip=failed_ip, kind="failover",
@@ -140,7 +131,7 @@ class AbstractChain:
     # -- invariants ------------------------------------------------------ #
 
     def live_stores_in_chain_order(self):
-        return [program.kvstore for switch, program in zip(self.switches, self.programs)
+        return [program.kvstore for switch, program in zip(self.switches, self.programs, strict=True)
                 if switch.name not in self.failed]
 
 

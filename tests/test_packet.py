@@ -2,11 +2,10 @@
 
 from __future__ import annotations
 
-
 from repro.netsim.packet import (
+    JUMBO_FRAME_BYTES,
     EthernetHeader,
     IPv4Header,
-    JUMBO_FRAME_BYTES,
     Packet,
     UDPHeader,
     int_to_ip,

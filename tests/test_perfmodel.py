@@ -7,9 +7,9 @@ import pytest
 from repro.perfmodel import (
     DPDK_CLIENT,
     NETBRICKS_SERVER,
-    SpineLeafModel,
     TOFINO,
     ZOOKEEPER_SERVER,
+    SpineLeafModel,
     scalability_sweep,
     scaled_dpdk_host_config,
     scaled_kernel_host_config,
@@ -83,10 +83,10 @@ def test_scalability_sweep_matches_figure_9f_shape():
     reads = [p.read_bqps for p in points]
     writes = [p.write_bqps for p in points]
     # Both series grow monotonically with fabric size (linear scaling).
-    assert all(b > a for a, b in zip(reads, reads[1:]))
-    assert all(b > a for a, b in zip(writes, writes[1:]))
+    assert all(b > a for a, b in zip(reads, reads[1:], strict=False))
+    assert all(b > a for a, b in zip(writes, writes[1:], strict=False))
     # Reads outpace writes at every size.
-    assert all(r > w for r, w in zip(reads, writes))
+    assert all(r > w for r, w in zip(reads, writes, strict=True))
     # Roughly linear growth: the largest fabric is ~16x the smallest in size
     # and its throughput should grow by a comparable factor.
     assert reads[-1] / reads[0] > 8

@@ -5,12 +5,7 @@ from __future__ import annotations
 from hypothesis import given, settings, strategies as st
 
 from repro.core.kvstore import KVStoreConfig, SwitchKVStore
-from repro.core.protocol import (
-    NetChainHeader,
-    OpCode,
-    QueryStatus,
-    normalize_key,
-)
+from repro.core.protocol import NetChainHeader, OpCode, QueryStatus, normalize_key
 from repro.core.ring import ConsistentHashRing
 from repro.netsim.engine import Simulator
 from repro.netsim.packet import int_to_ip, ip_to_int

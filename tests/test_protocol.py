@@ -7,10 +7,10 @@ import pytest
 from repro.core.protocol import (
     KEY_BYTES,
     NETCHAIN_UDP_PORT,
+    REPLY_FOR,
     NetChainHeader,
     OpCode,
     QueryStatus,
-    REPLY_FOR,
     build_query_packet,
     make_cas,
     make_delete,

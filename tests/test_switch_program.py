@@ -12,7 +12,6 @@ makes the protocol behaviours easy to pin down:
 
 from __future__ import annotations
 
-
 from repro.core.kvstore import KVStoreConfig, SwitchKVStore
 from repro.core.protocol import (
     NetChainHeader,
@@ -67,7 +66,7 @@ def run_write_through_chain(switches, programs, key, value, start_index=0):
     header = make_write(key, value, ips)
     packet = build_query_packet(CLIENT_IP, CLIENT_PORT, ips[0], header)
     action = None
-    for switch, program in zip(switches, programs):
+    for switch, program in zip(switches, programs, strict=True):
         if packet.ip.dst_ip != switch.ip:
             continue
         action = program.process(switch, packet, None)

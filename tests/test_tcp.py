@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-
 from repro.netsim.host import HostConfig
 from repro.netsim.link import LinkConfig
 from repro.netsim.routing import install_shortest_path_routes

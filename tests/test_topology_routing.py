@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import networkx as nx
 import pytest
 
 from repro.netsim.host import Host
@@ -143,5 +144,5 @@ def test_reroute_around_failed_switch():
 def test_excluded_path_raises_when_disconnected():
     topo = build_line(3)
     install_shortest_path_routes(topo)
-    with pytest.raises(Exception):
+    with pytest.raises(nx.NetworkXNoPath):
         path_between(topo, "S0", "S2", exclude=["S1"])

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-
 from repro.apps.transactions import (
     NetChainTransactionClient,
     TransactionWorkloadConfig,

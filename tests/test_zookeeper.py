@@ -4,12 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.baselines import (
-    ZkLock,
-    ZooKeeperClient,
-    ZooKeeperConfig,
-    build_zookeeper_ensemble,
-)
+from repro.baselines import ZkLock, ZooKeeperClient, ZooKeeperConfig, build_zookeeper_ensemble
 from repro.baselines.data_tree import DataTree, ZnodeError
 from repro.netsim.host import HostConfig
 from repro.netsim.routing import install_shortest_path_routes
