@@ -159,6 +159,48 @@ def compare(old: dict, new: dict, tolerance: float, include_raw: bool = False) -
             gated=include_raw,
         )
 
+    # The scenario matrix, gated only when both reports carry the section.
+    # The cell/op counts and the grid replay digest are seed-deterministic,
+    # so they drift-gate at tolerance 0 (any change needs a deliberate
+    # baseline refresh); cells/sec follows the calibration rules.
+    old_matrix = old.get("matrix")
+    new_matrix = new.get("matrix")
+    if old_matrix and new_matrix:
+        cmp.check(
+            "matrix.cells_per_sec_calibrated",
+            old_matrix.get("cells_per_sec_calibrated"),
+            new_matrix.get("cells_per_sec_calibrated"),
+            higher_is_better=True,
+            gated=_long_enough(old_matrix, new_matrix),
+        )
+        cmp.check(
+            "matrix.cells_per_sec",
+            old_matrix.get("cells_per_sec"),
+            new_matrix.get("cells_per_sec"),
+            higher_is_better=True,
+            gated=include_raw,
+        )
+        if old_matrix.get("cells") == new_matrix.get("cells"):
+            for field in ("ok_cells", "completed_ops"):
+                old_value = old_matrix.get(field)
+                new_value = new_matrix.get(field)
+                if old_value is None or new_value is None:
+                    continue
+                delta = (new_value - old_value) / old_value if old_value else 0.0
+                drifted = old_value != new_value
+                cmp.rows.append(
+                    (f"matrix.{field}", old_value, new_value, delta, drifted, True)
+                )
+                if drifted:
+                    cmp.regressions.append(f"matrix.{field}")
+            old_digest = old_matrix.get("signature_sha256")
+            new_digest = new_matrix.get("signature_sha256")
+            if old_digest and new_digest and old_digest != new_digest:
+                cmp.rows.append(
+                    ("matrix.signature_sha256", 0.0, 1.0, 0.0, True, True)
+                )
+                cmp.regressions.append("matrix.signature_sha256")
+
     # The verification pipeline, gated (like macro_skewed) only when both
     # reports carry the section.  data_bytes is seed-deterministic: any
     # change at all means the NDJSON encoding or generator changed, which

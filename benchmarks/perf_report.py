@@ -30,6 +30,11 @@ Schema (stable; additions are allowed, renames/removals are a new version):
   spill + streaming linearizability check; reports checked-ops/sec
   (raw + calibrated), the spilled byte count and its sha256 (both
   seed-deterministic), and the subprocess peak RSS.
+* ``matrix``       -- a fixed seed x backend x fault-profile grid run
+  through :func:`repro.deploy.run_matrix` with a worker pool sized to the
+  machine: cell count, ok cells, total completed ops and the grid replay
+  digest are seed-deterministic (gated exactly); cells/sec follows the
+  usual calibration rules.
 * ``figures``      -- one timed point per figure-style workload (value
   size, write ratio, loss rate, latency, failover), each with wall clock
   and a calibrated cost (wall clock x calibration events/sec; lower is
@@ -68,6 +73,8 @@ from repro.deploy import (  # noqa: E402  (path bootstrap above)
     WorkloadSpec,
     available_backends,
     build_deployment,
+    default_matrix,
+    run_matrix,
     run_scenario,
 )
 from repro.netsim.engine import Simulator  # noqa: E402
@@ -212,6 +219,34 @@ def _figure_specs(quick: bool):
            WorkloadSpec(write_ratio=0.4, think_time=1e-3, **base))
 
 
+def _matrix_section(quick: bool, calibration_eps: float) -> dict:
+    """Run the scenario matrix through the parallel executor.
+
+    The grid itself is fixed (seeds are offsets of :data:`SEED`), so the
+    per-cell replay signatures and their merged digest are
+    seed-deterministic and gated exactly; only the wall-clock-derived
+    cells/sec varies with the machine and the worker count.
+    """
+    matrix = default_matrix(seeds=(SEED,) if quick else (SEED, SEED + 1),
+                            duration=0.15 if quick else 0.4)
+    workers = max(1, min(4, os.cpu_count() or 1))
+    report = run_matrix(matrix, workers=workers)
+    totals = report["totals"]
+    cells_per_sec = totals["cells_per_sec"]
+    return {
+        "cells": totals["cells"],
+        "ok_cells": totals["ok_cells"],
+        "workers": report["workers"],
+        "completed_ops": totals["completed_ops"],
+        "wall_clock_s": totals["wall_clock_s"],
+        "cells_per_sec": cells_per_sec,
+        "cells_per_sec_calibrated":
+            cells_per_sec / calibration_eps if calibration_eps else 0.0,
+        "signature_sha256": report["signature_sha256"],
+        "peak_rss_bytes": totals["peak_rss_bytes"],
+    }
+
+
 def _verify_section(quick: bool, calibration_eps: float) -> dict:
     """Run the verification-at-scale harness in a fresh subprocess.
 
@@ -318,6 +353,8 @@ def build_report(quick: bool = False) -> dict:
         timing["calibrated_cost"] = timing["wall_clock_s"] * calibration_eps
         figures[name] = timing
 
+    matrix = _matrix_section(quick, calibration_eps)
+
     verify = _verify_section(quick, calibration_eps)
 
     observability = _observability_section(workload, macro, calibration_eps)
@@ -337,6 +374,7 @@ def build_report(quick: bool = False) -> dict:
         "macro_skewed": macro_skewed,
         "backends": backends,
         "figures": figures,
+        "matrix": matrix,
         "verify": verify,
         "observability": observability,
         "peak_rss_bytes": peak_rss_bytes(),
@@ -365,6 +403,15 @@ def summarize(report: dict) -> str:
             f"{skewed['tier_off']['sim_qps']:,.0f} qps, tier on "
             f"{skewed['tier_on']['sim_qps']:,.0f} qps "
             f"({skewed['tier_speedup_sim_qps']:.2f}x)")
+    matrix = report.get("matrix")
+    if matrix:
+        lines.append(
+            f"matrix ({matrix['cells']} cells, {matrix['workers']} workers): "
+            f"{matrix['ok_cells']}/{matrix['cells']} ok, "
+            f"{matrix['completed_ops']:,} ops in {matrix['wall_clock_s']:.1f}s "
+            f"({matrix['cells_per_sec']:.2f} cells/sec, calibrated "
+            f"{matrix['cells_per_sec_calibrated'] * 1e6:.3f}e-6), "
+            f"digest {matrix['signature_sha256'][:12]}")
     verify = report.get("verify")
     if verify:
         lines.append(

@@ -18,7 +18,7 @@ from __future__ import annotations
 import pytest
 
 from bench_utils import full_mode, record_result
-from repro.experiments import build_netchain_deployment
+from repro.deploy import DeploymentSpec, build_deployment
 
 WINDOWS = (1, 4, 16, 64) if not full_mode() else (1, 2, 4, 8, 16, 32, 64, 128)
 NUM_OPS = 256 if not full_mode() else 2048
@@ -46,8 +46,9 @@ def _batched_qps(agent, keys, window: int) -> float:
 
 
 def run_comparison():
-    deployment = build_netchain_deployment(store_size=NUM_OPS,
-                                           unlimited_capacity=True)
+    deployment = build_deployment(DeploymentSpec(
+        backend="netchain", scale=20000.0, store_size=NUM_OPS,
+        store_slots=max(1024, NUM_OPS + 1024), unlimited_capacity=True))
     agent = deployment.cluster.agent("H0")
     keys = deployment.keys[:NUM_OPS]
     sequential = _sequential_qps(agent, keys)

@@ -224,7 +224,7 @@ class ZooKeeperTransactionClient(_TransactionMixin):
                 self._release_all(held, self._begin_txn)
 
         self.client.create_async(self._lock_path(key), self.client_id,
-                                 callback=on_reply, ephemeral=True)
+                                 ephemeral=True).then(on_reply)
 
     def _release_all(self, held: List[str], then) -> None:
         remaining = list(held)
@@ -235,7 +235,8 @@ class ZooKeeperTransactionClient(_TransactionMixin):
                 then()
                 return
             key = remaining.pop()
-            self.client.delete_async(self._lock_path(key), callback=lambda _r: release_next())
+            self.client.delete_async(self._lock_path(key)).then(
+                lambda _r: release_next())
 
         release_next()
 

@@ -21,6 +21,7 @@ and the transaction benchmark run unmodified against the ensemble.
 from __future__ import annotations
 
 import itertools
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
@@ -78,7 +79,18 @@ class ZooKeeperClient:
     def submit(self, op: str, callback: Optional[Callable[[ZkResult], None]] = None,
                **fields: Any) -> KVFuture:
         """Send a request; the returned future resolves with the
-        :class:`ZkResult` (``callback``, if given, fires first)."""
+        :class:`ZkResult`.
+
+        The ``callback`` argument is deprecated: chain the callable with
+        ``.then()`` on the returned future instead (it receives the same
+        :class:`ZkResult`).
+        """
+        if callback is not None:
+            warnings.warn(
+                f"the callback= argument of ZooKeeperClient.{op}_async/"
+                f"submit is deprecated; chain the callable with .then() on "
+                f"the returned KVFuture instead",
+                DeprecationWarning, stacklevel=3)
         xid = next(self._xids)
         request = {"kind": "request", "xid": xid, "op": op}
         request.update(fields)

@@ -14,6 +14,9 @@ object:
   flags and a teardown.
 * :func:`run_scenario` -- compose any backend with any workload,
   declarative fault schedule and history/linearizability checks.
+* :class:`MatrixSpec` / :func:`run_matrix` -- the whole seed x backend x
+  fault-profile grid as serializable task descriptors, fanned across a
+  ``multiprocessing`` pool and merged into one deterministic report.
 
 Every future workload/backend combination is a config change, not a new
 builder.
@@ -34,6 +37,14 @@ from repro.deploy.base import (
     build_deployment,
     get_backend,
     register_backend,
+)
+from repro.deploy.matrix import (
+    MatrixSpec,
+    canonical_report,
+    default_matrix,
+    merge_summaries,
+    run_cell,
+    run_matrix,
 )
 from repro.deploy.scenario import ScenarioChecks, ScenarioResult, WorkloadSpec, run_scenario
 from repro.deploy.spec import DeploymentSpec
@@ -56,4 +67,10 @@ __all__ = [
     "ScenarioResult",
     "WorkloadSpec",
     "run_scenario",
+    "MatrixSpec",
+    "canonical_report",
+    "default_matrix",
+    "merge_summaries",
+    "run_cell",
+    "run_matrix",
 ]

@@ -1,0 +1,11 @@
+"""``python -m repro.deploy`` -- the scenario-matrix CLI.
+
+Thin shim over :func:`repro.deploy.matrix.main`; a separate module so the
+package ``__init__`` can re-export the matrix API without tripping
+runpy's double-import warning.
+"""
+
+from repro.deploy.matrix import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -89,7 +89,13 @@ class _NetChainFamilyDeployment(Deployment):
         return self.cluster.fault_schedule(poll_interval=poll_interval)
 
     def start_fault_reaction(self, options: Dict) -> None:
-        self.cluster.start_failure_detector(options.get("detector_config"))
+        config = options.get("detector_config")
+        if isinstance(config, dict):
+            # Specs that crossed a process boundary as JSON (matrix cells)
+            # carry the detector config as a plain field dict.
+            from repro.core.detector import DetectorConfig
+            config = DetectorConfig(**config)
+        self.cluster.start_failure_detector(config)
 
     def attach_telemetry(self, plane) -> None:
         """Topology plus the NetChain-specific surfaces: agents (per-query
@@ -177,10 +183,16 @@ class NetChainBackend(Backend):
 
     def build(self, spec: DeploymentSpec) -> NetChainDeployment:
         config, topology, scale = _scaled_cluster_parts(spec)
+        controller_config = spec.options.get("controller_config")
+        if isinstance(controller_config, dict):
+            # JSON-deserialized specs (matrix cells) carry the controller
+            # config as a plain field dict.
+            from repro.core.controller import ControllerConfig
+            controller_config = ControllerConfig(**controller_config)
         cluster = NetChainCluster(
             config, topology=topology,
             member_switches=spec.options.get("member_switches"),
-            controller_config=spec.options.get("controller_config"))
+            controller_config=controller_config)
         keys = cluster.populate(spec.store_size, value_size=spec.value_size,
                                 key_prefix=spec.key_prefix)
         if spec.extra_keys:

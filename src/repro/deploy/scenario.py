@@ -21,11 +21,13 @@ Usage::
 
 from __future__ import annotations
 
+import dataclasses
+import inspect
 import random
 import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable, List, Optional, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from repro.core.history import History, LinearizabilityReport, check_linearizable
 from repro.core.history_store import (
@@ -36,7 +38,7 @@ from repro.core.history_store import (
 )
 from repro.core.trace import TelemetryPlane
 from repro.deploy.base import Capabilities, Deployment, build_deployment
-from repro.deploy.spec import DeploymentSpec
+from repro.deploy.spec import DeploymentSpec, check_unknown_fields
 from repro.netsim.faults import FaultEvent, FaultSchedule
 from repro.netsim.stats import LatencyRecorder
 from repro.netsim.telemetry import TelemetryConfig, peak_rss_bytes
@@ -76,9 +78,29 @@ class WorkloadSpec:
             raise ValueError(f"write_ratio must be in [0, 1], got {self.write_ratio}")
         if self.duration <= 0:
             raise ValueError(f"duration must be positive, got {self.duration}")
-        if self.warmup < 0 or self.drain < 0 or self.think_time < 0:
-            raise ValueError("warmup, drain and think_time must be >= 0")
+        if self.warmup < 0:
+            raise ValueError(f"warmup must be >= 0, got {self.warmup}")
+        if self.drain < 0:
+            raise ValueError(f"drain must be >= 0, got {self.drain}")
+        if self.think_time < 0:
+            raise ValueError(f"think_time must be >= 0, got {self.think_time}")
         return self
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-safe dict; :meth:`from_dict` round-trips it exactly."""
+        self.validate()
+        return {f.name: getattr(self, f.name) for f in dataclasses.fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "WorkloadSpec":
+        """Rebuild a validated workload spec; unknown keys raise
+        :class:`ValueError` naming them, invalid values raise naming the
+        offending field (eager -- at construction, not mid-scenario)."""
+        if not isinstance(data, dict):
+            raise ValueError(f"WorkloadSpec.from_dict needs a dict, "
+                             f"got {type(data).__name__}")
+        check_unknown_fields(cls, data, "WorkloadSpec")
+        return cls(**data).validate()
 
 
 @dataclass
@@ -110,10 +132,68 @@ class ScenarioChecks:
     #: (1.0 disables the threshold; ``require_progress`` still rejects
     #: clients with zero successes).
     max_failed_fraction: float = 1.0
+    #: Sample the NetChain chain invariants at every fault boundary and
+    #: migration step, plus once at the end of the run (requires a backend
+    #: exposing a controller -- the NetChain family).  Violations land on
+    #: ``ScenarioResult.invariant_violations`` and fail the scenario.
+    chain_invariants: bool = False
+    #: Verify at the end of the run that every preloaded key is still
+    #: readable from its current chain tail (the reconfiguration
+    #: harness's "migration loses no keys" check; NetChain family only).
+    no_lost_keys: bool = False
     #: Extra checks: ``callable(result) -> None | str`` (a string is a
     #: failure message).
     custom: List[Callable[["ScenarioResult"], Optional[str]]] = \
         field(default_factory=list)
+
+    def validate(self) -> "ScenarioChecks":
+        if self.history_mode not in ("memory", "spill"):
+            raise ValueError(f"history_mode must be 'memory' or 'spill', "
+                             f"got {self.history_mode!r}")
+        if self.verify_workers < 0:
+            raise ValueError(
+                f"verify_workers must be >= 0, got {self.verify_workers}")
+        if not 0.0 <= self.max_failed_fraction <= 1.0:
+            raise ValueError(f"max_failed_fraction must be in [0, 1], "
+                             f"got {self.max_failed_fraction}")
+        if (self.verdict_cache not in ("default", None)
+                and not isinstance(self.verdict_cache, VerdictCache)):
+            raise TypeError(f"verdict_cache must be 'default', None or a "
+                            f"VerdictCache, got "
+                            f"{type(self.verdict_cache).__name__}")
+        return self
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-safe dict; raises :class:`ValueError` naming any field
+        that cannot cross a process boundary (``custom`` callables, a live
+        ``VerdictCache`` instance, a non-string ``run_dir``)."""
+        self.validate()
+        if self.custom:
+            raise ValueError(
+                "ScenarioChecks.custom holds callables and cannot be "
+                "serialized; matrix cells must describe checks declaratively")
+        if isinstance(self.verdict_cache, VerdictCache):
+            raise ValueError(
+                "ScenarioChecks.verdict_cache is a live VerdictCache "
+                "instance; serialize 'default' or None instead")
+        data = {f.name: getattr(self, f.name)
+                for f in dataclasses.fields(self) if f.name != "custom"}
+        if data["run_dir"] is not None:
+            data["run_dir"] = str(data["run_dir"])
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ScenarioChecks":
+        """Rebuild validated checks; unknown keys raise :class:`ValueError`
+        naming them ("custom" cannot ride JSON and is rejected too)."""
+        if not isinstance(data, dict):
+            raise ValueError(f"ScenarioChecks.from_dict needs a dict, "
+                             f"got {type(data).__name__}")
+        if "custom" in data:
+            raise ValueError("ScenarioChecks.custom holds callables and "
+                             "cannot be deserialized from JSON")
+        check_unknown_fields(cls, data, "ScenarioChecks")
+        return cls(**data).validate()
 
 
 @dataclass
@@ -144,8 +224,13 @@ class ScenarioResult:
     #: Run directory holding the spilled NDJSON history (spill mode only);
     #: re-check offline with ``python -m repro.core.history_store check``.
     run_dir: Optional[Path] = None
-    #: Process peak RSS (bytes) observed after verification, for the
-    #: perf report's ``verify`` section (0 when unavailable).
+    #: The *process-wide high-water mark* of resident set size, in bytes,
+    #: read after verification so spill-mode runs report what the pipeline
+    #: peaked at (0 when unavailable).  This is a per-process maximum, not
+    #: a per-scenario delta: when cells run across a worker pool, merging
+    #: takes the **max across workers** -- summing high-water marks would
+    #: fabricate memory nobody allocated (see
+    #: :func:`repro.deploy.matrix.run_matrix`).
     peak_rss_bytes: int = 0
     #: Keys whose linearizability verdict was served from the memoized
     #: verdict cache instead of a fresh search (spill mode only).
@@ -154,6 +239,23 @@ class ScenarioResult:
     fault_trace: List[FaultEvent] = field(default_factory=list)
     #: Human-readable check failures (empty == all checks passed).
     failures: List[str] = field(default_factory=list)
+    #: Chain-invariant violations sampled at fault boundaries, migration
+    #: steps and once at the end (``checks.chain_invariants`` only).
+    invariant_violations: List[str] = field(default_factory=list)
+    #: Per-link delivery/drop counters, keyed by link name (populated
+    #: whenever the deployment's fault injector was engaged).
+    drop_report: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: One report per executed membership change, in order
+    #: (``spec.options["reconfig"]`` scenarios only).
+    migrations: List[Any] = field(default_factory=list)
+    #: Keys unreadable from their chain tail at the end of the run
+    #: (``checks.no_lost_keys`` only; must be empty).
+    lost_keys: List[str] = field(default_factory=list)
+    #: Merged per-operation latency recorders across all load clients
+    #: (serializable via ``state_dict()``; matrix workers ship them back
+    #: so the merged report can :meth:`~LatencyRecorder.merge` exactly).
+    read_latency: Optional[LatencyRecorder] = None
+    write_latency: Optional[LatencyRecorder] = None
     #: The deployment the scenario ran on (clients, cluster, topology).
     deployment: Optional[Deployment] = None
     #: Whether the adaptive hot-key tier was running during the scenario
@@ -169,6 +271,24 @@ class ScenarioResult:
     def ok(self) -> bool:
         """All requested checks passed."""
         return not self.failures
+
+    def trace_signature(self) -> List[Tuple[float, str, str, str]]:
+        """The fault trace as hashable tuples (replay-identity assertions)."""
+        return [event.signature() for event in self.fault_trace]
+
+    def migration_signature(self) -> List[Tuple[int, str, str, int]]:
+        """Hashable per-migration-step outcomes (replay-identity assertions)."""
+        return [(step.vgroup, step.kind, step.status, step.keys_moved)
+                for report in self.migrations for step in report.steps]
+
+    def consistent(self) -> bool:
+        """No invariant violation, no lost key, a linearizable history."""
+        if self.invariant_violations or self.lost_keys:
+            return False
+        if self.linearizability is None:
+            return True
+        return self.linearizability.ok \
+            and not self.linearizability.exhausted_keys()
 
     def signature(self) -> List[Tuple]:
         """A hashable per-operation trace for replay-identity assertions.
@@ -192,8 +312,20 @@ class ScenarioResult:
 def run_scenario(spec: DeploymentSpec,
                  workload: Optional[WorkloadSpec] = None,
                  checks: Optional[ScenarioChecks] = None,
-                 deployment: Optional[Deployment] = None) -> ScenarioResult:
+                 deployment: Optional[Deployment] = None,
+                 schedule_builder: Optional[Callable] = None) -> ScenarioResult:
     """Run one workload against one deployment spec and check the outcome.
+
+    This is the single scenario entry point: the fault harness
+    (:func:`repro.experiments.failures.run_fault_scenario`) and the
+    reconfiguration harness
+    (:func:`repro.experiments.elasticity.run_reconfig_scenario`) are thin
+    wrappers over it, and :mod:`repro.deploy.matrix` workers reconstruct
+    its three inputs from JSON alone.  Planned membership changes ride
+    ``spec.options["reconfig"]`` (``{"changes": [(at, joins, leaves),
+    ...], "config": ReconfigConfig | field dict, "link_new_to": [...]}``)
+    and a failure detector config rides ``spec.options["detector_config"]``
+    -- both serializable, so a fault/reconfig cell is still a plain spec.
 
     Args:
         spec: the declarative deployment (validated eagerly).
@@ -202,20 +334,37 @@ def run_scenario(spec: DeploymentSpec,
             progress.
         deployment: reuse an already-built deployment instead of building
             ``spec`` (the spec is still used for seeds and fault events).
+        schedule_builder: escape hatch for fault schedules that need live
+            objects (trigger predicates over the cluster):
+            ``schedule_builder(schedule)`` or ``schedule_builder(schedule,
+            cluster)`` receives the un-armed :class:`FaultSchedule` --
+            with ``spec.faults`` already added -- and returns it with its
+            events added.  Not serializable; matrix cells use
+            ``spec.faults`` instead.
     """
     workload = (workload or WorkloadSpec()).validate()
-    checks = checks or ScenarioChecks()
+    checks = (checks or ScenarioChecks()).validate()
     if spec.store_size < 1:
         raise ValueError(
             "run_scenario needs a preloaded store (store_size >= 1): the "
             "workload targets the preloaded keys, so an empty store would "
             "measure nothing but KEY_NOT_FOUND failures")
-    if checks.history_mode not in ("memory", "spill"):
-        raise ValueError(f"history_mode must be 'memory' or 'spill', "
-                         f"got {checks.history_mode!r}")
     if deployment is None:
         deployment = build_deployment(spec)
     sim = deployment.sim
+
+    # The NetChain-family control plane, where the chain-invariant and
+    # lost-key checks (and live reconfiguration) live.
+    cluster = getattr(deployment, "cluster", None)
+    controller = getattr(cluster, "controller", None)
+    reconfig = spec.options.get("reconfig") or {}
+    if reconfig and not deployment.capabilities.supports_reconfig:
+        raise ValueError(f"backend {deployment.backend_name!r} does not "
+                         f"support reconfiguration")
+    if (checks.chain_invariants or checks.no_lost_keys) and controller is None:
+        raise ValueError(
+            f"chain_invariants/no_lost_keys checks need a backend exposing "
+            f"a chain controller; {deployment.backend_name!r} does not")
 
     plane: Optional[TelemetryPlane] = None
     telemetry_config = TelemetryConfig.coerce(spec.telemetry)
@@ -263,15 +412,65 @@ def run_scenario(spec: DeploymentSpec,
                                        name=tag))
 
     schedule: Optional[FaultSchedule] = None
-    if spec.faults:
+    injector = None
+    if spec.faults or schedule_builder is not None:
         if not deployment.capabilities.supports_fault_injection:
             raise ValueError(f"backend {deployment.backend_name!r} does not "
                              f"support fault injection")
         schedule = deployment.fault_schedule()
         for event in spec.faults:
             schedule.at(event[0], event[1], *event[2:])
+        if schedule_builder is not None:
+            if len(inspect.signature(schedule_builder).parameters) >= 2:
+                schedule = schedule_builder(
+                    schedule, cluster if cluster is not None else deployment)
+            else:
+                schedule = schedule_builder(schedule)
+        injector = schedule.injector
+
+    violations: List[str] = []
+    observer = None
+    if checks.chain_invariants \
+            and deployment.capabilities.supports_fault_injection:
+        from repro.core.invariants import invariant_observer
+        if injector is None:
+            injector = deployment.fault_injector
+        observer = invariant_observer(controller, violations)
+        injector.observers.append(observer)
+
+    if schedule is not None:
         schedule.arm()
+    if (schedule is not None or reconfig
+            or "detector_config" in spec.options):
         deployment.start_fault_reaction(spec.options)
+
+    migrations: List[Any] = []
+    if reconfig.get("changes"):
+        from repro.core.invariants import sample_chain_invariants
+        from repro.core.reconfig import ReconfigConfig
+        reconfig_config = reconfig.get("config")
+        if isinstance(reconfig_config, dict):
+            reconfig_config = ReconfigConfig(**reconfig_config)
+        link_new_to = reconfig.get("link_new_to")
+
+        def start_change(joins: List[str], leaves: List[str]) -> None:
+            for name in joins:
+                if name not in cluster.topology.switches:
+                    cluster.add_switch(name, link_to=link_new_to)
+            target = [m for m in controller.ring.switch_names
+                      if m not in leaves]
+            target += [j for j in joins if j not in target and j not in leaves]
+            coordinator = cluster.migrate(target, config=reconfig_config)
+            if checks.chain_invariants:
+                coordinator.observers.append(
+                    lambda _step: violations.extend(sample_chain_invariants(
+                        controller, raise_on_violation=False)))
+            migrations.append(coordinator.report)
+
+        for change in reconfig["changes"]:
+            at, joins, leaves = change[0], change[1], change[2]
+            sim.schedule_at(
+                at, lambda j=list(joins), l=list(leaves): start_change(j, l))
 
     start = sim.now
     window_start = start + workload.warmup
@@ -307,6 +506,8 @@ def run_scenario(spec: DeploymentSpec,
     for load_client in load_clients:
         read_latency.merge(load_client.read_latency)
         write_latency.merge(load_client.write_latency)
+    result.read_latency = read_latency
+    result.write_latency = write_latency
     result.read_ops = read_latency.count()
     result.write_ops = write_latency.count()
     if result.read_ops:
@@ -314,8 +515,14 @@ def run_scenario(spec: DeploymentSpec,
         result.read_latency_p99 = read_latency.percentile(99.0)
     if result.write_ops:
         result.mean_write_latency = write_latency.mean()
-    if schedule is not None:
-        result.fault_trace = list(schedule.injector.trace)
+    if injector is not None:
+        result.fault_trace = list(injector.trace)
+        result.drop_report = injector.drop_report()
+    result.migrations = migrations
+    if observer is not None:
+        # Detach this run's observer so a reused deployment does not keep
+        # appending later runs' findings into this (already returned) result.
+        injector.observers.remove(observer)
     if plane is not None:
         result.metrics = telemetry_summary
         result.telemetry_dir = plane.run_dir
@@ -338,6 +545,30 @@ def run_scenario(spec: DeploymentSpec,
         result.failures.append(
             f"{result.failed_ops}/{result.completed_ops} operations failed "
             f"(max_failed_fraction={checks.max_failed_fraction})")
+    if checks.chain_invariants:
+        from repro.core.invariants import sample_chain_invariants
+        violations.extend(sample_chain_invariants(
+            controller, raise_on_violation=False))
+        result.invariant_violations = violations
+        if violations:
+            result.failures.append(
+                f"{len(violations)} chain invariant violation(s): "
+                f"{violations[0]}")
+    if checks.no_lost_keys:
+        # Zero lost keys: every key registered in the directory is
+        # readable from its current chain tail.
+        for key in deployment.keys:
+            vgroup = controller.ring.vgroup_for_key(key)
+            info = controller.chain_table.get(vgroup)
+            store = controller.stores.get(info.switches[-1]) \
+                if info is not None else None
+            item = store.read(key) if store is not None else None
+            if item is None:
+                result.lost_keys.append(key)
+        if result.lost_keys:
+            result.failures.append(
+                f"{len(result.lost_keys)} key(s) unreadable after the run: "
+                f"{result.lost_keys[:5]}")
     if checks.linearizability and history is not None:
         if checks.history_mode == "spill":
             store = history.finish()

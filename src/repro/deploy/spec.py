@@ -14,8 +14,50 @@ ride in ``options``; each backend documents the keys it reads.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Tuple
+
+
+def json_safe(value: Any, where: str) -> Any:
+    """Recursively convert ``value`` to JSON-safe types.
+
+    Dataclass config objects (``ControllerConfig``, ``DetectorConfig``,
+    ``ReconfigConfig``, ...) become plain field dicts and tuples become
+    lists, so a spec built in-process serializes without callers
+    flattening anything by hand.  Anything else non-JSON raises a
+    :class:`ValueError` naming the offending field path (``where``).
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [json_safe(item, f"{where}[{index}]")
+                for index, item in enumerate(value)]
+    if isinstance(value, dict):
+        for key in value:
+            if not isinstance(key, str):
+                raise ValueError(
+                    f"{where} has a non-string key {key!r}; JSON objects "
+                    f"need string keys")
+        return {key: json_safe(item, f"{where}[{key!r}]")
+                for key, item in value.items()}
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {f.name: json_safe(getattr(value, f.name), f"{where}.{f.name}")
+                for f in dataclasses.fields(value)}
+    raise ValueError(
+        f"{where} is not JSON-serializable: {type(value).__name__} "
+        f"({value!r}); task descriptors must be constructible from JSON "
+        f"alone -- pass plain values or dataclass configs")
+
+
+def check_unknown_fields(cls, data: Dict, what: str) -> None:
+    """Reject dict keys that are not fields of ``cls``, naming them."""
+    known = {f.name for f in dataclasses.fields(cls)}
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise ValueError(
+            f"unknown {what} field(s): {', '.join(unknown)} "
+            f"(known: {', '.join(sorted(known))})")
 
 
 @dataclass
@@ -130,6 +172,53 @@ class DeploymentSpec:
             from repro.netsim.telemetry import TelemetryConfig
             TelemetryConfig.coerce(self.telemetry).validate()
         return self
+
+    # ------------------------------------------------------------------ #
+    # Serialization (matrix cells are JSON task descriptors).
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-safe dict from which :meth:`from_dict` rebuilds the spec.
+
+        Dataclass configs riding ``options`` (``controller_config``,
+        ``detector_config``, a ``reconfig`` config) are flattened to field
+        dicts -- the consuming backends coerce them back.  Values that
+        cannot cross a process boundary as JSON (live objects, open
+        handles) raise :class:`ValueError` naming the offending field.
+        """
+        self.validate()
+        data: Dict[str, Any] = {}
+        for f in dataclasses.fields(self):
+            name = f.name
+            value = getattr(self, name)
+            if name == "telemetry" and value is not None \
+                    and not isinstance(value, (bool, dict)):
+                from repro.netsim.telemetry import TelemetryConfig
+                value = TelemetryConfig.coerce(value)
+            data[name] = json_safe(value, f"DeploymentSpec.{name}")
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "DeploymentSpec":
+        """Rebuild a validated spec from :meth:`to_dict` output.
+
+        Unknown keys raise :class:`ValueError` naming them; fault events
+        round-trip from JSON lists back to ``(at, action, *args)`` tuples.
+        """
+        if not isinstance(data, dict):
+            raise ValueError(f"DeploymentSpec.from_dict needs a dict, "
+                             f"got {type(data).__name__}")
+        check_unknown_fields(cls, data, "DeploymentSpec")
+        kwargs = dict(data)
+        if "faults" in kwargs:
+            faults = kwargs["faults"]
+            if not isinstance(faults, (list, tuple)):
+                raise ValueError(f"DeploymentSpec.faults must be a list of "
+                                 f"(at, action, *args) events, got {faults!r}")
+            kwargs["faults"] = [tuple(event) for event in faults]
+        if "extra_keys" in kwargs:
+            kwargs["extra_keys"] = list(kwargs["extra_keys"])
+        return cls(**kwargs).validate()
 
     # ------------------------------------------------------------------ #
     # Convenience.

@@ -24,23 +24,23 @@ Two drivers:
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.controller import ControllerConfig
 from repro.core.detector import DetectorConfig
-from repro.core.history import History, LinearizabilityReport, check_linearizable
-from repro.core.history_store import (
-    SpillingHistory,
-    check_linearizable_streaming,
-    default_verdict_cache,
-)
-from repro.core.invariants import invariant_observer, sample_chain_invariants
+from repro.core.history import History, LinearizabilityReport
 from repro.core.reconfig import MigrationCoordinator, MigrationReport, ReconfigConfig
-from repro.deploy import DeploymentSpec, NetChainDeployment, build_deployment
-from repro.experiments.failures import history_key
-from repro.netsim.faults import FaultEvent, FaultSchedule
+from repro.deploy import (
+    DeploymentSpec,
+    NetChainDeployment,
+    ScenarioChecks,
+    WorkloadSpec,
+    build_deployment,
+    run_scenario,
+)
+from repro.experiments.failures import _fill_from_scenario, fault_scenario_spec
+from repro.netsim.faults import FaultEvent
 from repro.netsim.stats import ThroughputTimeSeries
 from repro.workloads.clients import LoadClient
 from repro.workloads.generators import KeyValueWorkload, WorkloadConfig
@@ -123,126 +123,35 @@ def run_reconfig_scenario(changes: Sequence[MembershipChange],
     Everything stochastic derives from ``seed``; two runs with the same
     arguments produce identical fault traces, migration step outcomes and
     operation histories.
+
+    This is a thin wrapper over :func:`repro.deploy.run_scenario`: the
+    membership plan rides ``spec.options["reconfig"]`` (fully
+    serializable, so matrix cells can carry the same plan) and the
+    unified result is repackaged into the historical dataclass.
     """
-    controller_config = ControllerConfig(replication=3,
-                                         vnodes_per_switch=virtual_groups,
-                                         store_slots=max(1024, store_size + 64),
-                                         sync_items_per_sec=sync_items_per_sec,
-                                         seed=seed)
-    deployment = build_deployment(DeploymentSpec(
-        backend="netchain", scale=1000.0, store_size=store_size,
-        value_size=value_size, vnodes_per_switch=virtual_groups,
-        retry_timeout=200e-6, seed=seed,
-        options={"controller_config": controller_config}))
-    cluster = deployment.cluster
-    controller = cluster.controller
-    injector = cluster.faults(seed)
+    spec = fault_scenario_spec(seed=seed, store_size=store_size,
+                               value_size=value_size,
+                               virtual_groups=virtual_groups,
+                               sync_items_per_sec=sync_items_per_sec,
+                               detector_config=detector_config)
+    spec.options["reconfig"] = {
+        "changes": [(at, list(joins), list(leaves))
+                    for at, joins, leaves in changes],
+        "config": reconfig_config,
+        "link_new_to": list(link_new_to) if link_new_to is not None else None,
+    }
+    workload = WorkloadSpec(num_clients=num_clients, concurrency=concurrency,
+                            write_ratio=write_ratio, think_time=think_time,
+                            duration=duration, drain=drain)
+    checks = ScenarioChecks(history_mode=history_mode, run_dir=run_dir,
+                            require_progress=False, chain_invariants=True,
+                            no_lost_keys=True)
+    scenario = run_scenario(spec, workload, checks,
+                            schedule_builder=build_schedule)
     result = ReconfigScenarioResult(seed=seed, duration=duration)
-    observer = invariant_observer(controller, result.invariant_violations)
-    injector.observers.append(observer)
-
-    initial: Dict[bytes, Optional[bytes]] = {}
-    for key in deployment.keys:
-        info = controller.chain_for_key(key)
-        item = controller.stores[info.switches[-1]].read(key)
-        initial[history_key(key)] = (item.value if item is not None and item.valid
-                                     else None)
-
-    if history_mode == "spill":
-        import tempfile
-        run_dir = run_dir or tempfile.mkdtemp(prefix="reconfig-scenario-")
-        history = SpillingHistory(cluster.sim, run_dir, initial=initial,
-                                  meta={"harness": "reconfig-scenario",
-                                        "seed": seed})
-    elif history_mode == "memory":
-        history = History(cluster.sim)
-    else:
-        raise ValueError(f"history_mode must be 'memory' or 'spill', "
-                         f"got {history_mode!r}")
-    clients: List[LoadClient] = []
-    host_names = sorted(cluster.agents)
-    for index in range(num_clients):
-        tag = f"c{index}"
-        workload = KeyValueWorkload(
-            WorkloadConfig(store_size=store_size, value_size=value_size,
-                           write_ratio=write_ratio, unique_values=True),
-            rng=random.Random((seed << 8) + index + 1), tag=tag)
-        agent = cluster.agent(host_names[index % len(host_names)])
-        clients.append(LoadClient(agent, workload, concurrency=concurrency,
-                                  history=history, think_time=think_time,
-                                  name=tag))
-
-    if build_schedule is not None:
-        import inspect
-        if len(inspect.signature(build_schedule).parameters) >= 2:
-            schedule: Optional[FaultSchedule] = build_schedule(
-                cluster.fault_schedule(), cluster)
-        else:
-            schedule = build_schedule(cluster.fault_schedule())
-        schedule.arm()
-    else:
-        schedule = None
-    cluster.start_failure_detector(detector_config or DetectorConfig(
-        probe_interval=50e-3, suspicion_threshold=2))
-
-    coordinators: List[MigrationCoordinator] = []
-
-    def start_change(joins: Sequence[str], leaves: Sequence[str]) -> None:
-        for name in joins:
-            if name not in cluster.topology.switches:
-                cluster.add_switch(name, link_to=link_new_to)
-        target = [m for m in controller.ring.switch_names if m not in leaves]
-        target += [j for j in joins if j not in target and j not in leaves]
-        coordinator = cluster.migrate(target, config=reconfig_config)
-        coordinator.observers.append(
-            lambda _step: result.invariant_violations.extend(
-                sample_chain_invariants(controller, raise_on_violation=False)))
-        coordinators.append(coordinator)
-        result.migrations.append(coordinator.report)
-
-    for at, joins, leaves in changes:
-        cluster.sim.schedule_at(
-            at, lambda j=list(joins), l=list(leaves): start_change(j, l))
-
-    for client in clients:
-        client.start()
-    cluster.run(until=duration)
-    for client in clients:
-        client.stop()
-    cluster.run(until=duration + drain)
-    cluster.detector.stop()
-    if schedule is not None:
-        schedule.cancel()
-
-    if history_mode == "spill":
-        result.completed_ops = history.finish().completed_ops
-    else:
-        result.completed_ops = len(history.completed_ops())
-    result.failed_ops = sum(client.failed_queries for client in clients)
-    result.fault_trace = list(injector.trace)
-    result.drop_report = injector.drop_report()
-    result.history = history
-    result.deployment = deployment
-    injector.observers.remove(observer)
-
-    result.invariant_violations.extend(
-        sample_chain_invariants(controller, raise_on_violation=False))
-    # Zero lost keys: every key registered in the directory is readable
-    # from its current chain tail.
-    for key in deployment.keys:
-        vgroup = controller.ring.vgroup_for_key(key)
-        info = controller.chain_table.get(vgroup)
-        store = controller.stores.get(info.switches[-1]) if info is not None else None
-        item = store.read(key) if store is not None else None
-        if item is None:
-            result.lost_keys.append(key)
-    if history_mode == "spill":
-        result.run_dir = str(history.run_dir)
-        result.linearizability = check_linearizable_streaming(
-            history.finish(), initial=initial, cache=default_verdict_cache())
-        result.verdict_cache_hits = result.linearizability.cache_hits
-    else:
-        result.linearizability = check_linearizable(history, initial=initial)
+    _fill_from_scenario(result, scenario)
+    result.migrations = scenario.migrations
+    result.lost_keys = scenario.lost_keys
     return result
 
 

@@ -29,22 +29,22 @@ checked for per-key linearizability afterwards.
 
 from __future__ import annotations
 
-import inspect
-import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.client import canonical_key
 from repro.core.controller import ControllerConfig
 from repro.core.detector import DetectorConfig
-from repro.core.history import History, LinearizabilityReport, check_linearizable
-from repro.core.history_store import (
-    SpillingHistory,
-    check_linearizable_streaming,
-    default_verdict_cache,
+from repro.core.history import History, LinearizabilityReport
+from repro.deploy import (
+    DeploymentSpec,
+    NetChainDeployment,
+    ScenarioChecks,
+    ScenarioResult,
+    WorkloadSpec,
+    build_deployment,
+    run_scenario,
 )
-from repro.core.invariants import invariant_observer
-from repro.deploy import DeploymentSpec, NetChainDeployment, build_deployment
 from repro.netsim.faults import FaultEvent, FaultSchedule
 from repro.netsim.stats import ThroughputTimeSeries
 from repro.workloads.clients import LoadClient
@@ -250,101 +250,72 @@ def run_fault_scenario(build_schedule: Callable[..., FaultSchedule],
     Everything stochastic -- workload key/op choices, fault models,
     controller replacement choices -- derives from ``seed``, so the whole
     scenario (including the fault trace) replays byte-identically.
+
+    This is a thin wrapper over :func:`repro.deploy.run_scenario`: it
+    translates the historical keyword surface into a
+    :class:`DeploymentSpec` + :class:`WorkloadSpec` +
+    :class:`ScenarioChecks` triple (the same one a matrix cell
+    serializes) and repackages the unified result.
     """
-    deployment_was_built = deployment is None
-    if deployment is None:
-        controller_config = ControllerConfig(replication=3,
-                                             vnodes_per_switch=virtual_groups,
-                                             store_slots=max(1024, store_size + 64),
-                                             sync_items_per_sec=sync_items_per_sec,
-                                             seed=seed)
-        deployment = build_deployment(DeploymentSpec(
-            backend="netchain", scale=1000.0, store_size=store_size,
-            value_size=value_size, vnodes_per_switch=virtual_groups,
-            retry_timeout=200e-6, seed=seed,
-            options={"controller_config": controller_config}))
-    cluster = deployment.cluster
-    controller = cluster.controller
-    injector = cluster.faults(seed if deployment_was_built else None)
+    spec = fault_scenario_spec(seed=seed, store_size=store_size,
+                               value_size=value_size,
+                               virtual_groups=virtual_groups,
+                               sync_items_per_sec=sync_items_per_sec,
+                               detector_config=detector_config)
+    workload = WorkloadSpec(num_clients=num_clients, concurrency=concurrency,
+                            write_ratio=write_ratio, think_time=think_time,
+                            duration=duration, drain=drain)
+    checks = ScenarioChecks(history_mode=history_mode, run_dir=run_dir,
+                            require_progress=False, chain_invariants=True)
+    scenario = run_scenario(spec, workload, checks, deployment=deployment,
+                            schedule_builder=build_schedule)
     result = FaultScenarioResult(seed=seed, duration=duration)
-    observer = invariant_observer(controller, result.invariant_violations)
-    injector.observers.append(observer)
-    # Snapshot the populated values before any load or fault runs: this is
-    # the linearizability checker's initial state, read from the actual
-    # stores so it cannot drift from how the deployment was populated.
-    initial: Dict[bytes, Optional[bytes]] = {}
-    for key in deployment.keys:
-        info = controller.chain_for_key(key)
-        item = controller.stores[info.switches[-1]].read(key)
-        initial[history_key(key)] = (item.value if item is not None and item.valid
-                                     else None)
-
-    if history_mode == "spill":
-        import tempfile
-        run_dir = run_dir or tempfile.mkdtemp(prefix="fault-scenario-")
-        history = SpillingHistory(cluster.sim, run_dir, initial=initial,
-                                  meta={"harness": "fault-scenario",
-                                        "seed": seed})
-    elif history_mode == "memory":
-        history = History(cluster.sim)
-    else:
-        raise ValueError(f"history_mode must be 'memory' or 'spill', "
-                         f"got {history_mode!r}")
-    clients: List[LoadClient] = []
-    host_names = sorted(cluster.agents)
-    for index in range(num_clients):
-        tag = f"c{index}"
-        workload = KeyValueWorkload(
-            WorkloadConfig(store_size=store_size, value_size=value_size,
-                           write_ratio=write_ratio, unique_values=True),
-            rng=random.Random((seed << 8) + index + 1), tag=tag)
-        agent = cluster.agent(host_names[index % len(host_names)])
-        clients.append(LoadClient(agent, workload, concurrency=concurrency,
-                                  history=history, think_time=think_time,
-                                  name=tag))
-
-    if len(inspect.signature(build_schedule).parameters) >= 2:
-        schedule = build_schedule(cluster.fault_schedule(), cluster)
-    else:
-        schedule = build_schedule(cluster.fault_schedule())
-    schedule.arm()
-    cluster.start_failure_detector(detector_config or DetectorConfig(
-        probe_interval=50e-3, suspicion_threshold=2))
-
-    for client in clients:
-        client.start()
-    cluster.run(until=duration)
-    for client in clients:
-        client.stop()
-    cluster.run(until=duration + drain)
-    cluster.detector.stop()
-    schedule.cancel()
-
-    if history_mode == "spill":
-        result.completed_ops = history.finish().completed_ops
-    else:
-        result.completed_ops = len(history.completed_ops())
-    result.failed_ops = sum(client.failed_queries for client in clients)
-    result.fault_trace = list(injector.trace)
-    result.drop_report = injector.drop_report()
-    result.history = history
-    result.deployment = deployment
-    # Detach this run's observer so a reused deployment does not keep
-    # appending later runs' findings into this (already returned) result.
-    injector.observers.remove(observer)
-
-    # Final invariant sample plus the full linearizability check.
-    from repro.core.invariants import sample_chain_invariants
-    result.invariant_violations.extend(
-        sample_chain_invariants(controller, raise_on_violation=False))
-    if history_mode == "spill":
-        result.run_dir = str(history.run_dir)
-        result.linearizability = check_linearizable_streaming(
-            history.finish(), initial=initial, cache=default_verdict_cache())
-        result.verdict_cache_hits = result.linearizability.cache_hits
-    else:
-        result.linearizability = check_linearizable(history, initial=initial)
+    _fill_from_scenario(result, scenario)
     return result
+
+
+def fault_scenario_spec(seed: int = 0,
+                        store_size: int = 24,
+                        value_size: int = 32,
+                        virtual_groups: int = 2,
+                        sync_items_per_sec: float = 2000.0,
+                        detector_config: Optional[DetectorConfig] = None,
+                        faults: Optional[List[Tuple]] = None,
+                        ) -> DeploymentSpec:
+    """The harness's NetChain deployment spec, reusable by matrix grids.
+
+    Construction parameters are identical to the historical in-line
+    builder (controller seed, store slots, retry timeout), so same-seed
+    runs through the wrapper and through older revisions replay the same
+    histories.
+    """
+    controller_config = ControllerConfig(replication=3,
+                                         vnodes_per_switch=virtual_groups,
+                                         store_slots=max(1024, store_size + 64),
+                                         sync_items_per_sec=sync_items_per_sec,
+                                         seed=seed)
+    return DeploymentSpec(
+        backend="netchain", scale=1000.0, store_size=store_size,
+        value_size=value_size, vnodes_per_switch=virtual_groups,
+        retry_timeout=200e-6, seed=seed, faults=list(faults or []),
+        options={"controller_config": controller_config,
+                 "detector_config": detector_config or DetectorConfig(
+                     probe_interval=50e-3, suspicion_threshold=2)})
+
+
+def _fill_from_scenario(result, scenario: ScenarioResult) -> None:
+    """Copy the unified scenario outcome into a legacy result dataclass."""
+    result.completed_ops = scenario.completed_ops
+    result.failed_ops = scenario.failed_ops
+    result.fault_trace = scenario.fault_trace
+    result.invariant_violations = scenario.invariant_violations
+    result.history = scenario.history
+    result.linearizability = scenario.linearizability
+    result.run_dir = str(scenario.run_dir) if scenario.run_dir is not None \
+        else None
+    result.verdict_cache_hits = scenario.verdict_cache_hits
+    result.drop_report = scenario.drop_report
+    result.deployment = scenario.deployment
 
 
 def history_key(key) -> bytes:

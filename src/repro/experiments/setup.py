@@ -5,8 +5,9 @@ Deployment construction now lives in the pluggable backend registry of
 is built by its registered backend (``netchain``, ``zookeeper``,
 ``server-chain``, ``primary-backup``, ``hybrid``) into a
 :class:`repro.deploy.Deployment`.  The two historical builder functions
-below survive for one release as keyword-compatible shims that translate
-their arguments into a spec; new code should build specs directly::
+below are deprecated keyword-compatible shims that translate their
+arguments into a spec and warn on every call; new code should build specs
+directly::
 
     from repro.deploy import DeploymentSpec, build_deployment
     deployment = build_deployment(DeploymentSpec(backend="netchain",
@@ -16,6 +17,7 @@ their arguments into a spec; new code should build specs directly::
 
 from __future__ import annotations
 
+import warnings
 from typing import List, Optional
 
 from repro.core.controller import ControllerConfig
@@ -50,6 +52,11 @@ def build_netchain_deployment(scale: float = 20000.0,
                               unlimited_capacity: bool = False,
                               ) -> NetChainDeployment:
     """Deprecated shim: build the ``netchain`` backend from keyword knobs."""
+    warnings.warn(
+        "build_netchain_deployment is deprecated; build a "
+        "DeploymentSpec(backend='netchain', ...) and pass it to "
+        "repro.deploy.build_deployment",
+        DeprecationWarning, stacklevel=2)
     options = {}
     if controller_config is not None:
         options["controller_config"] = controller_config
@@ -73,6 +80,11 @@ def build_zookeeper_deployment(scale: float = 1000.0,
                                unlimited_capacity: bool = False,
                                seed: int = 0) -> ZooKeeperDeployment:
     """Deprecated shim: build the ``zookeeper`` backend from keyword knobs."""
+    warnings.warn(
+        "build_zookeeper_deployment is deprecated; build a "
+        "DeploymentSpec(backend='zookeeper', ...) and pass it to "
+        "repro.deploy.build_deployment",
+        DeprecationWarning, stacklevel=2)
     spec = DeploymentSpec(backend="zookeeper", scale=scale,
                           num_hosts=num_servers + 1, replication=num_servers,
                           store_size=store_size, value_size=value_size,

@@ -148,6 +148,39 @@ class LatencyRecorder:
         self.samples.clear()
         self._hist = None
 
+    # -- serialization (matrix workers ship recorder state as JSON) ------ #
+
+    def state_dict(self) -> dict:
+        """A JSON-safe snapshot of the recorder.
+
+        ``from_state(state_dict())`` reproduces the recorder exactly --
+        mode (exact samples vs collapsed histogram), every sample/bucket,
+        and the collapse threshold -- so per-cell recorders can cross a
+        process boundary as JSON and still :meth:`merge` losslessly.
+        """
+        if self._hist is not None:
+            return {"mode": "histogram",
+                    "max_exact_samples": self.max_exact_samples,
+                    "histogram": self._hist.state_dict()}
+        return {"mode": "exact",
+                "max_exact_samples": self.max_exact_samples,
+                "samples": list(self.samples)}
+
+    @classmethod
+    def from_state(cls, state: dict) -> "LatencyRecorder":
+        """Rebuild a recorder from :meth:`state_dict` output."""
+        mode = state.get("mode")
+        if mode not in ("exact", "histogram"):
+            raise ValueError(f"LatencyRecorder state has unknown mode {mode!r}")
+        recorder = cls(max_exact_samples=state.get(
+            "max_exact_samples", DEFAULT_MAX_EXACT_SAMPLES))
+        if mode == "histogram":
+            from repro.netsim.telemetry import LogBucketHistogram
+            recorder._hist = LogBucketHistogram.from_state(state["histogram"])
+        else:
+            recorder.samples = [float(sample) for sample in state["samples"]]
+        return recorder
+
 
 class ThroughputTimeSeries:
     """Counts completions into fixed-width time bins (Figure 10 style)."""

@@ -137,6 +137,38 @@ class LogBucketHistogram:
             "p99": self.percentile(99.0),
         }
 
+    def state_dict(self) -> Dict:
+        """A JSON-safe snapshot (sparse buckets; infinities as ``None``)."""
+        return {
+            "lo": self.lo,
+            "buckets_per_decade": self.buckets_per_decade,
+            "num_buckets": len(self.counts),
+            "buckets": {str(i): n for i, n in enumerate(self.counts) if n},
+            "count": self.count,
+            "total": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict) -> "LogBucketHistogram":
+        """Rebuild a histogram from :meth:`state_dict` output."""
+        buckets_per_decade = state["buckets_per_decade"]
+        decades = (state["num_buckets"] - 2) // buckets_per_decade
+        hist = cls(lo=state["lo"], decades=decades,
+                   buckets_per_decade=buckets_per_decade)
+        if len(hist.counts) != state["num_buckets"]:
+            raise ValueError(
+                f"histogram state has {state['num_buckets']} buckets; "
+                f"bucketing reconstructs {len(hist.counts)}")
+        for index, n in state["buckets"].items():
+            hist.counts[int(index)] = n
+        hist.count = state["count"]
+        hist.total = state["total"]
+        hist.min = state["min"] if state["min"] is not None else math.inf
+        hist.max = state["max"] if state["max"] is not None else -math.inf
+        return hist
+
 
 class MetricsRegistry:
     """Named counters, gauges and histograms plus the sampled time series.

@@ -93,13 +93,23 @@ def test_query_timeout_after_exhausting_retries(cluster):
 def test_async_callbacks_and_outstanding_tracking(cluster, agent):
     cluster.controller.populate(["a", "b"])
     results = []
-    agent.read("a", callback=results.append)
-    agent.read("b", callback=results.append)
+    agent.read("a").then(results.append)
+    agent.read("b").then(results.append)
     assert agent.outstanding() == 2
     cluster.run(until=cluster.sim.now + 0.01)
     assert len(results) == 2
     assert agent.outstanding() == 0
     assert agent.completed == 2
+
+
+def test_callback_kwarg_is_deprecated_but_still_fires(cluster, agent):
+    cluster.controller.populate(["a"])
+    results = []
+    with pytest.deprecated_call():
+        agent.read("a", callback=results.append)
+    cluster.run(until=cluster.sim.now + 0.01)
+    assert len(results) == 1
+    assert results[0].ok
 
 
 def test_agent_statistics_separate_reads_and_writes(cluster, agent):

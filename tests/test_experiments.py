@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.deploy import DeploymentSpec, build_deployment
 from repro.experiments import (
     build_netchain_deployment,
     build_zookeeper_deployment,
@@ -171,10 +172,22 @@ def test_table1_rows():
 
 
 def test_deployment_builders():
-    netchain = build_netchain_deployment(scale=SCALE, store_size=10)
+    netchain = build_deployment(DeploymentSpec(
+        backend="netchain", scale=SCALE, store_size=10))
     assert len(netchain.keys) == 10
     assert netchain.cluster.controller.total_items() == 10
-    zookeeper = build_zookeeper_deployment(scale=1000.0, store_size=10)
+    zookeeper = build_deployment(DeploymentSpec(
+        backend="zookeeper", scale=1000.0, store_size=10, num_hosts=4,
+        replication=3))
     assert len(zookeeper.paths) == 10
     client = zookeeper.new_client(0)
     assert client.get(zookeeper.paths[0]).ok
+
+
+def test_legacy_builder_shims_warn_and_still_build():
+    with pytest.deprecated_call():
+        netchain = build_netchain_deployment(scale=SCALE, store_size=10)
+    assert len(netchain.keys) == 10
+    with pytest.deprecated_call():
+        zookeeper = build_zookeeper_deployment(scale=1000.0, store_size=10)
+    assert len(zookeeper.paths) == 10

@@ -349,7 +349,7 @@ def test_cache_callbacks_fire_per_waiter():
     agent.read_cache = ClientReadCache(cluster.controller)
     results = []
     for _ in range(5):
-        agent.read("k00000000", callback=results.append)
+        agent.read("k00000000").then(results.append)
     cluster.run(until=cluster.sim.now + 0.01)
     assert len(results) == 5
     assert all(r.ok for r in results)

@@ -41,7 +41,7 @@ def test_concurrent_writers_serialize_on_every_replica(cluster):
     results = []
     for i in range(20):
         agent = agents[i % len(agents)]
-        agent.write(keys[0], f"value-{i}", callback=results.append)
+        agent.write(keys[0], f"value-{i}").then(results.append)
     cluster.run(until=cluster.sim.now + 0.05)
     assert len(results) == 20
     assert all(r.ok for r in results)
@@ -67,7 +67,7 @@ def test_reordering_links_do_not_break_consistency():
     rng = random.Random(0)
     for i in range(120):
         agent = agents[rng.randrange(len(agents))]
-        agent.write(rng.choice(keys), f"v{i}", callback=done.append)
+        agent.write(rng.choice(keys), f"v{i}").then(done.append)
     cluster.run(until=cluster.sim.now + 0.2)
     assert len(done) == 120
     assert_invariants(cluster, keys)
